@@ -1,0 +1,48 @@
+// Fig. 10 — sensitivity of the final compression/accuracy tradeoff to the
+// network reconfiguration interval (the one hyper-parameter PruneTrain
+// adds beyond the regularization strength).
+//
+// Expected shape (paper): accuracy and inference FLOPs are insensitive to
+// the interval across a wide range (they sweep 10/20/30-epoch intervals).
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace pt;
+using namespace pt::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags = standard_flags(48);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("fig10_reconfig_interval");
+    return 0;
+  }
+  const std::int64_t epochs = effective_epochs(flags);
+  // Proxy intervals scaled to the run length the same way the paper's
+  // 10/20/30 relate to its 182-epoch runs.
+  const std::vector<std::int64_t> intervals = {epochs / 12, epochs / 6, epochs / 4};
+
+  for (const char* model : {"resnet20", "resnet50"}) {
+    const ProxyCase c = cifar_case(model, false);
+    data::SyntheticImageDataset ds(c.data);
+    Table t({"interval (epochs)", "ratio", "val acc", "inference MFLOPs",
+             "training GFLOPs"});
+    for (std::int64_t interval : intervals) {
+      for (float ratio : {0.15f, 0.3f}) {
+        auto net = build_net(c);
+        auto cfg = proxy_train_config(epochs, ratio, core::PrunePolicy::kPruneTrain);
+        cfg.reconfig_interval = std::max<std::int64_t>(1, interval);
+        core::PruneTrainer trainer(net, ds, cfg);
+        const auto r = trainer.run();
+        t.add_row({std::to_string(cfg.reconfig_interval), fmt(ratio, 2),
+                   fmt(r.final_test_acc, 3),
+                   fmt(r.final_inference_flops / 1e6, 3),
+                   fmt(r.total_train_flops / 1e9, 2)});
+      }
+    }
+    emit(t, flags,
+         std::string("Fig 10: reconfiguration-interval sensitivity, ") + c.label);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 11 — projected per-epoch allreduce communication cost of model
+// updates during ResNet50/ImageNet-proxy training, normalized to the dense
+// baseline, for three regularization strengths, with and without dynamic
+// mini-batch adjustment.
+//
+// Expected shape (paper): per-epoch cost falls at every reconfiguration as
+// the gradient buffer shrinks; stronger regularization + dynamic batches
+// (fewer updates/epoch) push later epochs lower, averaging ~50%+ savings.
+#include <iostream>
+
+#include "bench/common.h"
+#include "cost/memory.h"
+
+using namespace pt;
+using namespace pt::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags = standard_flags(36);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("fig11_comm_cost");
+    return 0;
+  }
+  const std::int64_t epochs = effective_epochs(flags);
+  // Wider-than-canonical proxy (as in fig9): dynamic mini-batch growth
+  // needs prunable early-layer activation memory to open capacity headroom.
+  ProxyCase c = imagenet_case();
+  c.width_mult = 0.125f;
+  data::SyntheticImageDataset ds(c.data);
+  const std::vector<float> ratios = {0.1f, 0.2f, 0.25f};
+
+  // Dense baseline per-epoch communication volume.
+  double dense_epoch_bytes = 0;
+  {
+    auto net = build_net(c);
+    auto cfg = proxy_train_config(1, 0.f, core::PrunePolicy::kDense);
+    core::PruneTrainer trainer(net, ds, cfg);
+    const auto r = trainer.run();
+    dense_epoch_bytes = r.epochs[0].comm_bytes_per_gpu;
+  }
+
+  for (bool dynamic : {false, true}) {
+    Table t({"epoch", "ratio=0.1", "ratio=0.2", "ratio=0.25"});
+    std::vector<core::TrainResult> runs;
+    for (float ratio : ratios) {
+      auto net = build_net(c);
+      auto cfg = proxy_train_config(epochs, ratio, core::PrunePolicy::kPruneTrain);
+      if (dynamic) {
+        cost::MemoryModel mem(net, {c.data.channels, c.data.height, c.data.width});
+        cfg.dynamic_batch.enabled = true;
+        cfg.dynamic_batch.granularity = 16;
+        cfg.dynamic_batch.max_batch = 256;
+        cfg.dynamic_batch.device_memory_bytes = mem.training_bytes(cfg.batch_size);
+      }
+      core::PruneTrainer trainer(net, ds, cfg);
+      runs.push_back(trainer.run());
+    }
+    double avg_saving = 0;
+    std::int64_t count = 0;
+    for (std::int64_t e = 0; e < epochs; e += 2) {
+      std::vector<std::string> row = {std::to_string(e)};
+      for (const auto& r : runs) {
+        const double norm = r.epochs[std::size_t(e)].comm_bytes_per_gpu /
+                            dense_epoch_bytes;
+        row.push_back(fmt(norm, 3));
+      }
+      t.add_row(std::move(row));
+    }
+    for (const auto& r : runs) {
+      for (const auto& es : r.epochs) {
+        avg_saving += 1.0 - es.comm_bytes_per_gpu / dense_epoch_bytes;
+        ++count;
+      }
+    }
+    emit(t, flags,
+         std::string("Fig 11: per-epoch allreduce cost normalized to dense (") +
+             (dynamic ? "with" : "without") + " dynamic mini-batch); avg saving " +
+             fmt(100.0 * avg_saving / double(count), 1) + "%");
+  }
+  return 0;
+}

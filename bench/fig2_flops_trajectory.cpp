@@ -1,0 +1,95 @@
+// Fig. 2 — FLOPs-per-iteration trajectory, pruned-FLOPs phase breakdown,
+// and the one-time-reconfiguration overhead comparison.
+//
+// (a) FLOPs/iteration (normalized to dense) per epoch for three
+//     regularization strengths on the ResNet50/CIFAR10 proxy;
+// (b) breakdown of the total pruned FLOPs by training phase (thirds of the
+//     run, mirroring the paper's 1-90 / 91-200 / 201-300 split);
+// (c) relative training FLOPs if the network were reconfigured exactly
+//     once at epoch E (computed from the same trajectory, with the paper's
+//     optimistic assumption that the best E were known a priori),
+//     normalized to continuous PruneTrain.
+//
+// Expected shape (paper): most FLOPs are pruned in the first third of
+// training; one-shot reconfiguration costs >= ~1.25x PruneTrain regardless
+// of E.
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+
+using namespace pt;
+using namespace pt::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags = standard_flags(48);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("fig2_flops_trajectory");
+    return 0;
+  }
+  const std::int64_t epochs = effective_epochs(flags);
+  const std::vector<float> ratios = {0.1f, 0.2f, 0.3f};
+  const ProxyCase c = cifar_case("resnet50", /*cifar100=*/false);
+
+  std::vector<core::TrainResult> runs;
+  for (float ratio : ratios) {
+    auto net = build_net(c);
+    auto cfg = proxy_train_config(epochs, ratio, core::PrunePolicy::kPruneTrain);
+    data::SyntheticImageDataset ds(c.data);
+    core::PruneTrainer trainer(net, ds, cfg);
+    runs.push_back(trainer.run());
+  }
+
+  // (a) normalized FLOPs per training iteration over epochs.
+  Table a({"epoch", "ratio=0.1", "ratio=0.2", "ratio=0.3"});
+  const double dense = runs[0].epochs.front().flops_per_sample_train;
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    a.add_row({std::to_string(e),
+               fmt(runs[0].epochs[std::size_t(e)].flops_per_sample_train / dense, 3),
+               fmt(runs[1].epochs[std::size_t(e)].flops_per_sample_train / dense, 3),
+               fmt(runs[2].epochs[std::size_t(e)].flops_per_sample_train / dense, 3)});
+  }
+  emit(a, flags, "Fig 2a: FLOPs per training iteration (normalized to dense), " +
+                     c.label);
+
+  // (b) share of the total pruned FLOPs removed in each third of training.
+  Table b({"ratio", "phase1", "phase2", "phase3", "final acc"});
+  for (std::size_t r = 0; r < ratios.size(); ++r) {
+    const auto& es = runs[r].epochs;
+    const double total_pruned = dense - es.back().flops_per_sample_train;
+    auto pruned_by = [&](std::int64_t e) {
+      return dense - es[std::size_t(e)].flops_per_sample_train;
+    };
+    const std::int64_t t1 = epochs / 3, t2 = 2 * epochs / 3;
+    double p1 = pruned_by(t1), p2 = pruned_by(t2) - pruned_by(t1),
+           p3 = total_pruned - pruned_by(t2);
+    if (total_pruned <= 0) p1 = p2 = p3 = 0;
+    auto pct = [&](double v) {
+      return total_pruned > 0 ? fmt(100.0 * v / total_pruned, 1) + "%"
+                              : "n/a";
+    };
+    b.add_row({fmt(ratios[r], 2), pct(p1), pct(p2), pct(p3),
+               fmt(runs[r].final_test_acc, 3)});
+  }
+  emit(b, flags, "Fig 2b: pruned-FLOPs breakdown by training phase");
+
+  // (c) one-shot reconfiguration at epoch E vs continuous PruneTrain.
+  Table ctab({"reconfig epoch", "ratio=0.1", "ratio=0.2", "ratio=0.3"});
+  for (std::int64_t e = epochs / 8; e < epochs; e += std::max<std::int64_t>(1, epochs / 8)) {
+    std::vector<std::string> row = {std::to_string(e)};
+    for (const auto& run : runs) {
+      double continuous = 0;
+      for (const auto& es : run.epochs) continuous += es.flops_per_sample_train;
+      // One-shot: dense until E, then the model PruneTrain had at E.
+      const double after = run.epochs[std::size_t(e)].flops_per_sample_train;
+      const double oneshot =
+          dense * double(e) + after * double(epochs - e);
+      row.push_back(fmt(oneshot / continuous, 3));
+    }
+    ctab.add_row(std::move(row));
+  }
+  emit(ctab, flags,
+       "Fig 2c: one-time reconfiguration training FLOPs relative to PruneTrain");
+  return 0;
+}

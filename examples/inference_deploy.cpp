@@ -1,0 +1,113 @@
+// Deploying a PruneTrained model: train, snapshot, materialize both the
+// channel-union and channel-gating inference forms, and compare their
+// cost and measured throughput (the Sec. 4.2 / Fig. 6-7 decision in
+// miniature).
+//
+//   $ ./inference_deploy [--epochs 30]
+#include <iostream>
+
+#include "core/trainer.h"
+#include "cost/device.h"
+#include "cost/flops.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "prune/gating.h"
+#include "prune/snapshot.h"
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace {
+
+double images_per_second(pt::graph::Network& net, const pt::Tensor& x) {
+  net.forward(x, false);  // warm-up
+  pt::Timer t;
+  int reps = 0;
+  while (t.seconds() < 0.3) {
+    net.forward(x, false);
+    ++reps;
+  }
+  return double(reps) * double(x.shape()[0]) / t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pt::CliFlags flags;
+  flags.define("epochs", "30", "training epochs");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("inference_deploy");
+    return 0;
+  }
+  const std::int64_t epochs = flags.get_int("epochs");
+
+  pt::data::SyntheticImageDataset dataset(
+      pt::data::SyntheticSpec::cifar10_like());
+  pt::models::ModelConfig model_cfg;
+  model_cfg.image_h = dataset.spec().height;
+  model_cfg.image_w = dataset.spec().width;
+  model_cfg.classes = dataset.spec().classes;
+  model_cfg.width_mult = 0.125f;
+
+  auto build = [&] { return pt::models::build_resnet50(model_cfg, false); };
+
+  // Train once with PruneTrain (union reconfiguration happens in-run).
+  auto trained = build();
+  {
+    pt::core::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 64;
+    cfg.base_lr = 0.1f;
+    cfg.lr_milestones = {epochs / 2, 3 * epochs / 4};
+    cfg.policy = pt::core::PrunePolicy::kPruneTrain;
+    cfg.lasso_ratio = 0.25f;
+    cfg.lasso_boost = 150.f;
+    cfg.reconfig_interval = std::max<std::int64_t>(2, epochs / 6);
+    cfg.eval_interval = 5;
+    pt::core::PruneTrainer trainer(trained, dataset, cfg);
+    const auto r = trainer.run();
+    std::cout << "trained: test acc " << pt::fmt(r.final_test_acc, 3)
+              << ", channels " << r.final_channels << ", layers removed "
+              << r.layers_removed << "\n\n";
+  }
+
+  // Snapshots let deployments persist/restore trained state; a roundtrip
+  // is also a cheap integrity check before measuring.
+  const pt::prune::Snapshot snap = pt::prune::save_state(trained);
+  pt::prune::load_state(trained, snap);
+
+  // The union model is `trained` itself; the gating transform below then
+  // mutates it in place, so union is measured first.
+  const pt::Shape input{dataset.spec().channels, dataset.spec().height,
+                        dataset.spec().width};
+  pt::Rng rng(9);
+  pt::Tensor x = pt::Tensor::randn({64, input[0], input[1], input[2]}, rng);
+
+  pt::cost::FlopsModel union_flops(trained, input);
+  pt::cost::DeviceModel dev(pt::cost::DeviceSpec::titan_xp());
+  const double union_cpu = images_per_second(trained, x);
+  const double union_gpu = 64.0 / dev.inference_time(trained, input, 64);
+
+  const auto gstats = pt::prune::apply_channel_gating(trained, 1e-4f);
+  pt::cost::FlopsModel gated_flops(trained, input);
+  const double gated_cpu = images_per_second(trained, x);
+  const double gated_gpu = 64.0 / dev.inference_time(trained, input, 64);
+
+  pt::Table t({"deployment", "MFLOPs", "img/s (cpu)", "img/s (modeled GPU)"});
+  t.add_row({"channel union", pt::fmt(union_flops.inference_flops() / 1e6, 3),
+             pt::fmt(union_cpu, 0), pt::fmt(union_gpu, 0)});
+  t.add_row({"channel gating (" + std::to_string(gstats.selects_inserted) +
+                 " gates)",
+             pt::fmt(gated_flops.inference_flops() / 1e6, 3),
+             pt::fmt(gated_cpu, 0), pt::fmt(gated_gpu, 0)});
+  t.print();
+  std::cout << "\nunion adds "
+            << pt::fmt(100.0 * (union_flops.inference_flops() /
+                                    std::max(1.0, gated_flops.inference_flops()) -
+                                1.0),
+                       2)
+            << "% FLOPs but avoids " << gstats.selects_inserted + gstats.scatters_inserted
+            << " gather/scatter ops per forward pass\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Re-runs the benches whose parameters were fixed after the main suite
+# pass, appending corrected sections to bench_output.txt.
+cd /root/repo/build/bench || exit 1
+{
+echo
+echo "########## addendum: benches re-run with corrected parameters ##########"
+for b in fig6_union_vs_gating_flops table2_inference_perf table3_amc_comparison table4_dynamic_minibatch fig8_tradeoff_curves; do
+  echo "===== bench: $b (rerun) ====="
+  timeout 900 ./$b 2>&1
+  echo
+done
+for b in ablation_penalty_mode ablation_finetune; do
+  echo "===== bench: $b (quick) ====="
+  timeout 600 ./$b --quick 2>&1
+  echo
+done
+echo "ADDENDUM DONE"
+} >> /root/repo/bench_output.txt 2>&1

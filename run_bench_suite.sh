@@ -1,0 +1,15 @@
+#!/bin/bash
+# Runs every bench binary in sequence, writing the final bench_output.txt.
+cd /root/repo/build/bench || exit 1
+{
+for b in fig7_union_vs_gating_time fig12_density fig4_channel_sparsity \
+         fig2_flops_trajectory fig6_union_vs_gating_flops \
+         fig9_memory_requirement fig11_comm_cost fig10_reconfig_interval \
+         table3_amc_comparison table4_dynamic_minibatch table2_inference_perf \
+         fig8_tradeoff_curves table1_training_cost micro_engine; do
+  echo "===== bench: $b ====="
+  timeout 900 ./$b 2>&1
+  echo
+done
+echo "SUITE DONE"
+} > /root/repo/bench_output.txt 2>&1

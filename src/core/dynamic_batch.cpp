@@ -1,0 +1,32 @@
+#include "core/dynamic_batch.h"
+
+#include <cmath>
+
+#include "cost/memory.h"
+
+namespace pt::core {
+
+BatchAdjustment DynamicBatchAdjuster::propose(graph::Network& net, Shape input,
+                                              std::int64_t current_batch) const {
+  cost::MemoryModel mem(net, input);
+  BatchAdjustment adj;
+  adj.new_batch = current_batch;
+  if (cfg_.enabled) {
+    std::int64_t candidate = current_batch;
+    while (candidate + cfg_.granularity <= cfg_.max_batch &&
+           mem.training_bytes(candidate + cfg_.granularity) <=
+               cfg_.device_memory_bytes) {
+      candidate += cfg_.granularity;
+    }
+    adj.new_batch = candidate;
+  }
+  const double growth =
+      static_cast<double>(adj.new_batch) / static_cast<double>(current_batch);
+  adj.lr_scale = static_cast<float>(
+      cfg_.lr_rule == LrScalingRule::kLinear ? growth : std::sqrt(growth));
+  adj.memory_bytes = mem.training_bytes(adj.new_batch);
+  adj.changed = adj.new_batch != current_batch;
+  return adj;
+}
+
+}  // namespace pt::core

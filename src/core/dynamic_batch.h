@@ -1,0 +1,50 @@
+// Dynamic mini-batch adjustment (Sec. 4.3): after each reconfiguration,
+// re-measure the training-memory context and grow the mini-batch (in
+// `granularity` steps) while it fits the device memory — then scale the
+// learning rate by the same ratio (the linear scaling rule of Smith et
+// al. [19], applied mid-run at arbitrary points).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.h"
+
+namespace pt::core {
+
+/// Learning-rate adjustment rule applied when the batch grows (Sec. 4.3).
+/// CNN training uses the linear rule; the paper notes other domains (e.g.
+/// language models) want the square-root rule instead.
+enum class LrScalingRule { kLinear, kSqrt };
+
+struct DynamicBatchConfig {
+  bool enabled = false;
+  double device_memory_bytes = 11.0 * (1ull << 30);  ///< 11 GB (1080 Ti)
+  std::int64_t granularity = 32;   ///< adjustment step (paper: 32/GPU)
+  std::int64_t max_batch = 1024;   ///< safety cap
+  LrScalingRule lr_rule = LrScalingRule::kLinear;
+};
+
+struct BatchAdjustment {
+  std::int64_t new_batch = 0;
+  float lr_scale = 1.f;            ///< new_batch / old_batch
+  double memory_bytes = 0;         ///< training context at new batch
+  bool changed = false;
+};
+
+class DynamicBatchAdjuster {
+ public:
+  explicit DynamicBatchAdjuster(DynamicBatchConfig cfg) : cfg_(cfg) {}
+
+  /// Proposes a (possibly larger) batch for the current network. The batch
+  /// never shrinks below `current_batch` — the model only gets smaller, so
+  /// memory per sample only decreases.
+  BatchAdjustment propose(graph::Network& net, Shape input,
+                          std::int64_t current_batch) const;
+
+  const DynamicBatchConfig& config() const { return cfg_; }
+
+ private:
+  DynamicBatchConfig cfg_;
+};
+
+}  // namespace pt::core

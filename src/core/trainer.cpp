@@ -1,0 +1,284 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "cost/flops.h"
+#include "cost/memory.h"
+#include "models/builders.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "optim/lr_schedule.h"
+#include "optim/sgd.h"
+#include "prune/group_lasso.h"
+#include "prune/reconfigure.h"
+#include "util/logging.h"
+
+namespace pt::core {
+
+std::string to_string(PrunePolicy policy) {
+  switch (policy) {
+    case PrunePolicy::kDense: return "Dense";
+    case PrunePolicy::kPruneTrain: return "PruneTrain";
+    case PrunePolicy::kSSL: return "SSL";
+    case PrunePolicy::kOneShot: return "OneShot";
+  }
+  return "?";
+}
+
+PruneTrainer::PruneTrainer(graph::Network& net,
+                           const data::SyntheticImageDataset& dataset,
+                           TrainConfig cfg)
+    : net_(&net),
+      dataset_(&dataset),
+      cfg_(std::move(cfg)),
+      loader_(dataset, cfg_.shuffle_seed),
+      input_shape_({dataset.spec().channels, dataset.spec().height,
+                    dataset.spec().width}),
+      batch_size_(cfg_.batch_size) {
+  if (cfg_.record_sparsity) {
+    monitor_ = std::make_unique<prune::SparsityMonitor>(net);
+  }
+}
+
+double PruneTrainer::evaluate() {
+  const Tensor& images = dataset_->test_images();
+  const auto& labels = dataset_->test_labels();
+  const std::int64_t n = images.shape()[0];
+  const std::int64_t chunk = 64;
+  const std::int64_t sample_len =
+      images.shape()[1] * images.shape()[2] * images.shape()[3];
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += chunk) {
+    const std::int64_t take = std::min(chunk, n - start);
+    Tensor batch({take, images.shape()[1], images.shape()[2], images.shape()[3]});
+    std::copy(images.data() + start * sample_len,
+              images.data() + (start + take) * sample_len, batch.data());
+    Tensor out = net_->forward(batch, false);
+    std::vector<std::int64_t> batch_labels(labels.begin() + start,
+                                           labels.begin() + start + take);
+    nn::SoftmaxCrossEntropy loss;
+    loss.forward(out, batch_labels);
+    correct += loss.correct();
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
+  prune::GroupLassoRegularizer reg(*net_);
+  reg.set_size_normalized(cfg_.size_normalized_penalty);
+  optim::SGD opt(lr, cfg_.momentum, cfg_.weight_decay);
+  nn::SoftmaxCrossEntropy loss;
+  loader_.begin_epoch();
+  double loss_sum = 0;
+  std::int64_t correct = 0, samples = 0;
+  while (loader_.has_next()) {
+    data::Batch batch = loader_.next(batch_size_);
+    Tensor out = net_->forward(batch.images, true);
+    const double l = loss.forward(out, batch.labels);
+    loss_sum += l * static_cast<double>(batch.size());
+    correct += loss.correct();
+    samples += batch.size();
+    net_->zero_grad();
+    net_->backward(loss.backward());
+    if (lambda > 0.f && !cfg_.proximal_update) reg.add_gradients(lambda);
+    opt.step(net_->params());
+    if (lambda > 0.f && cfg_.proximal_update) reg.apply_proximal(lr * lambda);
+  }
+  stats.train_loss = loss_sum / static_cast<double>(samples);
+  stats.train_acc = static_cast<double>(correct) / static_cast<double>(samples);
+  stats.lasso_loss = reg.loss();
+}
+
+void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
+                             bool regularize, bool reconfig,
+                             std::int64_t one_shot_at, float& lambda) {
+  optim::MultiStepLR schedule(cfg_.lr_milestones, cfg_.lr_gamma);
+  DynamicBatchAdjuster adjuster(cfg_.dynamic_batch);
+
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    Timer wall;
+    EpochStats stats;
+    stats.epoch = epoch_counter_;
+
+    // Eq. 3: calibrate lambda at the first regularized iteration using the
+    // initial classification loss and lasso sum.
+    if (regularize && lambda < 0.f) {
+      loader_.begin_epoch();
+      data::Batch probe = loader_.next(std::min<std::int64_t>(batch_size_, 32));
+      nn::SoftmaxCrossEntropy loss;
+      Tensor out = net_->forward(probe.images, false);
+      const double class_loss = loss.forward(out, probe.labels);
+      prune::GroupLassoRegularizer reg(*net_);
+      reg.set_size_normalized(cfg_.size_normalized_penalty);
+      lambda = prune::calibrate_lambda(cfg_.lasso_ratio, class_loss, reg.loss()) *
+               cfg_.lasso_boost;
+      result.lambda = lambda;
+      if (cfg_.verbose) {
+        std::ostringstream os;
+        os << to_string(cfg_.policy) << ": calibrated lambda=" << lambda
+           << " (ratio " << cfg_.lasso_ratio << ")";
+        log_info(os.str());
+      }
+    }
+
+    const float lr = cfg_.base_lr * lr_scale_ *
+                     static_cast<float>(schedule.multiplier_at(e));
+    stats.lr = lr;
+    stats.batch_size = batch_size_;
+    train_epoch(stats, regularize ? lambda : 0.f, lr);
+    if (monitor_) monitor_->record(epoch_counter_);
+
+    // Periodic (or one-shot) prune + reconfigure at epoch boundaries.
+    const bool periodic_hit =
+        reconfig && cfg_.reconfig_interval > 0 &&
+        (e + 1) % cfg_.reconfig_interval == 0;
+    const bool one_shot_hit = one_shot_at >= 0 && (e + 1) == one_shot_at;
+    if (periodic_hit || one_shot_hit) {
+      prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+      const auto rstats = reconfigurer.reconfigure();
+      stats.reconfigured = rstats.changed;
+      result.layers_removed += rstats.convs_removed;
+      if (rstats.changed) {
+        const auto adj = adjuster.propose(*net_, input_shape_, batch_size_);
+        if (adj.changed) {
+          if (cfg_.verbose) {
+            std::ostringstream os;
+            os << "epoch " << epoch_counter_ << ": batch " << batch_size_
+               << " -> " << adj.new_batch << " (lr x" << adj.lr_scale << ")";
+            log_info(os.str());
+          }
+          batch_size_ = adj.new_batch;
+          lr_scale_ *= adj.lr_scale;
+        }
+      }
+    }
+
+    // Cost accounting for this epoch's *actual* model and batch size.
+    cost::FlopsModel flops(*net_, input_shape_);
+    cost::MemoryModel mem(*net_, input_shape_);
+    cost::CommModel comm(cfg_.comm);
+    cost::DeviceModel device(cfg_.device);
+    const std::int64_t samples = dataset_->train_size();
+    const std::int64_t iters = loader_.iterations_per_epoch(batch_size_);
+    const double model_bytes = static_cast<double>(net_->num_params()) * 4.0;
+
+    stats.flops_per_sample_train = flops.training_flops();
+    stats.flops_per_sample_inf = flops.inference_flops();
+    stats.epoch_train_flops =
+        flops.training_flops() * static_cast<double>(samples);
+    stats.epoch_bn_traffic =
+        mem.bn_traffic_per_sample() * static_cast<double>(samples);
+    stats.memory_bytes = mem.training_bytes(batch_size_);
+    stats.comm_bytes_per_gpu = comm.bytes_per_epoch(model_bytes, iters);
+    stats.comm_time_modeled = comm.time_per_epoch(model_bytes, iters);
+    stats.gpu_time_modeled =
+        device.training_time(*net_, input_shape_, batch_size_) *
+        static_cast<double>(iters);
+    std::int64_t channels = 0;
+    for (int id : net_->nodes_of_type<nn::Conv2d>()) {
+      channels += net_->layer_as<nn::Conv2d>(id).out_channels();
+    }
+    stats.channels_alive = channels;
+    stats.conv_layers = models::count_conv_layers(*net_);
+    if (cfg_.eval_interval <= 1 || e == epochs - 1 ||
+        epoch_counter_ % cfg_.eval_interval == 0) {
+      last_test_acc_ = evaluate();
+    }
+    stats.test_acc = last_test_acc_;
+    stats.wall_seconds = wall.seconds();
+
+    result.total_train_flops += stats.epoch_train_flops;
+    result.total_bn_traffic += stats.epoch_bn_traffic;
+    result.total_comm_bytes += stats.comm_bytes_per_gpu;
+    result.total_gpu_time_modeled += stats.gpu_time_modeled;
+    result.total_wall_seconds += stats.wall_seconds;
+
+    if (cfg_.verbose) {
+      std::ostringstream os;
+      os << to_string(cfg_.policy) << " epoch " << epoch_counter_ << ": loss "
+         << stats.train_loss << " acc " << stats.train_acc << " test "
+         << stats.test_acc << " ch " << stats.channels_alive;
+      log_info(os.str());
+    }
+    result.epochs.push_back(stats);
+    ++epoch_counter_;
+  }
+}
+
+TrainResult PruneTrainer::run() {
+  TrainResult result;
+  float lambda = -1.f;  // calibrated lazily at the first regularized epoch
+
+  switch (cfg_.policy) {
+    case PrunePolicy::kDense:
+      run_phase(result, cfg_.epochs, false, false, -1, lambda);
+      break;
+    case PrunePolicy::kPruneTrain:
+      run_phase(result, cfg_.epochs, true, true, -1, lambda);
+      break;
+    case PrunePolicy::kSSL: {
+      // Calibrate lambda from the *random-init* losses (Eq. 3), exactly as
+      // PruneTrain does — the paper applies its calibration mechanism to
+      // SSL too. Calibrating after dense pre-training would be degenerate:
+      // the converged classification loss would make lambda ~0.
+      {
+        loader_.begin_epoch();
+        data::Batch probe = loader_.next(std::min<std::int64_t>(batch_size_, 32));
+        nn::SoftmaxCrossEntropy loss;
+        Tensor out = net_->forward(probe.images, false);
+        const double class_loss = loss.forward(out, probe.labels);
+        prune::GroupLassoRegularizer reg(*net_);
+        reg.set_size_normalized(cfg_.size_normalized_penalty);
+        lambda = prune::calibrate_lambda(cfg_.lasso_ratio, class_loss, reg.loss()) *
+                 cfg_.lasso_boost;
+        result.lambda = lambda;
+        net_->clear_context();
+      }
+      // Phase 1: dense pre-training (counts toward training cost).
+      run_phase(result, cfg_.epochs, false, false, -1, lambda);
+      // Phase 2: sparsify on the dense architecture; prune only at the end.
+      run_phase(result, cfg_.epochs, true, false, -1, lambda);
+      prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+      const auto rstats = reconfigurer.reconfigure();
+      result.layers_removed += rstats.convs_removed;
+      break;
+    }
+    case PrunePolicy::kOneShot:
+      run_phase(result, cfg_.epochs, true, false, cfg_.one_shot_epoch, lambda);
+      break;
+  }
+
+  // Final pruning pass so the reported inference model is fully compacted
+  // (a no-op if the last reconfiguration already caught everything).
+  if (cfg_.policy != PrunePolicy::kDense && cfg_.final_reconfigure) {
+    prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+    const auto rstats = reconfigurer.reconfigure();
+    result.layers_removed += rstats.convs_removed;
+  }
+
+  // Optional fine-tuning on the pruned architecture: extra epochs without
+  // regularization, at the final decayed learning rate (Sec. 5.1).
+  if (cfg_.fine_tune_epochs > 0 && cfg_.policy != PrunePolicy::kDense) {
+    optim::MultiStepLR schedule(cfg_.lr_milestones, cfg_.lr_gamma);
+    const float saved_scale = lr_scale_;
+    lr_scale_ *= static_cast<float>(schedule.multiplier_at(cfg_.epochs));
+    float no_lambda = 0.f;
+    run_phase(result, cfg_.fine_tune_epochs, false, false, -1, no_lambda);
+    lr_scale_ = saved_scale;
+  }
+
+  cost::FlopsModel flops(*net_, input_shape_);
+  result.final_inference_flops = flops.inference_flops();
+  result.final_test_acc = evaluate();
+  std::int64_t channels = 0;
+  for (int id : net_->nodes_of_type<nn::Conv2d>()) {
+    channels += net_->layer_as<nn::Conv2d>(id).out_channels();
+  }
+  result.final_channels = channels;
+  return result;
+}
+
+}  // namespace pt::core

@@ -1,0 +1,171 @@
+// PruneTrainer: the paper's Algorithm 1 plus the baseline training
+// protocols it is compared against.
+//
+// Policies:
+//  - kDense:      plain SGD training, no regularization, no pruning.
+//  - kPruneTrain: group-lasso regularization from iteration 0 (lambda set
+//                 by Eq. 3 at the first forward), periodic reconfiguration
+//                 every `reconfig_interval` epochs, optional dynamic
+//                 mini-batch adjustment.
+//  - kSSL:        Wen et al.'s protocol: first train the dense model to
+//                 completion, then train again with group lasso on the
+//                 dense architecture, pruning only at the very end. Costs
+//                 roughly 3x PruneTrain's compute (Sec. 5.2).
+//  - kOneShot:    Alvarez & Salzmann's: regularize from scratch but
+//                 reconfigure exactly once, at `one_shot_epoch` (Fig. 2c).
+//
+// Every epoch records the cost metrics the paper's figures are drawn from:
+// FLOPs/iteration, training FLOPs spent, BN DRAM traffic, memory context,
+// allreduce volume, modeled GPU time, and wall-clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_batch.h"
+#include "cost/comm.h"
+#include "cost/device.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "graph/network.h"
+#include "prune/sparsity_monitor.h"
+
+namespace pt::core {
+
+enum class PrunePolicy { kDense, kPruneTrain, kSSL, kOneShot };
+
+std::string to_string(PrunePolicy policy);
+
+struct TrainConfig {
+  std::int64_t epochs = 40;
+  std::int64_t batch_size = 32;
+  float base_lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  std::vector<std::int64_t> lr_milestones = {};  ///< fractions handled by caller
+  double lr_gamma = 0.1;
+
+  PrunePolicy policy = PrunePolicy::kPruneTrain;
+  float lasso_ratio = 0.2f;           ///< Eq. 3 target penalty ratio
+  /// Proxy-scale time compression. Eq. 3's lambda is implicitly matched to
+  /// the paper's training horizon (~70k optimizer steps: group-norm decay
+  /// per step is ~lr*lambda, and lambda from Eq. 3 makes the total decay
+  /// over a full ImageNet/CIFAR run comparable to the initial norms).
+  /// Proxy runs here take 10^2-10^3 steps, so lambda is multiplied by this
+  /// factor to reproduce the same *fraction-of-run* sparsification
+  /// trajectory. 1.0 = paper-faithful; see DESIGN.md.
+  float lasso_boost = 1.0f;
+  /// Use the proximal group-soft-threshold update (exact zeros) instead of
+  /// the plain subgradient. Required for boosted-lambda proxy runs; with
+  /// the paper's own lambda scale the two are indistinguishable.
+  bool proximal_update = true;
+  /// Run one final prune+reconfigure pass after training so the reported
+  /// model is fully compacted (the default). Analyses that sweep pruning
+  /// thresholds over the trained weights (e.g. Fig. 6) disable this to
+  /// keep the full channel index space.
+  bool final_reconfigure = true;
+  std::int64_t reconfig_interval = 5; ///< epochs between reconfigurations
+  std::int64_t one_shot_epoch = 20;   ///< kOneShot reconfiguration point
+  float threshold = 1e-4f;            ///< zeroing threshold (paper: 1e-4)
+  /// Extra epochs trained after the main run *without* group-lasso
+  /// regularization, at the final (decayed) learning rate. The paper uses
+  /// this to recover ~0.3% accuracy on ImageNet (Sec. 5.1); no pruning or
+  /// reconfiguration happens during fine-tuning.
+  std::int64_t fine_tune_epochs = 0;
+  /// Per-group penalty normalization (Sec. 4.1 ablation). The paper argues
+  /// for a single *global* coefficient, which prioritizes pruning the
+  /// computation-heavy early layers; prior work scales each group's
+  /// penalty by sqrt(group size), which prioritizes model-size reduction.
+  bool size_normalized_penalty = false;
+
+  DynamicBatchConfig dynamic_batch;
+
+  cost::CommSpec comm;                      ///< allreduce accounting
+  cost::DeviceSpec device = cost::DeviceSpec::titan_xp();  ///< modeled time
+
+  std::uint64_t shuffle_seed = 7;
+  bool record_sparsity = false;  ///< per-epoch channel max-|w| histories
+  /// Evaluate test accuracy every k epochs (the final epoch is always
+  /// evaluated); other epochs report the last measured value.
+  std::int64_t eval_interval = 1;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  std::int64_t batch_size = 0;
+  double lr = 0;
+  double train_loss = 0;
+  double train_acc = 0;
+  double test_acc = 0;
+  double lasso_loss = 0;             ///< current regularizer sum (no lambda)
+  double flops_per_sample_train = 0; ///< current model, fwd+bwd
+  double flops_per_sample_inf = 0;   ///< current model, fwd only
+  double epoch_train_flops = 0;      ///< flops_per_sample_train * samples
+  double epoch_bn_traffic = 0;       ///< bytes
+  double memory_bytes = 0;           ///< training context at current batch
+  double comm_bytes_per_gpu = 0;     ///< allreduce volume this epoch
+  double comm_time_modeled = 0;      ///< hierarchical allreduce time this epoch
+  double gpu_time_modeled = 0;       ///< roofline training time this epoch
+  double wall_seconds = 0;           ///< actual CPU wall time this epoch
+  std::int64_t channels_alive = 0;   ///< sum of conv out-channels
+  std::int64_t conv_layers = 0;
+  bool reconfigured = false;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double final_test_acc = 0;
+  double total_train_flops = 0;
+  double total_bn_traffic = 0;
+  double total_comm_bytes = 0;
+  double total_gpu_time_modeled = 0;
+  double total_wall_seconds = 0;
+  double final_inference_flops = 0;
+  std::int64_t layers_removed = 0;     ///< conv layers removed by dead branches
+  std::int64_t final_channels = 0;
+  float lambda = 0;                    ///< the calibrated penalty coefficient
+};
+
+class PruneTrainer {
+ public:
+  /// Trains `net` in place on `dataset`. The network must match the
+  /// dataset's input geometry and class count.
+  PruneTrainer(graph::Network& net, const data::SyntheticImageDataset& dataset,
+               TrainConfig cfg);
+
+  TrainResult run();
+
+  /// Test-set top-1 accuracy of the current model.
+  double evaluate();
+
+  const prune::SparsityMonitor* sparsity_monitor() const {
+    return monitor_ ? monitor_.get() : nullptr;
+  }
+
+ private:
+  /// One full pass over the training set at the current batch size; fills
+  /// loss/acc into `stats`. `lambda` == 0 disables regularization.
+  void train_epoch(EpochStats& stats, float lambda, float lr);
+
+  /// One training phase of `epochs` epochs with the given policy behavior.
+  /// `regularize` turns the lasso term on; `reconfig` enables periodic
+  /// reconfiguration; `one_shot_at` >= 0 reconfigures exactly once.
+  void run_phase(TrainResult& result, std::int64_t epochs, bool regularize,
+                 bool reconfig, std::int64_t one_shot_at, float& lambda);
+
+  graph::Network* net_;
+  const data::SyntheticImageDataset* dataset_;
+  TrainConfig cfg_;
+  data::DataLoader loader_;
+  Shape input_shape_;
+  std::int64_t batch_size_;
+  float lr_scale_ = 1.f;  ///< cumulative dynamic-batch LR scaling
+  std::unique_ptr<prune::SparsityMonitor> monitor_;
+  std::int64_t epoch_counter_ = 0;  ///< global epoch index across phases
+  double last_test_acc_ = 0;        ///< cached between eval_interval epochs
+};
+
+}  // namespace pt::core

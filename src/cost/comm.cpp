@@ -1,0 +1,45 @@
+#include "cost/comm.h"
+
+#include <algorithm>
+
+namespace pt::cost {
+
+double CommModel::ring_bytes_per_update(double model_bytes) const {
+  const double p = static_cast<double>(spec_.gpus);
+  if (p <= 1) return 0.0;
+  return 2.0 * (p - 1.0) / p * model_bytes;
+}
+
+double CommModel::ring_time_per_update(double model_bytes) const {
+  const double p = static_cast<double>(spec_.gpus);
+  if (p <= 1) return 0.0;
+  // 2*(P-1) pipeline steps, each transferring a 1/P chunk.
+  const double steps = 2.0 * (p - 1.0);
+  return steps * (spec_.latency + model_bytes / p / spec_.link_bandwidth);
+}
+
+double CommModel::hierarchical_time_per_update(double model_bytes) const {
+  const int p = spec_.gpus;
+  if (p <= 1) return 0.0;
+  const int g = std::max(1, std::min(spec_.hierarchy_group, p));
+  const int groups = (p + g - 1) / g;
+  auto ring = [&](int members, double bytes) {
+    if (members <= 1) return 0.0;
+    const double steps = 2.0 * (members - 1);
+    return steps * (spec_.latency + bytes / members / spec_.link_bandwidth);
+  };
+  // Reduce-scatter+allgather within groups, ring across group leaders over
+  // the group-reduced buffer, then broadcast (modeled as one more
+  // intra-group allgather-equivalent half ring).
+  return ring(g, model_bytes) + ring(groups, model_bytes) +
+         0.5 * ring(g, model_bytes);
+}
+
+double CommModel::time_per_epoch(double model_bytes, std::int64_t updates,
+                                 bool hierarchical) const {
+  const double per = hierarchical ? hierarchical_time_per_update(model_bytes)
+                                  : ring_time_per_update(model_bytes);
+  return per * static_cast<double>(updates);
+}
+
+}  // namespace pt::cost

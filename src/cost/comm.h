@@ -1,0 +1,50 @@
+// Allreduce communication cost model for data-parallel training (Sec. 2.2,
+// Fig. 11): alpha-beta models of ring allreduce and the hierarchical
+// variant of Li et al. [26].
+//
+// Per model update each worker sends/receives 2*(P-1)/P * bytes in a ring;
+// cost per epoch is iterations/epoch times that, so pruning shrinks the
+// per-update volume and dynamic mini-batch adjustment shrinks the update
+// *count* — both visible in the Fig. 11 curves.
+#pragma once
+
+#include <cstdint>
+
+namespace pt::cost {
+
+struct CommSpec {
+  int gpus = 4;
+  double link_bandwidth = 10e9;  ///< bytes/s per link (NVLink-ish)
+  double latency = 5e-6;         ///< per-hop latency, seconds
+  int hierarchy_group = 4;       ///< group size for hierarchical allreduce
+};
+
+class CommModel {
+ public:
+  explicit CommModel(CommSpec spec) : spec_(spec) {}
+
+  /// Bytes each worker moves to allreduce a gradient buffer of
+  /// `model_bytes` over a flat ring: 2*(P-1)/P * bytes.
+  double ring_bytes_per_update(double model_bytes) const;
+
+  /// Time of one flat ring allreduce: 2*(P-1) steps of (alpha + chunk/BW).
+  double ring_time_per_update(double model_bytes) const;
+
+  /// Time of the hierarchical (two-level) allreduce: intra-group ring +
+  /// inter-group ring over group leaders + intra-group broadcast.
+  double hierarchical_time_per_update(double model_bytes) const;
+
+  /// Per-epoch cost given updates/epoch.
+  double bytes_per_epoch(double model_bytes, std::int64_t updates) const {
+    return ring_bytes_per_update(model_bytes) * static_cast<double>(updates);
+  }
+  double time_per_epoch(double model_bytes, std::int64_t updates,
+                        bool hierarchical = true) const;
+
+  const CommSpec& spec() const { return spec_; }
+
+ private:
+  CommSpec spec_;
+};
+
+}  // namespace pt::cost

@@ -1,0 +1,112 @@
+#include "cost/device.h"
+
+#include "cost/flops.h"
+#include "nn/batchnorm.h"
+#include "nn/channel_index.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace pt::cost {
+
+DeviceSpec DeviceSpec::titan_xp() {
+  // FP32 peak ~12.1 TFLOP/s, 547 GB/s GDDR5X.
+  return {"TITAN Xp", 12.1e12, 547e9, 1 << 17, 200e9};
+}
+
+DeviceSpec DeviceSpec::gtx_1080ti() {
+  // FP32 peak ~11.3 TFLOP/s, 484 GB/s.
+  return {"GTX 1080 Ti", 11.3e12, 484e9, 1 << 17, 180e9};
+}
+
+DeviceSpec DeviceSpec::v100() {
+  // FP32 peak ~15.7 TFLOP/s, 900 GB/s HBM2.
+  return {"V100", 15.7e12, 900e9, 1 << 17, 350e9};
+}
+
+DeviceSpec DeviceSpec::cpu() {
+  // Single modern core: ~50 GFLOP/s peak SIMD, ~20 GB/s effective.
+  return {"CPU-1core", 50e9, 20e9, 1 << 8, 10e9};
+}
+
+namespace {
+
+double roofline(double flops, double bytes, double parallelism,
+                const DeviceSpec& spec) {
+  const double util = parallelism / (parallelism + spec.p_sat);
+  const double compute_t = flops / (spec.peak_flops * util);
+  const double memory_t = bytes / spec.mem_bandwidth;
+  return std::max(compute_t, memory_t);
+}
+
+}  // namespace
+
+std::vector<LayerTime> DeviceModel::layer_times(graph::Network& net, Shape input,
+                                                std::int64_t batch,
+                                                bool training) const {
+  Shape batched({batch, input[0], input[1], input[2]});
+  const auto shapes = infer_shapes(net, batched);
+  FlopsModel flops(net, input);
+
+  std::vector<LayerTime> out;
+  for (const LayerFlops& lf : flops.layers()) {
+    const graph::Node& n = net.node(lf.node);
+    const Shape& oshape = shapes[static_cast<std::size_t>(lf.node)];
+    const double out_elems = static_cast<double>(oshape.numel());
+    const double b = static_cast<double>(batch);
+
+    LayerTime lt;
+    lt.node = lf.node;
+    lt.name = lf.name;
+    lt.type = lf.type;
+
+    double in_elems = out_elems;
+    double weight_elems = 0;
+    if (n.kind == graph::Node::Kind::kLayer) {
+      const Shape& ishape = shapes[static_cast<std::size_t>(n.inputs[0])];
+      in_elems = static_cast<double>(ishape.numel());
+      for (nn::Param* p : n.layer->params()) {
+        weight_elems += static_cast<double>(p->value.numel());
+      }
+    }
+
+    if (n.kind == graph::Node::Kind::kLayer &&
+        (dynamic_cast<const nn::ChannelSelect*>(n.layer.get()) != nullptr ||
+         dynamic_cast<const nn::ChannelScatter*>(n.layer.get()) != nullptr)) {
+      // Pure tensor reshaping: read + write the moved elements at the
+      // (lower) reshape bandwidth; this is the gating overhead Fig. 7 shows.
+      const double moved = std::min(in_elems, out_elems) * 4.0 * 2.0;
+      lt.reshape_s = spec_.reshape_latency + moved / spec_.reshape_bandwidth;
+      if (training) lt.reshape_s *= 2.0;  // backward moves the same bytes back
+      out.push_back(lt);
+      continue;
+    }
+
+    const double fwd_bytes = (in_elems + out_elems + weight_elems) * 4.0;
+    lt.forward_s = roofline(lf.forward * b, fwd_bytes, out_elems, spec_);
+    if (training) {
+      // Backward touches dy, dx, activations, and weights+grads.
+      const double bwd_bytes = (2.0 * in_elems + out_elems + 2.0 * weight_elems) * 4.0;
+      lt.backward_s = roofline(lf.backward * b, bwd_bytes, in_elems, spec_);
+    }
+    out.push_back(lt);
+  }
+  return out;
+}
+
+double DeviceModel::training_time(graph::Network& net, Shape input,
+                                  std::int64_t batch) const {
+  double total = 0;
+  for (const LayerTime& lt : layer_times(net, input, batch, true)) total += lt.total();
+  return total;
+}
+
+double DeviceModel::inference_time(graph::Network& net, Shape input,
+                                   std::int64_t batch) const {
+  double total = 0;
+  for (const LayerTime& lt : layer_times(net, input, batch, false)) {
+    total += lt.total();
+  }
+  return total;
+}
+
+}  // namespace pt::cost

@@ -1,0 +1,73 @@
+// Roofline execution-time model of a training accelerator.
+//
+// The paper measures wall-clock on TITAN Xp / GTX 1080 Ti / V100 GPUs; this
+// repo runs on a CPU, so modeled GPU time is produced by a roofline with a
+// parallelism-dependent utilization term:
+//
+//   time(layer) = max( flops / (peak_flops * util), bytes / bandwidth )
+//   util        = p / (p + p_sat)        p = parallel output elements
+//
+// The utilization term reproduces the paper's key second-order effect: a
+// pruned layer saves FLOPs but loses data parallelism, so measured speedup
+// lags FLOPs saved (Sec. 5.1), and V100's higher bandwidth makes the
+// compute savings more visible than on 1080 Ti (Tab. 1 footnote).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace pt::cost {
+
+struct DeviceSpec {
+  std::string name;
+  double peak_flops = 1e12;    ///< FLOP/s at full utilization
+  double mem_bandwidth = 1e11; ///< bytes/s
+  double p_sat = 1 << 16;      ///< parallelism at which util reaches 50%
+  double reshape_bandwidth = 5e10;  ///< effective bytes/s for gather/scatter
+  /// Fixed cost per gather/scatter operation (kernel launch + index setup).
+  /// This is what makes channel gating lose even on late layers with tiny
+  /// activations (Fig. 7).
+  double reshape_latency = 10e-6;
+
+  static DeviceSpec titan_xp();
+  static DeviceSpec gtx_1080ti();
+  static DeviceSpec v100();
+  /// Generic single-core CPU (for sanity comparison with wall clock).
+  static DeviceSpec cpu();
+};
+
+/// Per-layer modeled execution time.
+struct LayerTime {
+  int node = -1;
+  std::string name;
+  std::string type;
+  double forward_s = 0;
+  double backward_s = 0;
+  double reshape_s = 0;  ///< gather/scatter data movement (channel gating)
+  double total() const { return forward_s + backward_s + reshape_s; }
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  /// Modeled time of one training iteration at the given batch size.
+  double training_time(graph::Network& net, Shape input, std::int64_t batch) const;
+
+  /// Modeled time of one inference pass at the given batch size.
+  double inference_time(graph::Network& net, Shape input, std::int64_t batch) const;
+
+  /// Per-layer inference breakdown (Fig. 7 uses this for union vs gating).
+  std::vector<LayerTime> layer_times(graph::Network& net, Shape input,
+                                     std::int64_t batch, bool training) const;
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace pt::cost

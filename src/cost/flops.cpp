@@ -1,0 +1,96 @@
+#include "cost/flops.h"
+
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/channel_index.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "tensor/im2col.h"
+
+namespace pt::cost {
+
+std::vector<Shape> infer_shapes(graph::Network& net, const Shape& input) {
+  std::vector<Shape> shapes(net.num_nodes());
+  shapes[0] = input;
+  for (int id : net.topo_order()) {
+    if (id == 0) continue;
+    const graph::Node& n = net.node(id);
+    if (n.kind == graph::Node::Kind::kLayer) {
+      shapes[static_cast<std::size_t>(id)] =
+          n.layer->output_shape(shapes[static_cast<std::size_t>(n.inputs[0])]);
+    } else if (n.kind == graph::Node::Kind::kAdd) {
+      const Shape& a = shapes[static_cast<std::size_t>(n.inputs[0])];
+      const Shape& b = shapes[static_cast<std::size_t>(n.inputs[1])];
+      if (a != b) {
+        throw std::logic_error("infer_shapes: add mismatch " + a.to_string() +
+                               " vs " + b.to_string());
+      }
+      shapes[static_cast<std::size_t>(id)] = a;
+    }
+  }
+  return shapes;
+}
+
+FlopsModel::FlopsModel(graph::Network& net, Shape input) {
+  Shape batched({1, input[0], input[1], input[2]});
+  const auto shapes = infer_shapes(net, batched);
+  for (int id : net.topo_order()) {
+    if (id == 0) continue;
+    const graph::Node& n = net.node(id);
+    LayerFlops lf;
+    lf.node = id;
+    const Shape& out = shapes[static_cast<std::size_t>(id)];
+    if (n.kind == graph::Node::Kind::kAdd) {
+      lf.name = "add";
+      lf.type = "Add";
+      lf.forward = static_cast<double>(out.numel());
+      lf.backward = 0;  // gradient fan-out is a copy, not arithmetic
+    } else {
+      const nn::Layer& layer = *n.layer;
+      lf.name = layer.name();
+      lf.type = layer.type();
+      const Shape& in = shapes[static_cast<std::size_t>(n.inputs[0])];
+      if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
+        const double macs = static_cast<double>(conv->out_channels()) *
+                            conv->in_channels() * conv->kernel() * conv->kernel() *
+                            out[2] * out[3];
+        lf.forward = 2.0 * macs;
+        lf.backward = 4.0 * macs;  // dW GEMM + dX GEMM
+      } else if (const auto* fc = dynamic_cast<const nn::Linear*>(&layer)) {
+        const double macs =
+            static_cast<double>(fc->in_features()) * fc->out_features();
+        lf.forward = 2.0 * macs;
+        lf.backward = 4.0 * macs;
+      } else if (dynamic_cast<const nn::BatchNorm2d*>(&layer) != nullptr) {
+        // mean+var reductions, normalize, affine: ~5 ops/element forward;
+        // backward reductions + recompute: ~7 ops/element.
+        lf.forward = 5.0 * static_cast<double>(in.numel());
+        lf.backward = 7.0 * static_cast<double>(in.numel());
+      } else if (dynamic_cast<const nn::ReLU*>(&layer) != nullptr) {
+        lf.forward = static_cast<double>(in.numel());
+        lf.backward = static_cast<double>(in.numel());
+      } else if (const auto* pool = dynamic_cast<const nn::MaxPool2d*>(&layer)) {
+        lf.forward = static_cast<double>(out.numel()) * pool->window() *
+                     pool->window();
+        lf.backward = static_cast<double>(out.numel());
+      } else if (dynamic_cast<const nn::GlobalAvgPool*>(&layer) != nullptr) {
+        lf.forward = static_cast<double>(in.numel());
+        lf.backward = static_cast<double>(in.numel());
+      } else if (dynamic_cast<const nn::ChannelSelect*>(&layer) != nullptr ||
+                 dynamic_cast<const nn::ChannelScatter*>(&layer) != nullptr) {
+        lf.forward = 0;  // pure data movement; charged by the device model
+        lf.backward = 0;
+      } else {
+        throw std::logic_error("FlopsModel: unknown layer type " + layer.type());
+      }
+    }
+    total_forward_ += lf.forward;
+    total_backward_ += lf.backward;
+    layers_.push_back(std::move(lf));
+  }
+}
+
+}  // namespace pt::cost

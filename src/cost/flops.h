@@ -1,0 +1,50 @@
+// Analytic FLOP accounting for a Network, the quantity behind most of the
+// paper's results (training FLOPs, inference FLOPs, FLOPs/iteration curves).
+//
+// Conventions (standard, and what the paper uses):
+//  - conv forward: 2 * K*C*R*S * Ho*Wo MAC-FLOPs per sample;
+//  - backward adds ~2x forward (dW GEMM + dX GEMM), so training ~= 3x
+//    inference for conv/FC layers;
+//  - BN / ReLU / pool FLOPs are charged at a few ops per element — they are
+//    negligible next to conv but included for completeness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace pt::cost {
+
+/// Per-node shape inference: output shape of every live node given the
+/// network input shape (batch dim included).
+std::vector<Shape> infer_shapes(graph::Network& net, const Shape& input);
+
+/// FLOP totals for one layer at batch size 1.
+struct LayerFlops {
+  int node = -1;
+  std::string name;
+  std::string type;
+  double forward = 0;   ///< inference FLOPs per sample
+  double backward = 0;  ///< additional backward FLOPs per sample
+  double training() const { return forward + backward; }
+};
+
+/// Walks the network once and reports per-layer and total FLOPs per sample.
+class FlopsModel {
+ public:
+  /// `input` is the per-sample input shape {C, H, W}.
+  FlopsModel(graph::Network& net, Shape input);
+
+  double inference_flops() const { return total_forward_; }
+  double training_flops() const { return total_forward_ + total_backward_; }
+  const std::vector<LayerFlops>& layers() const { return layers_; }
+
+ private:
+  std::vector<LayerFlops> layers_;
+  double total_forward_ = 0;
+  double total_backward_ = 0;
+};
+
+}  // namespace pt::cost

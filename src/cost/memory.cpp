@@ -1,0 +1,58 @@
+#include "cost/memory.h"
+
+#include "cost/flops.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "tensor/im2col.h"
+
+namespace pt::cost {
+
+namespace {
+constexpr double kBytes = 4.0;  // float32
+}
+
+MemoryModel::MemoryModel(graph::Network& net, Shape input) {
+  Shape batched({1, input[0], input[1], input[2]});
+  const auto shapes = infer_shapes(net, batched);
+  for (int id : net.topo_order()) {
+    if (id == 0) continue;
+    const graph::Node& n = net.node(id);
+    const Shape& out = shapes[static_cast<std::size_t>(id)];
+    // Every node output is held for backward (including adds, whose output
+    // feeds the next block's layers).
+    breakdown_.activations_per_sample += static_cast<double>(out.numel()) * kBytes;
+    if (n.kind != graph::Node::Kind::kLayer) continue;
+    for (nn::Param* p : n.layer->params()) {
+      breakdown_.parameters += static_cast<double>(p->value.numel()) * kBytes;
+      breakdown_.optimizer_state +=
+          2.0 * static_cast<double>(p->value.numel()) * kBytes;
+    }
+    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(n.layer.get())) {
+      const Shape& in = shapes[static_cast<std::size_t>(n.inputs[0])];
+      ConvGeom g{conv->in_channels(), in[2], in[3], conv->kernel(), conv->stride(),
+                 conv->pad()};
+      breakdown_.workspace = std::max(
+          breakdown_.workspace,
+          static_cast<double>(g.col_rows()) * g.col_cols() * kBytes);
+    }
+    if (dynamic_cast<const nn::BatchNorm2d*>(n.layer.get()) != nullptr) {
+      const Shape& in = shapes[static_cast<std::size_t>(n.inputs[0])];
+      bn_traffic_per_sample_ += 7.0 * static_cast<double>(in.numel()) * kBytes;
+    }
+  }
+}
+
+std::int64_t MemoryModel::max_batch(double capacity_bytes, std::int64_t granularity,
+                                    std::int64_t max_batch) const {
+  std::int64_t best = granularity;
+  for (std::int64_t b = granularity; b <= max_batch; b += granularity) {
+    if (training_bytes(b) <= capacity_bytes) {
+      best = b;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace pt::cost

@@ -1,0 +1,59 @@
+// Training-memory-context and DRAM-traffic accounting.
+//
+// Two quantities the paper leans on:
+//  1. The *training memory context* (Sec. 2.2): every layer's forward output
+//     is live until backward consumes it, so the per-device memory need is
+//     roughly sum(activation bytes) * batch + parameter state + workspace.
+//     This drives Fig. 9 and dynamic mini-batch adjustment.
+//  2. *BN DRAM traffic*: batch norm is memory-bandwidth bound; its cost is
+//     bytes moved, not FLOPs (Fig. 8b/d "BN cost [TB]", and the claimed
+//     37% BN-traffic saving for ResNet50/ImageNet).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.h"
+
+namespace pt::cost {
+
+/// Byte-level accounting of one training iteration.
+struct MemoryBreakdown {
+  double activations_per_sample = 0;  ///< stored forward outputs, bytes/sample
+  double parameters = 0;              ///< weight bytes
+  double optimizer_state = 0;         ///< gradient + momentum bytes
+  double workspace = 0;               ///< largest im2col buffer, bytes (batch-independent)
+
+  double total(std::int64_t batch) const {
+    return activations_per_sample * static_cast<double>(batch) + parameters +
+           optimizer_state + workspace;
+  }
+};
+
+class MemoryModel {
+ public:
+  /// `input` is the per-sample input shape {C, H, W}.
+  MemoryModel(graph::Network& net, Shape input);
+
+  const MemoryBreakdown& breakdown() const { return breakdown_; }
+
+  /// Training-context bytes for a mini-batch of `batch` samples.
+  double training_bytes(std::int64_t batch) const { return breakdown_.total(batch); }
+
+  /// Largest batch that fits in `capacity_bytes`, quantized down to a
+  /// multiple of `granularity` and clamped to [granularity, max_batch].
+  /// Returns `granularity` even if nothing fits (the run must proceed).
+  std::int64_t max_batch(double capacity_bytes, std::int64_t granularity,
+                         std::int64_t max_batch) const;
+
+  /// DRAM bytes moved by all BN layers in one training iteration per
+  /// sample: ~3 passes forward (mean, variance, normalize+write) and
+  /// ~4 passes backward (two reductions, dx compute reads dy and xhat,
+  /// write dx), 4 bytes each.
+  double bn_traffic_per_sample() const { return bn_traffic_per_sample_; }
+
+ private:
+  MemoryBreakdown breakdown_;
+  double bn_traffic_per_sample_ = 0;
+};
+
+}  // namespace pt::cost

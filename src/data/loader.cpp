@@ -1,0 +1,38 @@
+#include "data/loader.h"
+
+namespace pt::data {
+
+void DataLoader::begin_epoch() {
+  const std::int64_t n = dataset_->train_size();
+  order_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) order_[static_cast<std::size_t>(i)] = i;
+  // Fisher-Yates with the loader's own deterministic stream.
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    const std::int64_t j = static_cast<std::int64_t>(
+        rng_.uniform_int(static_cast<std::uint64_t>(i + 1)));
+    std::swap(order_[static_cast<std::size_t>(i)], order_[static_cast<std::size_t>(j)]);
+  }
+  cursor_ = 0;
+}
+
+Batch DataLoader::next(std::int64_t batch_size) {
+  const std::int64_t n = static_cast<std::int64_t>(order_.size());
+  const std::int64_t take = std::min(batch_size, n - cursor_);
+  std::vector<std::int64_t> idx(order_.begin() + cursor_,
+                                order_.begin() + cursor_ + take);
+  cursor_ += take;
+  Batch b;
+  b.images = dataset_->gather_train(idx);
+  b.labels.reserve(idx.size());
+  for (std::int64_t i : idx) {
+    b.labels.push_back(dataset_->train_labels()[static_cast<std::size_t>(i)]);
+  }
+  return b;
+}
+
+std::int64_t DataLoader::iterations_per_epoch(std::int64_t batch_size) const {
+  const std::int64_t n = dataset_->train_size();
+  return (n + batch_size - 1) / batch_size;
+}
+
+}  // namespace pt::data

@@ -1,0 +1,50 @@
+// Mini-batch loader with epoch shuffling and *resizable* batch size.
+//
+// The batch size is a per-epoch parameter rather than a construction-time
+// constant because PruneTrain's dynamic mini-batch adjustment (Sec. 4.3)
+// grows it at reconfiguration boundaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace pt::data {
+
+/// One training mini-batch.
+struct Batch {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t size() const { return images.defined() ? images.shape()[0] : 0; }
+};
+
+class DataLoader {
+ public:
+  DataLoader(const SyntheticImageDataset& dataset, std::uint64_t seed)
+      : dataset_(&dataset), rng_(seed) {}
+
+  /// Starts a new epoch: reshuffles and resets the cursor.
+  void begin_epoch();
+
+  /// True when the current epoch still has samples left.
+  bool has_next() const {
+    return cursor_ < static_cast<std::int64_t>(order_.size());
+  }
+
+  /// Next mini-batch of up to `batch_size` samples (the final batch of an
+  /// epoch may be smaller).
+  Batch next(std::int64_t batch_size);
+
+  /// Number of iterations one epoch takes at the given batch size.
+  std::int64_t iterations_per_epoch(std::int64_t batch_size) const;
+
+ private:
+  const SyntheticImageDataset* dataset_;
+  Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace pt::data

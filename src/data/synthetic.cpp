@@ -1,0 +1,157 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace pt::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// One smooth template: sum of `modes` random 2-D cosine modes per channel,
+/// normalized to roughly unit RMS.
+Tensor make_template(std::int64_t c, std::int64_t h, std::int64_t w, Rng& rng,
+                     int modes = 4) {
+  Tensor t({c, h, w});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (int m = 0; m < modes; ++m) {
+      const double fy = rng.uniform(0.5, 2.5);
+      const double fx = rng.uniform(0.5, 2.5);
+      const double py = rng.uniform(0.0, 2.0 * kPi);
+      const double px = rng.uniform(0.0, 2.0 * kPi);
+      const double amp = rng.normal(0.0, 1.0);
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          t.at(ch, y, x) += static_cast<float>(
+              amp * std::cos(2.0 * kPi * fy * y / static_cast<double>(h) + py) *
+              std::cos(2.0 * kPi * fx * x / static_cast<double>(w) + px));
+        }
+      }
+    }
+  }
+  // Normalize to unit RMS so `noise` has a consistent meaning.
+  double ss = 0.0;
+  for (float v : t.span()) ss += static_cast<double>(v) * v;
+  const float scale = static_cast<float>(1.0 / std::sqrt(ss / static_cast<double>(t.numel()) + 1e-12));
+  for (float& v : t.span()) v *= scale;
+  return t;
+}
+
+/// Writes template `tpl` circularly shifted by (dy, dx) plus noise into `out`.
+void render_sample(const Tensor& tpl, std::int64_t dy, std::int64_t dx, float noise,
+                   Rng& rng, float* out) {
+  const std::int64_t c = tpl.shape()[0], h = tpl.shape()[1], w = tpl.shape()[2];
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = (y + dy % h + h) % h;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sx = (x + dx % w + w) % w;
+        out[(ch * h + y) * w + x] =
+            tpl.at(ch, sy, sx) + static_cast<float>(rng.normal(0.0, noise));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// Preset difficulty is tuned (see DESIGN.md) so a width-scaled ResNet
+// reaches ~90% dense-baseline accuracy with a real generalization gap —
+// the regime where group-lasso pruning trades FLOPs against accuracy the
+// way the paper's CIFAR/ImageNet runs do.
+
+SyntheticSpec SyntheticSpec::cifar10_like() {
+  SyntheticSpec s;
+  s.name = "SynthCIFAR10";
+  s.classes = 10;
+  s.channels = 3;
+  s.height = 8;
+  s.width = 8;
+  s.train_samples = 512;
+  s.test_samples = 256;
+  s.noise = 0.8f;
+  s.max_shift = 2;
+  s.seed = 11;
+  return s;
+}
+
+SyntheticSpec SyntheticSpec::cifar100_like() {
+  SyntheticSpec s;
+  s.name = "SynthCIFAR100";
+  s.classes = 20;
+  s.channels = 3;
+  s.height = 8;
+  s.width = 8;
+  s.train_samples = 640;
+  s.test_samples = 320;
+  s.noise = 0.9f;
+  s.max_shift = 2;
+  s.seed = 12;
+  return s;
+}
+
+SyntheticSpec SyntheticSpec::imagenet_like() {
+  SyntheticSpec s;
+  s.name = "SynthImageNet";
+  s.classes = 16;
+  s.channels = 3;
+  s.height = 16;
+  s.width = 16;
+  s.train_samples = 512;
+  s.test_samples = 256;
+  s.noise = 0.8f;
+  s.max_shift = 3;
+  s.seed = 13;
+  return s;
+}
+
+SyntheticImageDataset::SyntheticImageDataset(const SyntheticSpec& spec)
+    : spec_(spec) {
+  Rng rng(spec.seed);
+  std::vector<Tensor> templates;
+  templates.reserve(static_cast<std::size_t>(spec.classes));
+  for (std::int64_t c = 0; c < spec.classes; ++c) {
+    templates.push_back(make_template(spec.channels, spec.height, spec.width, rng));
+  }
+  const std::int64_t sample_len = spec.channels * spec.height * spec.width;
+  auto synth = [&](std::int64_t count, Tensor& images,
+                   std::vector<std::int64_t>& labels) {
+    images = Tensor({count, spec.channels, spec.height, spec.width});
+    labels.resize(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      const std::int64_t cls = static_cast<std::int64_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(spec.classes)));
+      labels[static_cast<std::size_t>(i)] = cls;
+      const std::int64_t dy =
+          spec.max_shift > 0
+              ? static_cast<std::int64_t>(rng.uniform_int(
+                    static_cast<std::uint64_t>(2 * spec.max_shift + 1))) -
+                    spec.max_shift
+              : 0;
+      const std::int64_t dx =
+          spec.max_shift > 0
+              ? static_cast<std::int64_t>(rng.uniform_int(
+                    static_cast<std::uint64_t>(2 * spec.max_shift + 1))) -
+                    spec.max_shift
+              : 0;
+      render_sample(templates[static_cast<std::size_t>(cls)], dy, dx, spec.noise, rng,
+                    images.data() + i * sample_len);
+    }
+  };
+  synth(spec.train_samples, train_images_, train_labels_);
+  synth(spec.test_samples, test_images_, test_labels_);
+}
+
+Tensor SyntheticImageDataset::gather_train(
+    const std::vector<std::int64_t>& indices) const {
+  const Shape& s = train_images_.shape();
+  const std::int64_t sample_len = s[1] * s[2] * s[3];
+  Tensor batch({static_cast<std::int64_t>(indices.size()), s[1], s[2], s[3]});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const float* src = train_images_.data() + indices[i] * sample_len;
+    float* dst = batch.data() + static_cast<std::int64_t>(i) * sample_len;
+    for (std::int64_t q = 0; q < sample_len; ++q) dst[q] = src[q];
+  }
+  return batch;
+}
+
+}  // namespace pt::data

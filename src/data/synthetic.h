@@ -1,0 +1,68 @@
+// Synthetic image-classification datasets standing in for CIFAR-10/100 and
+// ImageNet (which are not available offline — see DESIGN.md, substitution
+// table).
+//
+// Each class is a smooth random template (a few random low-frequency cosine
+// modes per channel); samples are the class template plus Gaussian pixel
+// noise and a random circular shift. This yields a task that a small CNN
+// genuinely has to learn (translation variance + noise), while keeping the
+// group-lasso sparsification dynamics — which depend on the optimizer and
+// regularizer, not on photographic content — intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace pt::data {
+
+/// Geometry + difficulty knobs of a synthetic dataset.
+struct SyntheticSpec {
+  std::string name = "synth";
+  std::int64_t classes = 10;
+  std::int64_t channels = 3;
+  std::int64_t height = 16;
+  std::int64_t width = 16;
+  std::int64_t train_samples = 512;
+  std::int64_t test_samples = 256;
+  float noise = 0.6f;       ///< pixel noise stddev relative to unit templates
+  std::int64_t max_shift = 2;  ///< max circular shift in each spatial dim
+  std::uint64_t seed = 1;
+
+  /// CIFAR-10-like proxy (10 classes, 3x16x16).
+  static SyntheticSpec cifar10_like();
+  /// CIFAR-100-like proxy: more classes, noisier (a harder problem).
+  static SyntheticSpec cifar100_like();
+  /// ImageNet-like proxy: larger images, more classes.
+  static SyntheticSpec imagenet_like();
+};
+
+/// In-memory dataset: images [N, C, H, W] plus integer labels.
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(const SyntheticSpec& spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+  std::int64_t train_size() const { return train_images_.shape()[0]; }
+  std::int64_t test_size() const { return test_images_.shape()[0]; }
+
+  const Tensor& train_images() const { return train_images_; }
+  const std::vector<std::int64_t>& train_labels() const { return train_labels_; }
+  const Tensor& test_images() const { return test_images_; }
+  const std::vector<std::int64_t>& test_labels() const { return test_labels_; }
+
+  /// Copies the given sample rows into a batch tensor.
+  Tensor gather_train(const std::vector<std::int64_t>& indices) const;
+
+ private:
+  SyntheticSpec spec_;
+  Tensor train_images_;
+  std::vector<std::int64_t> train_labels_;
+  Tensor test_images_;
+  std::vector<std::int64_t> test_labels_;
+};
+
+}  // namespace pt::data

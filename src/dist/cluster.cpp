@@ -1,0 +1,103 @@
+#include "dist/cluster.h"
+
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace pt::dist {
+
+Cluster::Cluster(std::vector<graph::Network> replicas, cost::CommSpec comm)
+    : replicas_(std::move(replicas)), comm_(comm) {
+  if (replicas_.empty()) throw std::invalid_argument("cluster needs >= 1 replica");
+  if (static_cast<int>(replicas_.size()) != comm_.spec().gpus) {
+    throw std::invalid_argument("comm spec GPU count must match replica count");
+  }
+}
+
+double Cluster::update_bytes() const {
+  auto& net = const_cast<graph::Network&>(replicas_.front());
+  const double model_bytes = static_cast<double>(net.num_params()) * 4.0;
+  return comm_.ring_bytes_per_update(model_bytes);
+}
+
+void Cluster::allreduce_gradients(const std::vector<double>& weights) {
+  if (weights.size() != replicas_.size()) {
+    throw std::invalid_argument("allreduce: weight count mismatch");
+  }
+  double total_weight = 0;
+  for (double w : weights) total_weight += w;
+  if (total_weight <= 0) return;
+
+  std::vector<std::vector<nn::Param*>> params;
+  params.reserve(replicas_.size());
+  for (auto& r : replicas_) params.push_back(r.params());
+  const std::size_t np = params[0].size();
+  for (const auto& p : params) {
+    if (p.size() != np) throw std::logic_error("allreduce: replica divergence");
+  }
+
+  // Reduce: weighted average into replica 0's gradient buffers, then
+  // broadcast. Deterministic summation order (replica index order) keeps
+  // replicas bit-identical across the run.
+  for (std::size_t i = 0; i < np; ++i) {
+    nn::Param* root = params[0][i];
+    const std::int64_t n = root->grad.numel();
+    for (std::int64_t q = 0; q < n; ++q) {
+      double acc = 0;
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        acc += weights[r] * params[r][i]->grad.data()[q];
+      }
+      root->grad.data()[q] = static_cast<float>(acc / total_weight);
+    }
+    for (std::size_t r = 1; r < replicas_.size(); ++r) {
+      std::copy(root->grad.data(), root->grad.data() + n,
+                params[r][i]->grad.data());
+    }
+  }
+}
+
+StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
+  const int p = size();
+  const std::int64_t total = batch.size();
+  if (total < p) {
+    throw std::invalid_argument("mini-batch smaller than replica count");
+  }
+  const Shape& s = batch.images.shape();
+  const std::int64_t sample_len = s[1] * s[2] * s[3];
+
+  StepResult result;
+  std::vector<double> shard_sizes;
+  std::int64_t offset = 0;
+  for (int r = 0; r < p; ++r) {
+    // Contiguous shard; the first (total % p) replicas take one extra.
+    const std::int64_t shard = total / p + (r < total % p ? 1 : 0);
+    Tensor images({shard, s[1], s[2], s[3]});
+    std::copy(batch.images.data() + offset * sample_len,
+              batch.images.data() + (offset + shard) * sample_len, images.data());
+    std::vector<std::int64_t> labels(
+        batch.labels.begin() + offset, batch.labels.begin() + offset + shard);
+    offset += shard;
+    shard_sizes.push_back(static_cast<double>(shard));
+
+    graph::Network& net = replicas_[static_cast<std::size_t>(r)];
+    net.zero_grad();
+    nn::SoftmaxCrossEntropy loss;
+    Tensor out = net.forward(images, true);
+    result.loss += loss.forward(out, labels) * static_cast<double>(shard);
+    result.correct += loss.correct();
+    net.backward(loss.backward());
+  }
+  result.loss /= static_cast<double>(total);
+
+  allreduce_gradients(shard_sizes);
+  for (auto& r : replicas_) opt.step(r.params());
+
+  const double model_bytes =
+      static_cast<double>(replicas_[0].num_params()) * 4.0;
+  result.comm_bytes_per_gpu = comm_.ring_bytes_per_update(model_bytes);
+  result.comm_time_modeled = comm_.hierarchical_time_per_update(model_bytes);
+  return result;
+}
+
+}  // namespace pt::dist

@@ -1,0 +1,55 @@
+// Simulated data-parallel training cluster (Sec. 2.2 "Distributed
+// Training"): N replica models trained in-process with a deterministic
+// gradient allreduce, standing in for the paper's 4-GPU NCCL setup.
+//
+// Semantics match synchronous data parallelism exactly: the mini-batch is
+// sharded across replicas, each computes local gradients, gradients are
+// averaged (weighted by shard size), and every replica applies the same
+// optimizer step — so replicas stay bit-identical. Communication *volume*
+// is accounted with the ring-allreduce cost model from src/cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/comm.h"
+#include "data/loader.h"
+#include "graph/network.h"
+#include "optim/sgd.h"
+
+namespace pt::dist {
+
+struct StepResult {
+  double loss = 0;                 ///< mini-batch mean loss
+  std::int64_t correct = 0;        ///< correct predictions in the mini-batch
+  double comm_bytes_per_gpu = 0;   ///< ring-allreduce bytes moved per worker
+  double comm_time_modeled = 0;    ///< modeled allreduce time (hierarchical)
+};
+
+class Cluster {
+ public:
+  /// Takes ownership of `replicas`, which must be structurally identical
+  /// and identically initialized (build them with the same seed).
+  Cluster(std::vector<graph::Network> replicas, cost::CommSpec comm);
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  graph::Network& replica(int i) { return replicas_[static_cast<std::size_t>(i)]; }
+
+  /// One synchronous data-parallel training step on `batch`.
+  StepResult step(const data::Batch& batch, optim::SGD& opt);
+
+  /// Averages every parameter gradient across replicas, weighting each
+  /// replica by `weights[i]` (shard sizes). Exposed for testing.
+  void allreduce_gradients(const std::vector<double>& weights);
+
+  /// Gradient bytes exchanged per update (per worker).
+  double update_bytes() const;
+
+  const cost::CommModel& comm() const { return comm_; }
+
+ private:
+  std::vector<graph::Network> replicas_;
+  cost::CommModel comm_;
+};
+
+}  // namespace pt::dist

@@ -1,0 +1,205 @@
+#include "graph/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace pt::graph {
+
+int Network::add_input() {
+  if (!nodes_.empty()) throw std::logic_error("input must be the first node");
+  Node n;
+  n.kind = Node::Kind::kInput;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+int Network::add_layer(nn::LayerPtr layer, int input) {
+  if (input < 0 || input >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("add_layer: bad input id");
+  }
+  Node n;
+  n.kind = Node::Kind::kLayer;
+  n.layer = std::move(layer);
+  n.inputs = {input};
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Network::add_add(int a, int b) {
+  if (a < 0 || b < 0 || a >= static_cast<int>(nodes_.size()) ||
+      b >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("add_add: bad input id");
+  }
+  Node n;
+  n.kind = Node::Kind::kAdd;
+  n.inputs = {a, b};
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::vector<int> Network::topo_order() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == Node::Kind::kDead) continue;
+    indegree[i] = static_cast<int>(n.inputs.size());
+  }
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind != Node::Kind::kDead && indegree[i] == 0) {
+      ready.push_back(static_cast<int>(i));
+    }
+  }
+  const auto consumers = consumer_map();
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  // Pop smallest id first so the order is deterministic.
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end());
+    const int id = *it;
+    ready.erase(it);
+    order.push_back(id);
+    for (int c : consumers[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+    }
+  }
+  return order;
+}
+
+Tensor Network::forward(const Tensor& x, bool training) {
+  if (output_ < 0) throw std::logic_error("network has no output node");
+  outputs_.assign(nodes_.size(), Tensor());
+  outputs_[0] = x;
+  order_cache_ = topo_order();
+  for (int id : order_cache_) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    if (i == 0) continue;
+    Node& n = nodes_[i];
+    switch (n.kind) {
+      case Node::Kind::kDead:
+        break;
+      case Node::Kind::kInput:
+        throw std::logic_error("unexpected input node");
+      case Node::Kind::kLayer: {
+        const Tensor& in = outputs_[static_cast<std::size_t>(n.inputs[0])];
+        outputs_[i] = n.layer->forward(in, training);
+        break;
+      }
+      case Node::Kind::kAdd: {
+        const Tensor& a = outputs_[static_cast<std::size_t>(n.inputs[0])];
+        const Tensor& b = outputs_[static_cast<std::size_t>(n.inputs[1])];
+        if (a.shape() != b.shape()) {
+          throw std::logic_error("add: shape mismatch " + a.shape().to_string() +
+                                 " vs " + b.shape().to_string());
+        }
+        Tensor out(a.shape());
+        add(a.span(), b.span(), out.span());
+        outputs_[i] = out;
+        break;
+      }
+    }
+  }
+  trained_forward_ = training;
+  return outputs_[static_cast<std::size_t>(output_)];
+}
+
+Tensor Network::backward(const Tensor& dy) {
+  if (!trained_forward_) {
+    throw std::logic_error("backward requires a training-mode forward");
+  }
+  std::vector<Tensor> grads(nodes_.size());
+  grads[static_cast<std::size_t>(output_)] = dy.clone();
+  auto accumulate = [&](int id, const Tensor& g) {
+    Tensor& slot = grads[static_cast<std::size_t>(id)];
+    if (!slot.defined()) {
+      slot = g.clone();
+    } else {
+      axpy(1.f, g.span(), slot.span());
+    }
+  };
+  for (auto it = order_cache_.rbegin(); it != order_cache_.rend(); ++it) {
+    const int i = *it;
+    if (i == 0) continue;
+    Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.kind == Node::Kind::kDead) continue;
+    const Tensor& g = grads[static_cast<std::size_t>(i)];
+    if (!g.defined()) continue;  // node does not influence the output
+    if (n.kind == Node::Kind::kLayer) {
+      Tensor gin = n.layer->backward(g);
+      accumulate(n.inputs[0], gin);
+    } else {  // kAdd
+      accumulate(n.inputs[0], g);
+      accumulate(n.inputs[1], g);
+    }
+    grads[static_cast<std::size_t>(i)] = Tensor();  // release early
+  }
+  Tensor gin = grads[0].defined() ? grads[0] : Tensor(outputs_[0].shape());
+  trained_forward_ = false;
+  return gin;
+}
+
+std::vector<nn::Param*> Network::params() {
+  std::vector<nn::Param*> out;
+  for (Node& n : nodes_) {
+    if (n.kind != Node::Kind::kLayer) continue;
+    for (nn::Param* p : n.layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Network::zero_grad() {
+  for (nn::Param* p : params()) p->grad.fill(0.f);
+}
+
+void Network::clear_context() {
+  for (Node& n : nodes_) {
+    if (n.kind == Node::Kind::kLayer) n.layer->clear_context();
+  }
+  outputs_.clear();
+}
+
+std::int64_t Network::num_params() {
+  std::int64_t total = 0;
+  for (nn::Param* p : params()) total += p->value.numel();
+  return total;
+}
+
+void Network::bypass_add(int add_id, int surviving_input,
+                         const std::vector<int>& dead_nodes) {
+  Node& addn = node(add_id);
+  if (addn.kind != Node::Kind::kAdd) {
+    throw std::invalid_argument("bypass_add: node is not an add");
+  }
+  // Rewire all consumers of add_id to consume surviving_input directly.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.kind == Node::Kind::kDead) continue;
+    for (int& in : n.inputs) {
+      if (in == add_id) in = surviving_input;
+    }
+  }
+  if (output_ == add_id) output_ = surviving_input;
+  addn.kind = Node::Kind::kDead;
+  addn.layer.reset();
+  for (int id : dead_nodes) {
+    Node& n = node(id);
+    n.kind = Node::Kind::kDead;
+    n.layer.reset();
+  }
+}
+
+std::vector<std::vector<int>> Network::consumer_map() const {
+  std::vector<std::vector<int>> consumers(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.kind == Node::Kind::kDead) continue;
+    for (int in : n.inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
+    }
+  }
+  return consumers;
+}
+
+}  // namespace pt::graph

@@ -1,0 +1,25 @@
+#include "nn/activations.h"
+
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace pt::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool training) {
+  Tensor y(x.shape());
+  relu(x.span(), y.span());
+  if (training) input_ = x;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  if (!input_.defined()) {
+    throw std::logic_error("ReLU " + name() + ": backward without forward");
+  }
+  Tensor dx(dy.shape());
+  relu_backward(input_.span(), dy.span(), dx.span());
+  return dx;
+}
+
+}  // namespace pt::nn

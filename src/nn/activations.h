@@ -1,0 +1,21 @@
+// Stateless activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace pt::nn {
+
+/// Elementwise max(x, 0).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string type() const override { return "ReLU"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  void clear_context() override { input_ = Tensor(); }
+
+ private:
+  Tensor input_;
+};
+
+}  // namespace pt::nn

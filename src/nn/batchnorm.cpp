@@ -1,0 +1,141 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  gamma_.value = Tensor::full({channels}, 1.f);
+  gamma_.init_state();
+  beta_.value = Tensor::zeros({channels});
+  beta_.init_state();
+  running_mean_ = Tensor::zeros({channels});
+  running_var_ = Tensor::full({channels}, 1.f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  const Shape& s = x.shape();
+  if (s.rank() != 4 || s[1] != channels_) {
+    throw std::invalid_argument("BatchNorm2d " + name() + ": bad input " +
+                                s.to_string());
+  }
+  const std::int64_t n = s[0], c = s[1], hw = s[2] * s[3];
+  const std::int64_t stride_n = c * hw;
+  Tensor y(s);
+
+  if (training) {
+    xhat_ = Tensor(s);
+    inv_std_.assign(static_cast<std::size_t>(c), 0.f);
+  }
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    float mean, var;
+    if (training) {
+      double m = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + i * stride_n + ch * hw;
+        for (std::int64_t q = 0; q < hw; ++q) m += p[q];
+      }
+      mean = static_cast<float>(m / static_cast<double>(n * hw));
+      double v = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + i * stride_n + ch * hw;
+        for (std::int64_t q = 0; q < hw; ++q) {
+          const double d = p[q] - mean;
+          v += d * d;
+        }
+      }
+      var = static_cast<float>(v / static_cast<double>(n * hw));
+      running_mean_.at(ch) =
+          (1.f - momentum_) * running_mean_.at(ch) + momentum_ * mean;
+      running_var_.at(ch) = (1.f - momentum_) * running_var_.at(ch) + momentum_ * var;
+    } else {
+      mean = running_mean_.at(ch);
+      var = running_var_.at(ch);
+    }
+    const float inv = 1.f / std::sqrt(var + eps_);
+    const float g = gamma_.value.at(ch);
+    const float b = beta_.value.at(ch);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* p = x.data() + i * stride_n + ch * hw;
+      float* out = y.data() + i * stride_n + ch * hw;
+      float* xh = training ? xhat_.data() + i * stride_n + ch * hw : nullptr;
+      for (std::int64_t q = 0; q < hw; ++q) {
+        const float norm = (p[q] - mean) * inv;
+        if (xh) xh[q] = norm;
+        out[q] = g * norm + b;
+      }
+    }
+    if (training) inv_std_[static_cast<std::size_t>(ch)] = inv;
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& dy) {
+  if (!xhat_.defined()) {
+    throw std::logic_error("BatchNorm2d " + name() + ": backward without forward");
+  }
+  const Shape& s = dy.shape();
+  const std::int64_t n = s[0], c = s[1], hw = s[2] * s[3];
+  const std::int64_t stride_n = c * hw;
+  const double count = static_cast<double>(n * hw);
+  Tensor dx(s);
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    // Reductions: sum(dy) and sum(dy * xhat) over the channel.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dyp = dy.data() + i * stride_n + ch * hw;
+      const float* xh = xhat_.data() + i * stride_n + ch * hw;
+      for (std::int64_t q = 0; q < hw; ++q) {
+        sum_dy += dyp[q];
+        sum_dy_xhat += static_cast<double>(dyp[q]) * xh[q];
+      }
+    }
+    gamma_.grad.at(ch) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.at(ch) += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value.at(ch);
+    const float inv = inv_std_[static_cast<std::size_t>(ch)];
+    const float k1 = static_cast<float>(sum_dy / count);
+    const float k2 = static_cast<float>(sum_dy_xhat / count);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dyp = dy.data() + i * stride_n + ch * hw;
+      const float* xh = xhat_.data() + i * stride_n + ch * hw;
+      float* dxp = dx.data() + i * stride_n + ch * hw;
+      for (std::int64_t q = 0; q < hw; ++q) {
+        dxp[q] = g * inv * (dyp[q] - k1 - xh[q] * k2);
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::shrink(const std::vector<std::int64_t>& keep) {
+  if (keep.empty()) {
+    throw std::invalid_argument("BatchNorm2d::shrink: empty keep set for " + name());
+  }
+  auto slice = [&](const Tensor& t) {
+    Tensor out({static_cast<std::int64_t>(keep.size())});
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      out.at(static_cast<std::int64_t>(i)) = t.at(keep[i]);
+    }
+    return out;
+  };
+  gamma_.value = slice(gamma_.value);
+  gamma_.grad = slice(gamma_.grad);
+  gamma_.momentum = slice(gamma_.momentum);
+  beta_.value = slice(beta_.value);
+  beta_.grad = slice(beta_.grad);
+  beta_.momentum = slice(beta_.momentum);
+  running_mean_ = slice(running_mean_);
+  running_var_ = slice(running_var_);
+  channels_ = static_cast<std::int64_t>(keep.size());
+  xhat_ = Tensor();
+}
+
+}  // namespace pt::nn

@@ -1,0 +1,49 @@
+// Batch normalization over the channel dimension of NCHW tensors.
+//
+// BN is the memory-bandwidth-bound layer the paper singles out (~30% of
+// training time, Sec. 2.1); the cost model in src/cost charges its DRAM
+// traffic separately. shrink() slices the affine parameters and running
+// stats to the surviving channels during reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pt::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string type() const override { return "BatchNorm2d"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+  void clear_context() override {
+    xhat_ = Tensor();
+  }
+
+  std::int64_t channels() const { return channels_; }
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+  /// Removes all channels not in `keep` (sorted, unique, non-empty).
+  void shrink(const std::vector<std::int64_t>& keep);
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Forward context.
+  Tensor xhat_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace pt::nn

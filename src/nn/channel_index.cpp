@@ -1,0 +1,104 @@
+#include "nn/channel_index.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pt::nn {
+namespace {
+
+void check_indices(const std::vector<std::int64_t>& idx, std::int64_t limit,
+                   const char* what) {
+  for (std::int64_t i : idx) {
+    if (i < 0 || i >= limit) throw std::invalid_argument(std::string(what) +
+                                                         ": index out of range");
+  }
+}
+
+}  // namespace
+
+ChannelSelect::ChannelSelect(std::vector<std::int64_t> indices,
+                             std::int64_t in_channels)
+    : indices_(std::move(indices)), in_channels_(in_channels) {
+  check_indices(indices_, in_channels_, "ChannelSelect");
+}
+
+Tensor ChannelSelect::forward(const Tensor& x, bool training) {
+  (void)training;
+  const Shape& s = x.shape();
+  if (s.rank() != 4 || s[1] != in_channels_) {
+    throw std::invalid_argument("ChannelSelect " + name() + ": bad input " +
+                                s.to_string());
+  }
+  const std::int64_t n = s[0], hw = s[2] * s[3];
+  const std::int64_t c_out = static_cast<std::int64_t>(indices_.size());
+  Tensor y({n, c_out, s[2], s[3]});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < c_out; ++c) {
+      std::memcpy(y.data() + (i * c_out + c) * hw,
+                  x.data() + (i * in_channels_ + indices_[static_cast<std::size_t>(c)]) * hw,
+                  static_cast<std::size_t>(hw) * sizeof(float));
+    }
+  }
+  return y;
+}
+
+Tensor ChannelSelect::backward(const Tensor& dy) {
+  const Shape& s = dy.shape();
+  const std::int64_t n = s[0], hw = s[2] * s[3];
+  const std::int64_t c_out = static_cast<std::int64_t>(indices_.size());
+  Tensor dx({n, in_channels_, s[2], s[3]});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < c_out; ++c) {
+      float* dst = dx.data() +
+                   (i * in_channels_ + indices_[static_cast<std::size_t>(c)]) * hw;
+      const float* src = dy.data() + (i * c_out + c) * hw;
+      for (std::int64_t q = 0; q < hw; ++q) dst[q] += src[q];
+    }
+  }
+  return dx;
+}
+
+ChannelScatter::ChannelScatter(std::vector<std::int64_t> indices,
+                               std::int64_t out_channels)
+    : indices_(std::move(indices)), out_channels_(out_channels) {
+  check_indices(indices_, out_channels_, "ChannelScatter");
+}
+
+Tensor ChannelScatter::forward(const Tensor& x, bool training) {
+  (void)training;
+  const Shape& s = x.shape();
+  const std::int64_t c_in = static_cast<std::int64_t>(indices_.size());
+  if (s.rank() != 4 || s[1] != c_in) {
+    throw std::invalid_argument("ChannelScatter " + name() + ": bad input " +
+                                s.to_string());
+  }
+  const std::int64_t n = s[0], hw = s[2] * s[3];
+  Tensor y({n, out_channels_, s[2], s[3]});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < c_in; ++c) {
+      std::memcpy(y.data() +
+                      (i * out_channels_ + indices_[static_cast<std::size_t>(c)]) * hw,
+                  x.data() + (i * c_in + c) * hw,
+                  static_cast<std::size_t>(hw) * sizeof(float));
+    }
+  }
+  return y;
+}
+
+Tensor ChannelScatter::backward(const Tensor& dy) {
+  const Shape& s = dy.shape();
+  const std::int64_t n = s[0], hw = s[2] * s[3];
+  const std::int64_t c_in = static_cast<std::int64_t>(indices_.size());
+  Tensor dx({n, c_in, s[2], s[3]});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t c = 0; c < c_in; ++c) {
+      std::memcpy(dx.data() + (i * c_in + c) * hw,
+                  dy.data() +
+                      (i * out_channels_ + indices_[static_cast<std::size_t>(c)]) * hw,
+                  static_cast<std::size_t>(hw) * sizeof(float));
+    }
+  }
+  return dx;
+}
+
+}  // namespace pt::nn

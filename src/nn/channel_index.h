@@ -1,0 +1,56 @@
+// Channel gather/scatter layers implementing the paper's *channel gating*
+// alternative (Fig. 5b): "channel select" gathers the dense channel indices
+// into a packed tensor before a residual branch, and "channel scatter"
+// re-expands the branch output to the shared-node width. These are the
+// tensor-reshaping operations whose memory cost motivates channel *union*;
+// bench/fig7 measures them directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pt::nn {
+
+/// Gathers channels `indices` of an NCHW tensor: [N, C, H, W] -> [N, |I|, H, W].
+class ChannelSelect final : public Layer {
+ public:
+  explicit ChannelSelect(std::vector<std::int64_t> indices, std::int64_t in_channels);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string type() const override { return "ChannelSelect"; }
+  Shape output_shape(const Shape& in) const override {
+    return {in[0], static_cast<std::int64_t>(indices_.size()), in[2], in[3]};
+  }
+
+  const std::vector<std::int64_t>& indices() const { return indices_; }
+
+ private:
+  std::vector<std::int64_t> indices_;
+  std::int64_t in_channels_;
+};
+
+/// Scatters a packed tensor back to `out_channels` width, placing channel i
+/// of the input at `indices[i]` and zero elsewhere. Exact adjoint of
+/// ChannelSelect with the same index list.
+class ChannelScatter final : public Layer {
+ public:
+  ChannelScatter(std::vector<std::int64_t> indices, std::int64_t out_channels);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string type() const override { return "ChannelScatter"; }
+  Shape output_shape(const Shape& in) const override {
+    return {in[0], out_channels_, in[2], in[3]};
+  }
+
+  const std::vector<std::int64_t>& indices() const { return indices_; }
+
+ private:
+  std::vector<std::int64_t> indices_;
+  std::int64_t out_channels_;
+};
+
+}  // namespace pt::nn

@@ -1,0 +1,187 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace pt::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng,
+               bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  const double fan_in = static_cast<double>(in_c_ * kernel_ * kernel_);
+  const float stddev = static_cast<float>(std::sqrt(2.0 / fan_in));
+  weight_.value = Tensor::randn({out_c_, in_c_, kernel_, kernel_}, rng, 0.f, stddev);
+  weight_.init_state();
+  bias_.value = Tensor::zeros({out_c_});
+  bias_.init_state();
+}
+
+Shape Conv2d::output_shape(const Shape& in) const {
+  ConvGeom g{in_c_, in[2], in[3], kernel_, stride_, pad_};
+  return {in[0], out_c_, g.out_h(), g.out_w()};
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  const Shape& s = x.shape();
+  if (s.rank() != 4 || s[1] != in_c_) {
+    throw std::invalid_argument("Conv2d " + name() + ": bad input shape " +
+                                s.to_string());
+  }
+  const std::int64_t n = s[0];
+  ConvGeom g{in_c_, s[2], s[3], kernel_, stride_, pad_};
+  const std::int64_t ho = g.out_h(), wo = g.out_w();
+  Tensor y({n, out_c_, ho, wo});
+  const std::int64_t crs = g.col_rows();
+  const std::int64_t hw_out = g.col_cols();
+  const std::int64_t in_sample = in_c_ * s[2] * s[3];
+  const std::int64_t out_sample = out_c_ * ho * wo;
+
+#pragma omp parallel
+  {
+    std::vector<float> col(static_cast<std::size_t>(crs * hw_out));
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      im2col(g, x.data() + i * in_sample, col.data());
+      gemm_nn(out_c_, hw_out, crs, 1.f, weight_.value.data(), col.data(), 0.f,
+              y.data() + i * out_sample);
+    }
+  }
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t k = 0; k < out_c_; ++k) {
+        float* row = y.data() + i * out_sample + k * ho * wo;
+        const float b = bias_.value.at(k);
+        for (std::int64_t p = 0; p < ho * wo; ++p) row[p] += b;
+      }
+    }
+  }
+  if (training) input_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  if (!input_.defined()) {
+    throw std::logic_error("Conv2d " + name() + ": backward without forward");
+  }
+  const Shape& s = input_.shape();
+  const std::int64_t n = s[0];
+  ConvGeom g{in_c_, s[2], s[3], kernel_, stride_, pad_};
+  const std::int64_t crs = g.col_rows();
+  const std::int64_t hw_out = g.col_cols();
+  const std::int64_t in_sample = in_c_ * s[2] * s[3];
+  const std::int64_t out_sample = out_c_ * g.out_h() * g.out_w();
+
+  Tensor dx(s);
+  // Recompute im2col per sample (cheaper than caching N column matrices).
+  // Single accumulation region for dW; the batch loop stays serial in the
+  // K-GEMM accumulate to keep determinism, with parallelism inside GEMM.
+  std::vector<float> col(static_cast<std::size_t>(crs * hw_out));
+  std::vector<float> dcol(static_cast<std::size_t>(crs * hw_out));
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(g, input_.data() + i * in_sample, col.data());
+    const float* dyp = dy.data() + i * out_sample;
+    // dW[K, CRS] += dy[K, HW] @ col[CRS, HW]^T
+    gemm_nt(out_c_, crs, hw_out, 1.f, dyp, col.data(), 1.f, weight_.grad.data());
+    // dcol[CRS, HW] = W[K, CRS]^T @ dy[K, HW]
+    gemm_tn(crs, hw_out, out_c_, 1.f, weight_.value.data(), dyp, 0.f, dcol.data());
+    col2im(g, dcol.data(), dx.data() + i * in_sample);
+  }
+  if (has_bias_) {
+    const std::int64_t hw = g.out_h() * g.out_w();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t k = 0; k < out_c_; ++k) {
+        const float* row = dy.data() + i * out_sample + k * hw;
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < hw; ++p) acc += row[p];
+        bias_.grad.at(k) += static_cast<float>(acc);
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+float Conv2d::in_channel_max_abs(std::int64_t c) const {
+  const std::int64_t rs = kernel_ * kernel_;
+  float m = 0.f;
+  const float* w = weight_.value.data();
+  for (std::int64_t k = 0; k < out_c_; ++k) {
+    const float* p = w + (k * in_c_ + c) * rs;
+    for (std::int64_t q = 0; q < rs; ++q) m = std::max(m, std::fabs(p[q]));
+  }
+  return m;
+}
+
+float Conv2d::out_channel_max_abs(std::int64_t k) const {
+  const std::int64_t len = in_c_ * kernel_ * kernel_;
+  const float* p = weight_.value.data() + k * len;
+  float m = 0.f;
+  for (std::int64_t q = 0; q < len; ++q) m = std::max(m, std::fabs(p[q]));
+  return m;
+}
+
+void Conv2d::zero_small_weights(float eps) {
+  for (float& v : weight_.value.span()) {
+    if (std::fabs(v) <= eps) v = 0.f;
+  }
+}
+
+namespace {
+
+// Slices a [K, C, R, S] tensor down to the given index sets.
+Tensor slice4(const Tensor& t, const std::vector<std::int64_t>& keep_out,
+              const std::vector<std::int64_t>& keep_in, std::int64_t rs) {
+  const std::int64_t in_c = t.shape()[1];
+  const std::int64_t k2 = static_cast<std::int64_t>(keep_out.size());
+  const std::int64_t c2 = static_cast<std::int64_t>(keep_in.size());
+  Tensor out({k2, c2, t.shape()[2], t.shape()[3]});
+  for (std::int64_t a = 0; a < k2; ++a) {
+    for (std::int64_t b = 0; b < c2; ++b) {
+      const float* src = t.data() + (keep_out[static_cast<std::size_t>(a)] * in_c +
+                                     keep_in[static_cast<std::size_t>(b)]) *
+                                        rs;
+      float* dst = out.data() + (a * c2 + b) * rs;
+      for (std::int64_t q = 0; q < rs; ++q) dst[q] = src[q];
+    }
+  }
+  return out;
+}
+
+Tensor slice1(const Tensor& t, const std::vector<std::int64_t>& keep) {
+  Tensor out({static_cast<std::int64_t>(keep.size())});
+  for (std::size_t i = 0; i < keep.size(); ++i) out.at(static_cast<std::int64_t>(i)) = t.at(keep[i]);
+  return out;
+}
+
+}  // namespace
+
+void Conv2d::shrink(const std::vector<std::int64_t>& keep_in,
+                    const std::vector<std::int64_t>& keep_out) {
+  if (keep_in.empty() || keep_out.empty()) {
+    throw std::invalid_argument("Conv2d::shrink: empty keep set for " + name());
+  }
+  const std::int64_t rs = kernel_ * kernel_;
+  weight_.value = slice4(weight_.value, keep_out, keep_in, rs);
+  weight_.grad = slice4(weight_.grad, keep_out, keep_in, rs);
+  weight_.momentum = slice4(weight_.momentum, keep_out, keep_in, rs);
+  bias_.value = slice1(bias_.value, keep_out);
+  bias_.grad = slice1(bias_.grad, keep_out);
+  bias_.momentum = slice1(bias_.momentum, keep_out);
+  in_c_ = static_cast<std::int64_t>(keep_in.size());
+  out_c_ = static_cast<std::int64_t>(keep_out.size());
+  input_ = Tensor();
+}
+
+}  // namespace pt::nn

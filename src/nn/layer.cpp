@@ -1,0 +1,14 @@
+#include "nn/layer.h"
+
+namespace pt::nn {
+
+void Param::init_state() {
+  grad = Tensor::zeros(value.shape());
+  momentum = Tensor::zeros(value.shape());
+}
+
+void Layer::zero_grad() {
+  for (Param* p : params()) p->grad.fill(0.f);
+}
+
+}  // namespace pt::nn

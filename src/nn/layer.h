@@ -1,0 +1,68 @@
+// Layer abstraction for the training engine.
+//
+// Layers own their parameters (value + gradient + SGD momentum, kept
+// together so network reconfiguration can slice all three consistently,
+// as PruneTrain Sec. 4.2 requires: "all training variables of the remaining
+// channels are kept as is"). forward() caches whatever the matching
+// backward() needs; backward() accumulates parameter gradients and returns
+// the input gradient.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pt::nn {
+
+/// One learnable parameter tensor plus its training state.
+struct Param {
+  std::string name;    ///< hierarchical name, e.g. "stage1.block0.conv1.weight"
+  Tensor value;
+  Tensor grad;
+  Tensor momentum;
+
+  /// (Re)allocates grad/momentum to match `value`'s shape, zeroed.
+  void init_state();
+};
+
+/// Abstract layer. Subclasses implement forward/backward and expose their
+/// parameters for the optimizer and the pruning machinery.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. When `training` is true, caches the
+  /// activations backward() will need; inference mode caches nothing.
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Given dL/d(output), accumulates dL/d(params) into each Param::grad and
+  /// returns dL/d(input). Must be called after a training-mode forward.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Layer kind, e.g. "Conv2d"; used by cost models and debug dumps.
+  virtual std::string type() const = 0;
+
+  /// Shape of the output given an input shape (excluding unknowable dims).
+  virtual Shape output_shape(const Shape& in) const = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  /// Drops cached forward context to release activation memory.
+  virtual void clear_context() {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::shared_ptr<Layer>;
+
+}  // namespace pt::nn

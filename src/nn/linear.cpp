@@ -1,0 +1,93 @@
+#include "nn/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace pt::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_f_(in_features), out_f_(out_features), has_bias_(bias) {
+  const float stddev = static_cast<float>(std::sqrt(2.0 / static_cast<double>(in_f_)));
+  weight_.value = Tensor::randn({out_f_, in_f_}, rng, 0.f, stddev);
+  weight_.init_state();
+  bias_.value = Tensor::zeros({out_f_});
+  bias_.init_state();
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+  const Shape& s = x.shape();
+  if (s.rank() != 2 || s[1] != in_f_) {
+    throw std::invalid_argument("Linear " + name() + ": bad input " + s.to_string());
+  }
+  const std::int64_t n = s[0];
+  Tensor y({n, out_f_});
+  // y[N, out] = x[N, in] @ W[out, in]^T
+  gemm_nt(n, out_f_, in_f_, 1.f, x.data(), weight_.value.data(), 0.f, y.data());
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      axpy(1.f, bias_.value.span(), {y.data() + i * out_f_,
+                                     static_cast<std::size_t>(out_f_)});
+    }
+  }
+  if (training) input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (!input_.defined()) {
+    throw std::logic_error("Linear " + name() + ": backward without forward");
+  }
+  const std::int64_t n = input_.shape()[0];
+  // dW[out, in] += dy[N, out]^T @ x[N, in]
+  gemm_tn(out_f_, in_f_, n, 1.f, dy.data(), input_.data(), 1.f, weight_.grad.data());
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      axpy(1.f, {dy.data() + i * out_f_, static_cast<std::size_t>(out_f_)},
+           bias_.grad.span());
+    }
+  }
+  // dx[N, in] = dy[N, out] @ W[out, in]
+  Tensor dx({n, in_f_});
+  gemm_nn(n, in_f_, out_f_, 1.f, dy.data(), weight_.value.data(), 0.f, dx.data());
+  return dx;
+}
+
+std::vector<Param*> Linear::params() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+float Linear::in_feature_max_abs(std::int64_t j) const {
+  float m = 0.f;
+  const float* w = weight_.value.data();
+  for (std::int64_t i = 0; i < out_f_; ++i) {
+    m = std::max(m, std::fabs(w[i * in_f_ + j]));
+  }
+  return m;
+}
+
+void Linear::shrink_inputs(const std::vector<std::int64_t>& keep_in) {
+  if (keep_in.empty()) {
+    throw std::invalid_argument("Linear::shrink_inputs: empty keep set for " + name());
+  }
+  const std::int64_t in2 = static_cast<std::int64_t>(keep_in.size());
+  auto slice = [&](const Tensor& t) {
+    Tensor out({out_f_, in2});
+    for (std::int64_t i = 0; i < out_f_; ++i) {
+      for (std::int64_t j = 0; j < in2; ++j) {
+        out.at(i, j) = t.at(i, keep_in[static_cast<std::size_t>(j)]);
+      }
+    }
+    return out;
+  };
+  weight_.value = slice(weight_.value);
+  weight_.grad = slice(weight_.grad);
+  weight_.momentum = slice(weight_.momentum);
+  in_f_ = in2;
+  input_ = Tensor();
+}
+
+}  // namespace pt::nn

@@ -1,0 +1,49 @@
+// Fully-connected layer; the classifier head of every reproduced model.
+//
+// Per the paper, the output neurons of the last FC layer are never lasso-
+// regularized (predictions must stay dense), but its *input* features are
+// pruned when the preceding stage loses channels — shrink_inputs() performs
+// that slice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pt::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param*> params() override;
+  std::string type() const override { return "Linear"; }
+  Shape output_shape(const Shape& in) const override { return {in[0], out_f_}; }
+  void clear_context() override { input_ = Tensor(); }
+
+  std::int64_t in_features() const { return in_f_; }
+  std::int64_t out_features() const { return out_f_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+
+  /// Max |w| over column `j` of the weight matrix (the lasso group of input
+  /// feature j).
+  float in_feature_max_abs(std::int64_t j) const;
+
+  /// Keeps only the given input feature columns.
+  void shrink_inputs(const std::vector<std::int64_t>& keep_in);
+
+ private:
+  std::int64_t in_f_, out_f_;
+  bool has_bias_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor input_;
+};
+
+}  // namespace pt::nn

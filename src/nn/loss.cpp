@@ -1,0 +1,60 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pt::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  const Shape& s = logits.shape();
+  if (s.rank() != 2 || static_cast<std::size_t>(s[0]) != labels.size()) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: bad shapes");
+  }
+  const std::int64_t n = s[0], k = s[1];
+  probs_ = Tensor(s);
+  labels_ = labels;
+  correct_ = 0;
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* p = probs_.data() + i * k;
+    float mx = row[0];
+    std::int64_t argmax = 0;
+    for (std::int64_t j = 1; j < k; ++j) {
+      if (row[j] > mx) {
+        mx = row[j];
+        argmax = j;
+      }
+    }
+    double z = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      p[j] = std::exp(row[j] - mx);
+      z += p[j];
+    }
+    const float invz = static_cast<float>(1.0 / z);
+    for (std::int64_t j = 0; j < k; ++j) p[j] *= invz;
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= k) throw std::invalid_argument("label out of range");
+    loss -= std::log(std::max(static_cast<double>(p[y]), 1e-30));
+    if (argmax == y) ++correct_;
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (!probs_.defined()) {
+    throw std::logic_error("SoftmaxCrossEntropy: backward without forward");
+  }
+  const std::int64_t n = probs_.shape()[0], k = probs_.shape()[1];
+  Tensor dx = probs_.clone();
+  const float inv_n = 1.f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* row = dx.data() + i * k;
+    row[labels_[static_cast<std::size_t>(i)]] -= 1.f;
+    for (std::int64_t j = 0; j < k; ++j) row[j] *= inv_n;
+  }
+  return dx;
+}
+
+}  // namespace pt::nn

@@ -1,0 +1,31 @@
+// Softmax cross-entropy loss — the classification term l(y, f(x, W)) of the
+// paper's Eq. 1. Fused softmax+NLL for numerical stability; backward returns
+// the mean-reduced logit gradient (p - onehot) / N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pt::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean cross-entropy of `logits` ([N, classes]) against integer
+  /// `labels` (size N). Caches probabilities for backward.
+  double forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// dL/dlogits for the last forward call.
+  Tensor backward() const;
+
+  /// Number of rows whose argmax matches the label in the last forward.
+  std::int64_t correct() const { return correct_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+  std::int64_t correct_ = 0;
+};
+
+}  // namespace pt::nn

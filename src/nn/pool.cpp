@@ -1,0 +1,97 @@
+#include "nn/pool.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pt::nn {
+
+Tensor MaxPool2d::forward(const Tensor& x, bool training) {
+  const Shape& s = x.shape();
+  if (s.rank() != 4 || s[2] % window_ != 0 || s[3] % window_ != 0) {
+    throw std::invalid_argument("MaxPool2d " + name() + ": bad input " +
+                                s.to_string());
+  }
+  const std::int64_t n = s[0], c = s[1], h = s[2], w = s[3];
+  const std::int64_t ho = h / window_, wo = w / window_;
+  Tensor y({n, c, ho, wo});
+  if (training) {
+    in_shape_ = s;
+    argmax_.assign(static_cast<std::size_t>(n * c * ho * wo), 0);
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t nc = 0; nc < n * c; ++nc) {
+    const float* in = x.data() + nc * h * w;
+    float* out = y.data() + nc * ho * wo;
+    for (std::int64_t oh = 0; oh < ho; ++oh) {
+      for (std::int64_t ow = 0; ow < wo; ++ow) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = 0;
+        for (std::int64_t r = 0; r < window_; ++r) {
+          for (std::int64_t q = 0; q < window_; ++q) {
+            const std::int64_t idx = (oh * window_ + r) * w + ow * window_ + q;
+            if (in[idx] > best) {
+              best = in[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        out[oh * wo + ow] = best;
+        if (training) {
+          argmax_[static_cast<std::size_t>(nc * ho * wo + oh * wo + ow)] =
+              nc * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& dy) {
+  if (argmax_.empty()) {
+    throw std::logic_error("MaxPool2d " + name() + ": backward without forward");
+  }
+  Tensor dx(in_shape_);
+  const float* g = dy.data();
+  float* out = dx.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    out[argmax_[i]] += g[i];
+  }
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
+  const Shape& s = x.shape();
+  if (s.rank() != 4) {
+    throw std::invalid_argument("GlobalAvgPool " + name() + ": bad input " +
+                                s.to_string());
+  }
+  if (training) in_shape_ = s;
+  const std::int64_t n = s[0], c = s[1], hw = s[2] * s[3];
+  Tensor y({n, c});
+  const float inv = 1.f / static_cast<float>(hw);
+  for (std::int64_t nc = 0; nc < n * c; ++nc) {
+    const float* p = x.data() + nc * hw;
+    double acc = 0.0;
+    for (std::int64_t q = 0; q < hw; ++q) acc += p[q];
+    y.data()[nc] = static_cast<float>(acc) * inv;
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  if (in_shape_.rank() != 4) {
+    throw std::logic_error("GlobalAvgPool " + name() + ": backward without forward");
+  }
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     hw = in_shape_[2] * in_shape_[3];
+  Tensor dx(in_shape_);
+  const float inv = 1.f / static_cast<float>(hw);
+  for (std::int64_t nc = 0; nc < n * c; ++nc) {
+    const float g = dy.data()[nc] * inv;
+    float* p = dx.data() + nc * hw;
+    for (std::int64_t q = 0; q < hw; ++q) p[q] = g;
+  }
+  return dx;
+}
+
+}  // namespace pt::nn

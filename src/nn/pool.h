@@ -1,0 +1,46 @@
+// Pooling layers: square max pooling (VGG down-sampling) and global average
+// pooling (the transition from the conv stack to the classifier head — this
+// makes FC-input pruning a clean per-channel slice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pt::nn {
+
+/// Non-overlapping max pooling with a square window (window == stride).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t window) : window_(window) {}
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string type() const override { return "MaxPool2d"; }
+  Shape output_shape(const Shape& in) const override {
+    return {in[0], in[1], in[2] / window_, in[3] / window_};
+  }
+  void clear_context() override { argmax_.clear(); }
+
+  std::int64_t window() const { return window_; }
+
+ private:
+  std::int64_t window_;
+  Shape in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Averages each channel's spatial map to one value: [N,C,H,W] -> [N,C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  std::string type() const override { return "GlobalAvgPool"; }
+  Shape output_shape(const Shape& in) const override { return {in[0], in[1]}; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace pt::nn

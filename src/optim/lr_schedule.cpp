@@ -1,0 +1,13 @@
+#include "optim/lr_schedule.h"
+
+namespace pt::optim {
+
+double MultiStepLR::multiplier_at(std::int64_t epoch) const {
+  double m = 1.0;
+  for (std::int64_t ms : milestones_) {
+    if (epoch >= ms) m *= gamma_;
+  }
+  return m;
+}
+
+}  // namespace pt::optim

@@ -1,0 +1,29 @@
+// Multi-step learning-rate schedule (the standard ResNet CIFAR/ImageNet
+// recipe: decay by `gamma` at fixed epoch milestones).
+//
+// The schedule yields a *multiplier* relative to the base LR so it composes
+// with dynamic mini-batch adjustment, which rescales the base LR mid-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pt::optim {
+
+class MultiStepLR {
+ public:
+  MultiStepLR(std::vector<std::int64_t> milestones, double gamma = 0.1)
+      : milestones_(std::move(milestones)), gamma_(gamma) {}
+
+  /// Product of `gamma` over milestones <= epoch.
+  double multiplier_at(std::int64_t epoch) const;
+
+  const std::vector<std::int64_t>& milestones() const { return milestones_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  std::vector<std::int64_t> milestones_;
+  double gamma_;
+};
+
+}  // namespace pt::optim

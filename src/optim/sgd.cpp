@@ -1,0 +1,19 @@
+#include "optim/sgd.h"
+
+namespace pt::optim {
+
+void SGD::step(const std::vector<nn::Param*>& params) {
+  for (nn::Param* p : params) {
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = p->momentum.data();
+    const std::int64_t n = p->value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      v[i] = momentum_ * v[i] + grad;
+      w[i] -= lr_ * v[i];
+    }
+  }
+}
+
+}  // namespace pt::optim

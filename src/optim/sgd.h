@@ -1,0 +1,36 @@
+// SGD with (heavyweight-ball) momentum and decoupled L2 weight decay — the
+// optimizer used for every run in the paper (ResNet/VGG training recipe).
+//
+// Momentum buffers live inside each Param so that PruneTrain's
+// reconfiguration can slice them together with the weights ("all training
+// variables of the remaining channels are kept as is", Sec. 4.2).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace pt::optim {
+
+class SGD {
+ public:
+  SGD(float lr, float momentum = 0.9f, float weight_decay = 0.f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  /// v = mu * v + (g + wd * w);  w -= lr * v.
+  void step(const std::vector<nn::Param*>& params);
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  /// Multiplies the current LR, used by dynamic mini-batch adjustment's
+  /// linear scaling rule.
+  void scale_lr(float factor) { lr_ *= factor; }
+
+  float momentum() const { return momentum_; }
+  float weight_decay() const { return weight_decay_; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+};
+
+}  // namespace pt::optim

@@ -1,0 +1,160 @@
+#include "prune/channel_analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/channel_index.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+
+namespace pt::prune {
+namespace {
+
+/// Plain union-find over node ids.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::int64_t> dense_out_channels(const nn::Layer& layer, float threshold) {
+  const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
+  std::vector<std::int64_t> out;
+  for (std::int64_t k = 0; k < conv.out_channels(); ++k) {
+    if (conv.out_channel_max_abs(k) > threshold) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> dense_in_channels(const nn::Layer& layer, float threshold) {
+  const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
+  std::vector<std::int64_t> out;
+  for (std::int64_t c = 0; c < conv.in_channels(); ++c) {
+    if (conv.in_channel_max_abs(c) > threshold) out.push_back(c);
+  }
+  return out;
+}
+
+ChannelAnalysis analyze_channels(graph::Network& net, float threshold) {
+  const std::size_t n = net.num_nodes();
+  Dsu dsu(n);
+
+  // Pass 1: merge channel-preserving edges.
+  for (int id : net.topo_order()) {
+    if (id == 0) continue;
+    const graph::Node& node = net.node(id);
+    if (node.kind == graph::Node::Kind::kAdd) {
+      dsu.unite(id, node.inputs[0]);
+      dsu.unite(id, node.inputs[1]);
+      continue;
+    }
+    const nn::Layer* layer = node.layer.get();
+    const bool preserves = dynamic_cast<const nn::BatchNorm2d*>(layer) != nullptr ||
+                           dynamic_cast<const nn::ReLU*>(layer) != nullptr ||
+                           dynamic_cast<const nn::MaxPool2d*>(layer) != nullptr ||
+                           dynamic_cast<const nn::GlobalAvgPool*>(layer) != nullptr;
+    if (preserves) dsu.unite(id, node.inputs[0]);
+    // Conv / Linear / ChannelSelect / ChannelScatter start fresh variables.
+  }
+
+  // Pass 2: assign dense variable ids and channel extents.
+  ChannelAnalysis analysis;
+  analysis.var_of_node.assign(n, -1);
+  std::vector<int> root_to_var(n, -1);
+  auto var_id = [&](int node) {
+    const int root = dsu.find(node);
+    if (root_to_var[static_cast<std::size_t>(root)] < 0) {
+      root_to_var[static_cast<std::size_t>(root)] =
+          static_cast<int>(analysis.vars.size());
+      analysis.vars.emplace_back();
+    }
+    return root_to_var[static_cast<std::size_t>(root)];
+  };
+
+  for (int id : net.topo_order()) {
+    const int v = var_id(id);
+    analysis.var_of_node[static_cast<std::size_t>(id)] = v;
+    ChannelVarInfo& info = analysis.vars[static_cast<std::size_t>(v)];
+    if (id == 0) {
+      info.dense_required = true;
+      continue;
+    }
+    const graph::Node& node = net.node(id);
+    if (node.kind != graph::Node::Kind::kLayer) continue;
+    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(node.layer.get())) {
+      info.channels = conv->out_channels();
+      info.writer_convs.push_back(id);
+      const int vin = var_id(node.inputs[0]);
+      ChannelVarInfo& in_info = analysis.vars[static_cast<std::size_t>(vin)];
+      in_info.reader_convs.push_back(id);
+      if (in_info.channels == 0) in_info.channels = conv->in_channels();
+    } else if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(node.layer.get())) {
+      if (info.channels == 0) info.channels = bn->channels();
+    }
+  }
+
+  // Pass 3: keep-sets.
+  for (std::size_t v = 0; v < analysis.vars.size(); ++v) {
+    ChannelVarInfo& info = analysis.vars[v];
+    if (info.channels == 0) continue;  // scalar/logit variables: not pruned
+    if (info.dense_required ||
+        (info.writer_convs.empty() && info.reader_convs.empty())) {
+      info.keep.resize(static_cast<std::size_t>(info.channels));
+      for (std::int64_t c = 0; c < info.channels; ++c) {
+        info.keep[static_cast<std::size_t>(c)] = c;
+      }
+      continue;
+    }
+    std::set<std::int64_t> keep;
+    for (int w : info.writer_convs) {
+      for (std::int64_t k : dense_out_channels(*net.node(w).layer, threshold)) {
+        keep.insert(k);
+      }
+    }
+    for (int r : info.reader_convs) {
+      for (std::int64_t c : dense_in_channels(*net.node(r).layer, threshold)) {
+        keep.insert(c);
+      }
+    }
+    if (keep.empty()) {
+      // Entirely dead variable: keep the strongest writer channel so the
+      // graph stays executable (the paper never hits this because the
+      // classification loss keeps useful paths alive).
+      std::int64_t best = 0;
+      float best_mag = -1.f;
+      if (!info.writer_convs.empty()) {
+        const auto& conv = net.layer_as<nn::Conv2d>(info.writer_convs[0]);
+        for (std::int64_t k = 0; k < conv.out_channels(); ++k) {
+          if (conv.out_channel_max_abs(k) > best_mag) {
+            best_mag = conv.out_channel_max_abs(k);
+            best = k;
+          }
+        }
+      }
+      keep.insert(best);
+    }
+    info.keep.assign(keep.begin(), keep.end());
+  }
+  return analysis;
+}
+
+}  // namespace pt::prune

@@ -1,0 +1,56 @@
+// Channel-variable analysis: the structural core of PruneTrain's
+// reconfiguration.
+//
+// Every activation tensor's channel dimension is a "channel variable".
+// Channel-preserving layers (BN, ReLU, pooling, GAP) propagate their input
+// variable; elementwise adds *merge* the variables of both arms — which is
+// exactly the paper's *channel union* (Sec. 4.2): all convolutions reading
+// or writing a residual stage's shared node are forced onto one common
+// channel set. A union-find over node outputs computes the variables; the
+// keep-set of a variable is then
+//
+//   keep(v) = U dense_out(writer conv)  U  U dense_in(reader conv)
+//
+// i.e. a channel is pruned only when *every* adjacent conv group has been
+// sparsified (the paper's adjacent-layer intersection rule, generalized to
+// arbitrarily many adjacent layers by the union-find).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace pt::prune {
+
+struct ChannelVarInfo {
+  std::int64_t channels = 0;            ///< extent of this channel dimension
+  bool dense_required = false;          ///< network input: never pruned
+  std::vector<int> writer_convs;        ///< conv nodes whose output is this var
+  std::vector<int> reader_convs;        ///< conv nodes whose input is this var
+  std::vector<std::int64_t> keep;       ///< sorted surviving channel indices
+};
+
+struct ChannelAnalysis {
+  /// Variable id per node (indexed by node id; -1 for dead / non-tensor).
+  std::vector<int> var_of_node;
+  std::vector<ChannelVarInfo> vars;
+
+  int var_of(int node) const { return var_of_node[static_cast<std::size_t>(node)]; }
+  const std::vector<std::int64_t>& keep_of(int node) const {
+    return vars[static_cast<std::size_t>(var_of(node))].keep;
+  }
+};
+
+/// Dense (surviving) output channels of a conv: indices whose group max-abs
+/// exceeds `threshold`.
+std::vector<std::int64_t> dense_out_channels(const nn::Layer& conv, float threshold);
+/// Dense input channels of a conv.
+std::vector<std::int64_t> dense_in_channels(const nn::Layer& conv, float threshold);
+
+/// Runs the union-find analysis and computes keep-sets. If a variable's
+/// union is empty (an entirely dead stage), the single largest-magnitude
+/// writer channel is kept so the graph remains executable.
+ChannelAnalysis analyze_channels(graph::Network& net, float threshold);
+
+}  // namespace pt::prune

@@ -1,0 +1,75 @@
+#include "prune/gating.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/batchnorm.h"
+#include "nn/channel_index.h"
+#include "nn/conv2d.h"
+#include "prune/channel_analysis.h"
+
+namespace pt::prune {
+
+GatingStats apply_channel_gating(graph::Network& net, float threshold) {
+  GatingStats stats;
+  for (auto& blk : net.info.blocks) {
+    if (blk.removed) continue;
+    auto& first_conv = net.layer_as<nn::Conv2d>(blk.path_convs.front());
+    auto& last_conv = net.layer_as<nn::Conv2d>(blk.path_convs.back());
+
+    // --- Entry gate: select only the first conv's own dense in-channels.
+    const auto dense_in = dense_in_channels(first_conv, threshold);
+    if (!dense_in.empty() &&
+        static_cast<std::int64_t>(dense_in.size()) < first_conv.in_channels()) {
+      const int entry_src = net.node(blk.path_convs.front()).inputs[0];
+      auto select = std::make_shared<nn::ChannelSelect>(dense_in,
+                                                        first_conv.in_channels());
+      select->set_name(first_conv.name() + ".gate_select");
+      const int sel_node = net.add_layer(select, entry_src);
+      net.node(blk.path_convs.front()).inputs[0] = sel_node;
+      stats.channels_gated_away +=
+          first_conv.in_channels() - static_cast<std::int64_t>(dense_in.size());
+      // Narrow the conv to the packed input space.
+      std::vector<std::int64_t> keep_out(
+          static_cast<std::size_t>(first_conv.out_channels()));
+      for (std::size_t i = 0; i < keep_out.size(); ++i) {
+        keep_out[i] = static_cast<std::int64_t>(i);
+      }
+      first_conv.shrink(dense_in, keep_out);
+      stats.selects_inserted += 1;
+    }
+
+    // --- Exit gate: emit only the last conv's own dense out-channels and
+    // scatter them back to the stage union space.
+    const auto dense_out = dense_out_channels(last_conv, threshold);
+    const std::int64_t union_width = last_conv.out_channels();
+    if (!dense_out.empty() &&
+        static_cast<std::int64_t>(dense_out.size()) < union_width) {
+      std::vector<std::int64_t> keep_in(
+          static_cast<std::size_t>(last_conv.in_channels()));
+      for (std::size_t i = 0; i < keep_in.size(); ++i) {
+        keep_in[i] = static_cast<std::int64_t>(i);
+      }
+      last_conv.shrink(keep_in, dense_out);
+      // The BN after the last conv (final path node) narrows with it.
+      auto& bn = net.layer_as<nn::BatchNorm2d>(blk.path_nodes.back());
+      bn.shrink(dense_out);
+      auto scatter = std::make_shared<nn::ChannelScatter>(dense_out, union_width);
+      scatter->set_name(last_conv.name() + ".gate_scatter");
+      const int sca_node = net.add_layer(scatter, blk.path_nodes.back());
+      // The add consumed the BN's output (input slot 0 by construction).
+      graph::Node& add = net.node(blk.add_node);
+      if (add.inputs[0] != blk.path_nodes.back()) {
+        throw std::logic_error("apply_channel_gating: unexpected add wiring");
+      }
+      add.inputs[0] = sca_node;
+      stats.channels_gated_away +=
+          union_width - static_cast<std::int64_t>(dense_out.size());
+      stats.scatters_inserted += 1;
+    }
+  }
+  return stats;
+}
+
+}  // namespace pt::prune

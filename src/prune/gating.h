@@ -1,0 +1,33 @@
+// Channel gating (Fig. 5b): the indexing-based alternative to channel
+// union that the paper implements, measures, and rejects for training
+// (Sec. 4.2, Figs. 6-7).
+//
+// apply_channel_gating() transforms an already union-reconfigured network:
+// for every residual path, the first conv is narrowed to its *own* dense
+// input channels behind a ChannelSelect (gather), and the last conv + BN
+// are narrowed to their own dense output channels in front of a
+// ChannelScatter that re-expands to the stage's union space. The resulting
+// network computes the same function while skipping the redundant sparse
+// channels — at the cost of the gather/scatter tensor reshaping whose
+// overhead Fig. 7 quantifies.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.h"
+
+namespace pt::prune {
+
+struct GatingStats {
+  std::int64_t selects_inserted = 0;
+  std::int64_t scatters_inserted = 0;
+  std::int64_t channels_gated_away = 0;  ///< branch-boundary channels skipped
+};
+
+/// Mutates `net` (which must already be union-reconfigured, so that stage
+/// channel sets are consistent) into channel-gating form. Gating is an
+/// inference-oriented transform in this repo, matching how the paper uses
+/// it (as the comparison point measured in Figs. 6-7).
+GatingStats apply_channel_gating(graph::Network& net, float threshold = 1e-4f);
+
+}  // namespace pt::prune

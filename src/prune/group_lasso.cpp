@@ -1,0 +1,183 @@
+#include "prune/group_lasso.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/conv2d.h"
+
+namespace pt::prune {
+
+GroupLassoRegularizer::GroupLassoRegularizer(graph::Network& net) : net_(&net) {
+  conv_nodes_ = net.nodes_of_type<nn::Conv2d>();
+}
+
+double GroupLassoRegularizer::mean_sqrt_group_size() const {
+  double sum = 0.0;
+  std::int64_t groups = 0;
+  for (int id : conv_nodes_) {
+    if (!net_->is_live(id)) continue;
+    const auto& conv = net_->layer_as<nn::Conv2d>(id);
+    const std::int64_t k = conv.out_channels();
+    const std::int64_t c = conv.in_channels();
+    const std::int64_t rs = conv.kernel() * conv.kernel();
+    sum += double(k) * std::sqrt(double(c * rs));  // out-groups
+    groups += k;
+    if (id != net_->info.first_conv) {
+      sum += double(c) * std::sqrt(double(k * rs));  // in-groups
+      groups += c;
+    }
+  }
+  return groups > 0 ? sum / double(groups) : 1.0;
+}
+
+double GroupLassoRegularizer::loss() const {
+  const double norm = size_normalized_ ? mean_sqrt_group_size() : 1.0;
+  double total = 0.0;
+  for (int id : conv_nodes_) {
+    if (!net_->is_live(id)) continue;
+    const auto& conv = net_->layer_as<nn::Conv2d>(id);
+    const std::int64_t k = conv.out_channels();
+    const std::int64_t c = conv.in_channels();
+    const std::int64_t rs = conv.kernel() * conv.kernel();
+    const float* w = conv.weight().value.data();
+    const bool is_first = (id == net_->info.first_conv);
+    const double m_out =
+        size_normalized_ ? std::sqrt(double(c * rs)) / norm : 1.0;
+    const double m_in = size_normalized_ ? std::sqrt(double(k * rs)) / norm : 1.0;
+
+    // Output-channel groups: contiguous slices of length c*rs.
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      double ss = 0;
+      const float* p = w + kk * c * rs;
+      for (std::int64_t q = 0; q < c * rs; ++q) ss += double(p[q]) * p[q];
+      total += m_out * std::sqrt(ss);
+    }
+    // Input-channel groups (skipped for the stem conv).
+    if (!is_first) {
+      for (std::int64_t cc = 0; cc < c; ++cc) {
+        double ss = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float* p = w + (kk * c + cc) * rs;
+          for (std::int64_t q = 0; q < rs; ++q) ss += double(p[q]) * p[q];
+        }
+        total += m_in * std::sqrt(ss);
+      }
+    }
+  }
+  return total;
+}
+
+void GroupLassoRegularizer::add_gradients(float lambda) const {
+  if (lambda == 0.f) return;
+  constexpr double kTiny = 1e-12;
+  const double size_norm = size_normalized_ ? mean_sqrt_group_size() : 1.0;
+  for (int id : conv_nodes_) {
+    if (!net_->is_live(id)) continue;
+    auto& conv = net_->layer_as<nn::Conv2d>(id);
+    const std::int64_t k = conv.out_channels();
+    const std::int64_t c = conv.in_channels();
+    const std::int64_t rs = conv.kernel() * conv.kernel();
+    const float* w = conv.weight().value.data();
+    float* g = conv.weight().grad.data();
+    const bool is_first = (id == net_->info.first_conv);
+    const double m_out =
+        size_normalized_ ? std::sqrt(double(c * rs)) / size_norm : 1.0;
+    const double m_in =
+        size_normalized_ ? std::sqrt(double(k * rs)) / size_norm : 1.0;
+
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      double ss = 0;
+      const float* p = w + kk * c * rs;
+      for (std::int64_t q = 0; q < c * rs; ++q) ss += double(p[q]) * p[q];
+      const double norm = std::sqrt(ss);
+      if (norm < kTiny) continue;
+      const float scale = static_cast<float>(m_out * lambda / norm);
+      float* gp = g + kk * c * rs;
+      for (std::int64_t q = 0; q < c * rs; ++q) gp[q] += scale * p[q];
+    }
+    if (!is_first) {
+      for (std::int64_t cc = 0; cc < c; ++cc) {
+        double ss = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float* p = w + (kk * c + cc) * rs;
+          for (std::int64_t q = 0; q < rs; ++q) ss += double(p[q]) * p[q];
+        }
+        const double norm = std::sqrt(ss);
+        if (norm < kTiny) continue;
+        const float scale = static_cast<float>(m_in * lambda / norm);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float* p = w + (kk * c + cc) * rs;
+          float* gp = g + (kk * c + cc) * rs;
+          for (std::int64_t q = 0; q < rs; ++q) gp[q] += scale * p[q];
+        }
+      }
+    }
+  }
+}
+
+void GroupLassoRegularizer::apply_proximal(float kappa) const {
+  if (kappa <= 0.f) return;
+  constexpr double kTiny = 1e-20;
+  const double size_norm = size_normalized_ ? mean_sqrt_group_size() : 1.0;
+  for (int id : conv_nodes_) {
+    if (!net_->is_live(id)) continue;
+    auto& conv = net_->layer_as<nn::Conv2d>(id);
+    const std::int64_t k = conv.out_channels();
+    const std::int64_t c = conv.in_channels();
+    const std::int64_t rs = conv.kernel() * conv.kernel();
+    float* w = conv.weight().value.data();
+    const bool is_first = (id == net_->info.first_conv);
+    const double k_out =
+        kappa * (size_normalized_ ? std::sqrt(double(c * rs)) / size_norm : 1.0);
+    const double k_in =
+        kappa * (size_normalized_ ? std::sqrt(double(k * rs)) / size_norm : 1.0);
+
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      double ss = 0;
+      float* p = w + kk * c * rs;
+      for (std::int64_t q = 0; q < c * rs; ++q) ss += double(p[q]) * p[q];
+      const double norm = std::sqrt(ss);
+      const float scale =
+          norm < kTiny ? 0.f
+                       : static_cast<float>(std::max(0.0, 1.0 - k_out / norm));
+      for (std::int64_t q = 0; q < c * rs; ++q) p[q] *= scale;
+    }
+    if (!is_first) {
+      for (std::int64_t cc = 0; cc < c; ++cc) {
+        double ss = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float* p = w + (kk * c + cc) * rs;
+          for (std::int64_t q = 0; q < rs; ++q) ss += double(p[q]) * p[q];
+        }
+        const double norm = std::sqrt(ss);
+        const float scale =
+            norm < kTiny ? 0.f
+                         : static_cast<float>(std::max(0.0, 1.0 - k_in / norm));
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          float* p = w + (kk * c + cc) * rs;
+          for (std::int64_t q = 0; q < rs; ++q) p[q] *= scale;
+        }
+      }
+    }
+  }
+}
+
+float calibrate_lambda(float target_ratio, double classification_loss,
+                       double lasso_loss) {
+  if (target_ratio <= 0.f || target_ratio >= 1.f) {
+    throw std::invalid_argument("lasso penalty ratio must be in (0, 1)");
+  }
+  if (lasso_loss <= 0.0) {
+    throw std::invalid_argument("lasso loss must be positive at calibration");
+  }
+  return static_cast<float>(target_ratio * classification_loss /
+                            ((1.0 - target_ratio) * lasso_loss));
+}
+
+double lasso_penalty_ratio(float lambda, double classification_loss,
+                           double lasso_loss) {
+  const double reg = double(lambda) * lasso_loss;
+  return reg / (classification_loss + reg);
+}
+
+}  // namespace pt::prune

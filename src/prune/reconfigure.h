@@ -1,0 +1,54 @@
+// Network reconfiguration: the periodic "prune and rebuild smaller" step of
+// PruneTrain (Sec. 4.2, Fig. 1).
+//
+// reconfigure() performs, in order:
+//   1. thresholding: zero every conv weight with |w| <= threshold;
+//   2. dead-branch removal: a residual path whose any conv has no dense
+//      input or output channels computes (numerically) nothing — the whole
+//      path is removed and the add bypassed to the short-cut (this is the
+//      paper's *layer removal by overlapping regularization groups*);
+//   3. channel analysis (channel union via union-find, channel_analysis.h);
+//   4. physical surgery: every conv/BN/FC is sliced to the surviving
+//      channels, *keeping weights, gradients and momentum of survivors*.
+//
+// The result is a smaller but still dense model that trains on unchanged
+// code paths — no indexing, no tensor reshaping.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/network.h"
+
+namespace pt::prune {
+
+struct ReconfigStats {
+  std::int64_t channels_before = 0;  ///< sum of conv output channels
+  std::int64_t channels_after = 0;
+  std::int64_t convs_removed = 0;    ///< conv layers removed with dead branches
+  std::int64_t blocks_removed = 0;   ///< residual paths removed
+  bool changed = false;
+};
+
+class Reconfigurer {
+ public:
+  /// `threshold` is the paper's zeroing threshold (1e-4 by default).
+  explicit Reconfigurer(graph::Network& net, float threshold = 1e-4f)
+      : net_(&net), threshold_(threshold) {}
+
+  /// Prunes and physically reconfigures the network. Safe to call at any
+  /// epoch boundary; all optimizer state of surviving channels is kept.
+  ReconfigStats reconfigure();
+
+  /// Step 1 only (used by analyses that must not mutate structure).
+  void zero_small_weights();
+
+  float threshold() const { return threshold_; }
+
+ private:
+  bool remove_dead_branches(ReconfigStats& stats);
+
+  graph::Network* net_;
+  float threshold_;
+};
+
+}  // namespace pt::prune

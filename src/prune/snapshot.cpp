@@ -1,0 +1,88 @@
+#include "prune/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/batchnorm.h"
+
+namespace pt::prune {
+namespace {
+
+/// Visits every state tensor in deterministic (topological) order.
+template <typename Fn>
+void for_each_state(graph::Network& net, Fn&& fn) {
+  for (int id : net.topo_order()) {
+    if (id == 0) continue;
+    graph::Node& node = net.node(id);
+    if (node.kind != graph::Node::Kind::kLayer) continue;
+    for (nn::Param* p : node.layer->params()) fn(p->value);
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(node.layer.get())) {
+      fn(bn->running_mean());
+      fn(bn->running_var());
+    }
+  }
+}
+
+}  // namespace
+
+Snapshot save_state(graph::Network& net) {
+  Snapshot snap;
+  for_each_state(net, [&](Tensor& t) {
+    snap.values.insert(snap.values.end(), t.data(), t.data() + t.numel());
+  });
+  return snap;
+}
+
+void load_state(graph::Network& net, const Snapshot& snap) {
+  std::size_t cursor = 0;
+  for_each_state(net, [&](Tensor& t) {
+    const auto n = static_cast<std::size_t>(t.numel());
+    if (cursor + n > snap.values.size()) {
+      throw std::invalid_argument("load_state: snapshot too small");
+    }
+    std::copy(snap.values.begin() + static_cast<std::ptrdiff_t>(cursor),
+              snap.values.begin() + static_cast<std::ptrdiff_t>(cursor + n),
+              t.data());
+    cursor += n;
+  });
+  if (cursor != snap.values.size()) {
+    throw std::invalid_argument("load_state: snapshot size mismatch");
+  }
+}
+
+namespace {
+constexpr char kMagic[8] = {'P', 'T', 'S', 'N', 'A', 'P', '0', '1'};
+}  // namespace
+
+void save_to_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_to_file: cannot open " + path);
+  f.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = snap.values.size();
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  f.write(reinterpret_cast<const char*>(snap.values.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!f) throw std::runtime_error("save_to_file: write failed for " + path);
+}
+
+Snapshot load_from_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_from_file: cannot open " + path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_from_file: bad magic in " + path);
+  }
+  std::uint64_t count = 0;
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f) throw std::runtime_error("load_from_file: truncated header in " + path);
+  Snapshot snap;
+  snap.values.resize(count);
+  f.read(reinterpret_cast<char*>(snap.values.data()),
+         static_cast<std::streamsize>(count * sizeof(float)));
+  if (!f) throw std::runtime_error("load_from_file: truncated payload in " + path);
+  return snap;
+}
+
+}  // namespace pt::prune

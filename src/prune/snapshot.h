@@ -1,0 +1,36 @@
+// Flat weight snapshots: capture/restore all learnable state of a network
+// (parameter values + BN running statistics).
+//
+// Used to fork one trained model into several structural variants (e.g.
+// union vs. gating for Fig. 6/7) and for the SSL baseline's two-phase
+// protocol. Snapshots are only valid across networks with identical
+// topology and channel extents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace pt::prune {
+
+struct Snapshot {
+  std::vector<float> values;
+};
+
+/// Captures parameter values and BN running stats, in topological order.
+Snapshot save_state(graph::Network& net);
+
+/// Restores a snapshot into a structurally identical network. Throws if
+/// element counts do not line up.
+void load_state(graph::Network& net, const Snapshot& snap);
+
+/// Persists a snapshot as a small binary file (8-byte magic, u64 count,
+/// raw float32 payload). Throws on I/O failure.
+void save_to_file(const Snapshot& snap, const std::string& path);
+
+/// Reads a snapshot written by save_to_file. Throws on I/O failure, bad
+/// magic, or a truncated payload.
+Snapshot load_from_file(const std::string& path);
+
+}  // namespace pt::prune

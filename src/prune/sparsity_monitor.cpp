@@ -1,0 +1,82 @@
+#include "prune/sparsity_monitor.h"
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "prune/channel_analysis.h"
+#include "tensor/ops.h"
+
+namespace pt::prune {
+
+SparsityMonitor::SparsityMonitor(graph::Network& net) : net_(&net) {
+  for (int id : net.nodes_of_type<nn::Conv2d>()) {
+    ConvHistory h;
+    h.node = id;
+    h.name = net.node(id).layer->name();
+    history_.push_back(std::move(h));
+  }
+}
+
+void SparsityMonitor::record(std::int64_t epoch) {
+  for (ConvHistory& h : history_) {
+    if (!net_->is_live(h.node)) continue;
+    const auto& conv = net_->layer_as<nn::Conv2d>(h.node);
+    std::vector<float> row(static_cast<std::size_t>(conv.out_channels()));
+    for (std::int64_t k = 0; k < conv.out_channels(); ++k) {
+      row[static_cast<std::size_t>(k)] = conv.out_channel_max_abs(k);
+    }
+    h.epochs.push_back(epoch);
+    h.max_abs.push_back(std::move(row));
+  }
+}
+
+std::int64_t SparsityMonitor::count_revivals(float threshold,
+                                             float revive_factor) const {
+  std::int64_t revivals = 0;
+  for (const ConvHistory& h : history_) {
+    for (std::size_t e = 1; e < h.max_abs.size(); ++e) {
+      const auto& prev = h.max_abs[e - 1];
+      const auto& cur = h.max_abs[e];
+      if (prev.size() != cur.size()) continue;  // reconfigured in between
+      for (std::size_t k = 0; k < cur.size(); ++k) {
+        if (prev[k] <= threshold && cur[k] > revive_factor * threshold) {
+          ++revivals;
+        }
+      }
+    }
+  }
+  return revivals;
+}
+
+std::vector<LayerDensity> layer_densities(graph::Network& net, float threshold) {
+  std::vector<LayerDensity> out;
+  for (int id : net.nodes_of_type<nn::Conv2d>()) {
+    const auto& conv = net.layer_as<nn::Conv2d>(id);
+    LayerDensity d;
+    d.name = conv.name();
+    const double din =
+        static_cast<double>(dense_in_channels(conv, threshold).size()) /
+        static_cast<double>(conv.in_channels());
+    const double dout =
+        static_cast<double>(dense_out_channels(conv, threshold).size()) /
+        static_cast<double>(conv.out_channels());
+    d.channel_density = din * dout;
+    const auto w = conv.weight().value.span();
+    d.weight_density =
+        1.0 - static_cast<double>(count_below(w, threshold)) /
+                  static_cast<double>(w.size());
+    out.push_back(std::move(d));
+  }
+  for (int id : net.nodes_of_type<nn::Linear>()) {
+    const auto& fc = net.layer_as<nn::Linear>(id);
+    LayerDensity d;
+    d.name = fc.name();
+    const auto w = fc.weight().value.span();
+    d.weight_density =
+        1.0 - static_cast<double>(count_below(w, threshold)) /
+                  static_cast<double>(w.size());
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace pt::prune

@@ -1,0 +1,52 @@
+// Sparsification monitoring: per-output-channel max-|w| trajectories
+// (the data behind Fig. 4 and the "zeroed channels rarely revive"
+// observation that justifies early pruning), plus per-layer density
+// statistics (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace pt::prune {
+
+class SparsityMonitor {
+ public:
+  explicit SparsityMonitor(graph::Network& net);
+
+  /// Records the current per-output-channel max-|w| of every live conv.
+  void record(std::int64_t epoch);
+
+  struct ConvHistory {
+    int node = -1;
+    std::string name;
+    std::vector<std::int64_t> epochs;
+    /// One row per recorded epoch; row length is the conv's channel count
+    /// at that epoch (it shrinks across reconfigurations).
+    std::vector<std::vector<float>> max_abs;
+  };
+
+  const std::vector<ConvHistory>& history() const { return history_; }
+
+  /// Channels that were below `threshold` at some epoch and later exceeded
+  /// `revive_factor * threshold` while the layer width was unchanged — the
+  /// paper's "revived weights" (expected: none or near-threshold only).
+  std::int64_t count_revivals(float threshold, float revive_factor = 10.f) const;
+
+ private:
+  graph::Network* net_;
+  std::vector<ConvHistory> history_;
+};
+
+/// Per-layer density snapshot (Fig. 12).
+struct LayerDensity {
+  std::string name;
+  double channel_density = 1.0;  ///< (dense in / in) * (dense out / out)
+  double weight_density = 1.0;   ///< fraction of weights with |w| > threshold
+};
+
+std::vector<LayerDensity> layer_densities(graph::Network& net, float threshold);
+
+}  // namespace pt::prune

@@ -1,0 +1,62 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+
+namespace pt {
+
+void im2col(const ConvGeom& g, const float* input, float* col) {
+  const std::int64_t ho = g.out_h();
+  const std::int64_t wo = g.out_w();
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t cols = ho * wo;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* chan = input + c * hw;
+    for (std::int64_t r = 0; r < g.kernel; ++r) {
+      for (std::int64_t s = 0; s < g.kernel; ++s, ++row) {
+        float* out = col + row * cols;
+        for (std::int64_t oh = 0; oh < ho; ++oh) {
+          const std::int64_t ih = oh * g.stride - g.pad + r;
+          if (ih < 0 || ih >= g.in_h) {
+            std::memset(out + oh * wo, 0, static_cast<std::size_t>(wo) * sizeof(float));
+            continue;
+          }
+          const float* in_row = chan + ih * g.in_w;
+          float* out_row = out + oh * wo;
+          for (std::int64_t ow = 0; ow < wo; ++ow) {
+            const std::int64_t iw = ow * g.stride - g.pad + s;
+            out_row[ow] = (iw >= 0 && iw < g.in_w) ? in_row[iw] : 0.f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, const float* col, float* input_grad) {
+  const std::int64_t ho = g.out_h();
+  const std::int64_t wo = g.out_w();
+  const std::int64_t hw = g.in_h * g.in_w;
+  const std::int64_t cols = ho * wo;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* chan = input_grad + c * hw;
+    for (std::int64_t r = 0; r < g.kernel; ++r) {
+      for (std::int64_t s = 0; s < g.kernel; ++s, ++row) {
+        const float* in = col + row * cols;
+        for (std::int64_t oh = 0; oh < ho; ++oh) {
+          const std::int64_t ih = oh * g.stride - g.pad + r;
+          if (ih < 0 || ih >= g.in_h) continue;
+          float* grad_row = chan + ih * g.in_w;
+          const float* in_row = in + oh * wo;
+          for (std::int64_t ow = 0; ow < wo; ++ow) {
+            const std::int64_t iw = ow * g.stride - g.pad + s;
+            if (iw >= 0 && iw < g.in_w) grad_row[iw] += in_row[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pt

@@ -1,0 +1,39 @@
+// im2col / col2im lowering for convolution-as-GEMM.
+//
+// The forward convolution of one sample lowers the [C, H, W] input into a
+// [C*R*S, Ho*Wo] column matrix so that conv becomes a GEMM with the
+// [K, C*R*S] filter matrix. col2im is the exact adjoint, used to produce
+// input gradients. (A unit test asserts the adjoint property
+// <im2col(x), y> == <x, col2im(y)> which pins both down.)
+#pragma once
+
+#include <cstdint>
+
+namespace pt {
+
+/// Geometry of one 2-D convolution.
+struct ConvGeom {
+  std::int64_t in_c = 0;      ///< input channels C
+  std::int64_t in_h = 0;      ///< input height H
+  std::int64_t in_w = 0;      ///< input width W
+  std::int64_t kernel = 1;    ///< square kernel extent R = S
+  std::int64_t stride = 1;    ///< stride in both dims
+  std::int64_t pad = 0;       ///< zero-padding in both dims
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the lowered column matrix: C*R*S.
+  std::int64_t col_rows() const { return in_c * kernel * kernel; }
+  /// Columns of the lowered column matrix: Ho*Wo.
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Lowers `input` ([C, H, W], contiguous) into `col` ([C*R*S, Ho*Wo]).
+void im2col(const ConvGeom& g, const float* input, float* col);
+
+/// Adjoint of im2col: accumulates `col` back into `input_grad` ([C, H, W]).
+/// `input_grad` must be zeroed by the caller beforehand (accumulation
+/// semantics let conv backward sum over batch).
+void col2im(const ConvGeom& g, const float* col, float* input_grad);
+
+}  // namespace pt

@@ -1,0 +1,137 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace pt {
+namespace {
+
+// Cache-blocking parameters tuned for small-model training: K blocks fit L1,
+// the B panel for one (kc, n) block fits L2.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+
+}  // namespace
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  if (beta == 0.f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.f) {
+    scale(beta, {c, static_cast<std::size_t>(m * n)});
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::int64_t p1 = std::min(p0 + kBlockK, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float aip = alpha * a[i * k + p];
+          if (aip == 0.f) continue;
+          const float* brow = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* arow = a + i * k;
+      const float* brow = b + j * k;
+      float acc = 0.f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      float& out = c[i * n + j];
+      out = alpha * acc + (beta == 0.f ? 0.f : beta * out);
+    }
+  }
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  if (beta == 0.f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.f) {
+    scale(beta, {c, static_cast<std::size_t>(m * n)});
+  }
+  // A is [K, M]; accumulate rank-1 updates per K row. Parallelize over M
+  // blocks so threads write disjoint C rows.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float aip = alpha * arow[i];
+        if (aip == 0.f) continue;
+        float* crow = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
+    }
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc;
+}
+
+double sum_sq(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+float max_abs(std::span<const float> x) {
+  float m = 0.f;
+  for (float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::int64_t count_below(std::span<const float> x, float eps) {
+  std::int64_t n = 0;
+  for (float v : x) n += (std::fabs(v) <= eps) ? 1 : 0;
+  return n;
+}
+
+void relu(std::span<const float> x, std::span<float> out) {
+  assert(x.size() == out.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] > 0.f ? x[i] : 0.f;
+}
+
+void relu_backward(std::span<const float> x, std::span<const float> dy,
+                   std::span<float> dx) {
+  assert(x.size() == dy.size() && x.size() == dx.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) dx[i] = x[i] > 0.f ? dy[i] : 0.f;
+}
+
+}  // namespace pt

@@ -1,0 +1,103 @@
+#include "tensor/tensor.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace pt {
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) os << (i ? ", " : "") << dims_[i];
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.numel()), 0.f)) {
+  if (shape_.numel() < 0) throw std::invalid_argument("negative tensor extent");
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.span()) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.span()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_values(Shape shape, std::vector<float> values) {
+  if (static_cast<std::int64_t>(values.size()) != shape.numel()) {
+    throw std::invalid_argument("from_values: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+float& Tensor::at(std::int64_t i) {
+  assert(shape_.rank() == 1 && i >= 0 && i < shape_[0]);
+  return (*data_)[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  assert(shape_.rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return (*data_)[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  assert(shape_.rank() == 3 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+         k >= 0 && k < shape_[2]);
+  return (*data_)[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+  assert(shape_.rank() == 4 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+         k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3]);
+  return (*data_)[static_cast<std::size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return {};
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("reshape: numel mismatch " + shape_.to_string() +
+                                " -> " + new_shape.to_string());
+  }
+  Tensor t = *this;  // shares storage
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (float& v : span()) v = value;
+}
+
+}  // namespace pt

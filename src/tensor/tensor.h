@@ -1,0 +1,109 @@
+// Dense float32 tensor with shared, contiguous storage.
+//
+// This is the numeric substrate for the whole training engine. It is
+// deliberately simple: contiguous row-major data, copy-on-nothing shared
+// ownership (copies alias; use clone() for a deep copy), and shape metadata.
+// All compute kernels live in ops.h / im2col.h and operate on raw spans.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pt {
+
+/// Tensor shape: an ordered list of extents. Rank up to 4 is used in
+/// practice (N, C, H, W), but arbitrary rank is supported.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  std::int64_t rank() const { return static_cast<std::int64_t>(dims_.size()); }
+  std::int64_t operator[](std::int64_t i) const { return dims_[static_cast<std::size_t>(i)]; }
+  std::int64_t& operator[](std::int64_t i) { return dims_[static_cast<std::size_t>(i)]; }
+
+  /// Total element count (1 for rank-0).
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+/// Contiguous float32 tensor. Copying shares storage (shallow); clone()
+/// deep-copies. Not thread-safe for concurrent mutation of the same
+/// storage; kernels parallelize internally over disjoint ranges.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no storage).
+  Tensor() = default;
+
+  /// Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f, float stddev = 1.f);
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// Wraps explicit values; `values.size()` must equal `shape.numel()`.
+  static Tensor from_values(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool defined() const { return data_ != nullptr; }
+
+  float* data() { return data_ ? data_->data() : nullptr; }
+  const float* data() const { return data_ ? data_->data() : nullptr; }
+  std::span<float> span() { return {data(), static_cast<std::size_t>(numel())}; }
+  std::span<const float> span() const {
+    return {data(), static_cast<std::size_t>(numel())};
+  }
+
+  /// Element accessors with debug-mode bounds checks; rank must match.
+  float& at(std::int64_t i);
+  float& at(std::int64_t i, std::int64_t j);
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float at(std::int64_t i) const { return const_cast<Tensor*>(this)->at(i); }
+  float at(std::int64_t i, std::int64_t j) const {
+    return const_cast<Tensor*>(this)->at(i, j);
+  }
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return const_cast<Tensor*>(this)->at(i, j, k);
+  }
+  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const {
+    return const_cast<Tensor*>(this)->at(i, j, k, l);
+  }
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// Returns a tensor sharing this storage with a new shape of equal numel.
+  Tensor reshape(Shape new_shape) const;
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// True if the two tensors alias the same storage.
+  bool shares_storage_with(const Tensor& other) const { return data_ == other.data_; }
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace pt

@@ -1,0 +1,74 @@
+#include "util/cli.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pt {
+
+void CliFlags::define(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{default_value, help};
+}
+
+void CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag: --" + name);
+    if (!has_value) {
+      // Boolean-style `--flag`, or `--flag value` when a value follows that
+      // is not itself a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+}
+
+std::string CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("undefined flag: --" + name);
+  return it->second.value;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+long CliFlags::get_int(const std::string& name) const { return std::stol(get(name)); }
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.value << ")  " << flag.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pt

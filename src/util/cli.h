@@ -1,0 +1,41 @@
+// Tiny command-line flag parser shared by the bench/example executables.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
+// flags raise, so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace pt {
+
+class CliFlags {
+ public:
+  /// Declares a flag with a default value; call before `parse`.
+  void define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown flags or missing
+  /// values. `--help` sets `help_requested()`.
+  void parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  long get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  /// Renders a usage string listing all defined flags.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pt

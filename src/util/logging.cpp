@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace pt {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  static Timer t0;
+  std::fprintf(stderr, "[%-5s %8.2fs] %s\n", level_name(level), t0.seconds(),
+               msg.c_str());
+}
+
+}  // namespace pt

@@ -1,0 +1,76 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace pt {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  s0_ = splitmix64(sm);
+  s1_ = splitmix64(sm);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t r = s0_ + s1_;
+  s1_ ^= s0_;
+  s0_ = rotl(s0_, 55) ^ s1_ ^ (s1_ << 14);
+  s1_ = rotl(s1_, 36);
+  return r;
+}
+
+double Rng::uniform() {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = 0;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+Rng Rng::fork() {
+  Rng child;
+  child.reseed(next_u64());
+  return child;
+}
+
+}  // namespace pt

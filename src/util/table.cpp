@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pt {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(fmt(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << quote(row[c]);
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& csv_path) const {
+  std::cout << to_text();
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (!f) throw std::runtime_error("Table::print: cannot open " + csv_path);
+    f << to_csv();
+  }
+}
+
+}  // namespace pt

@@ -1,0 +1,44 @@
+// Minimal table/CSV emitter used by the benchmark harnesses to print
+// paper-style rows (aligned text on stdout, optional CSV to a file).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pt {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table (for terminals) or RFC-4180-ish CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders the aligned ASCII form, including a rule under the header.
+  std::string to_text() const;
+
+  /// Renders CSV (header + rows). Cells containing commas/quotes are quoted.
+  std::string to_csv() const;
+
+  /// Prints `to_text()` to stdout; if `csv_path` is non-empty also writes
+  /// `to_csv()` there (overwriting).
+  void print(const std::string& csv_path = "") const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed `precision` digits after the decimal point.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace pt

@@ -1,0 +1,204 @@
+// Synthetic dataset and loader tests: determinism, class structure (the
+// task must be learnable), shuffling, batch-size edge cases, and the
+// resizable batches that dynamic mini-batch adjustment depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+
+namespace pt::data {
+namespace {
+
+TEST(SyntheticDataset, ShapesMatchSpec) {
+  SyntheticSpec spec;
+  spec.classes = 4;
+  spec.channels = 3;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 32;
+  spec.test_samples = 16;
+  SyntheticImageDataset ds(spec);
+  EXPECT_EQ(ds.train_images().shape(), (Shape{32, 3, 8, 8}));
+  EXPECT_EQ(ds.test_images().shape(), (Shape{16, 3, 8, 8}));
+  EXPECT_EQ(ds.train_labels().size(), 32u);
+}
+
+TEST(SyntheticDataset, DeterministicForSameSeed) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 16;
+  spec.test_samples = 8;
+  SyntheticImageDataset a(spec), b(spec);
+  for (std::int64_t i = 0; i < a.train_images().numel(); ++i) {
+    ASSERT_EQ(a.train_images().data()[i], b.train_images().data()[i]);
+  }
+  EXPECT_EQ(a.train_labels(), b.train_labels());
+}
+
+TEST(SyntheticDataset, DifferentSeedsDiffer) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 16;
+  SyntheticImageDataset a(spec);
+  spec.seed += 1;
+  SyntheticImageDataset b(spec);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < a.train_images().numel() && !any_diff; ++i) {
+    any_diff = a.train_images().data()[i] != b.train_images().data()[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticDataset, LabelsInRange) {
+  SyntheticSpec spec = SyntheticSpec::cifar100_like();
+  spec.train_samples = 64;
+  SyntheticImageDataset ds(spec);
+  for (auto l : ds.train_labels()) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, spec.classes);
+  }
+}
+
+TEST(SyntheticDataset, AllClassesRepresented) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 512;
+  SyntheticImageDataset ds(spec);
+  std::set<std::int64_t> seen(ds.train_labels().begin(), ds.train_labels().end());
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), spec.classes);
+}
+
+TEST(SyntheticDataset, ClassStructureIsLearnable) {
+  // Same-class samples must be closer (on average) than cross-class samples;
+  // otherwise no model could learn the task.
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.classes = 4;
+  spec.train_samples = 128;
+  spec.max_shift = 0;  // compare unshifted templates directly
+  SyntheticImageDataset ds(spec);
+  const std::int64_t len = spec.channels * spec.height * spec.width;
+  double same = 0, cross = 0;
+  std::int64_t same_n = 0, cross_n = 0;
+  for (std::int64_t i = 0; i < 40; ++i) {
+    for (std::int64_t j = i + 1; j < 40; ++j) {
+      double d = 0;
+      for (std::int64_t q = 0; q < len; ++q) {
+        const double diff = ds.train_images().data()[i * len + q] -
+                            ds.train_images().data()[j * len + q];
+        d += diff * diff;
+      }
+      if (ds.train_labels()[size_t(i)] == ds.train_labels()[size_t(j)]) {
+        same += d;
+        ++same_n;
+      } else {
+        cross += d;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(SyntheticDataset, GatherTrainCopiesRows) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 8;
+  SyntheticImageDataset ds(spec);
+  Tensor batch = ds.gather_train({3, 0});
+  const std::int64_t len = spec.channels * spec.height * spec.width;
+  for (std::int64_t q = 0; q < len; ++q) {
+    EXPECT_EQ(batch.data()[q], ds.train_images().data()[3 * len + q]);
+    EXPECT_EQ(batch.data()[len + q], ds.train_images().data()[q]);
+  }
+}
+
+TEST(Presets, HaveDistinctGeometry) {
+  const auto c10 = SyntheticSpec::cifar10_like();
+  const auto c100 = SyntheticSpec::cifar100_like();
+  const auto inet = SyntheticSpec::imagenet_like();
+  EXPECT_LT(c10.classes, c100.classes);
+  EXPECT_LT(c10.height, inet.height);
+  EXPECT_GT(c100.train_samples, c10.train_samples);
+}
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 50;
+  SyntheticImageDataset ds(spec);
+  DataLoader loader(ds, 1);
+  loader.begin_epoch();
+  std::int64_t total = 0;
+  std::multiset<std::int64_t> labels_seen;
+  while (loader.has_next()) {
+    Batch b = loader.next(16);
+    total += b.size();
+    for (auto l : b.labels) labels_seen.insert(l);
+  }
+  EXPECT_EQ(total, 50);
+  std::multiset<std::int64_t> expected(ds.train_labels().begin(),
+                                       ds.train_labels().end());
+  EXPECT_EQ(labels_seen, expected);
+}
+
+TEST(DataLoader, LastBatchMayBeShort) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 10;
+  SyntheticImageDataset ds(spec);
+  DataLoader loader(ds, 2);
+  loader.begin_epoch();
+  Batch b1 = loader.next(8);
+  Batch b2 = loader.next(8);
+  EXPECT_EQ(b1.size(), 8);
+  EXPECT_EQ(b2.size(), 2);
+  EXPECT_FALSE(loader.has_next());
+}
+
+TEST(DataLoader, ShufflesBetweenEpochs) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 64;
+  SyntheticImageDataset ds(spec);
+  DataLoader loader(ds, 3);
+  loader.begin_epoch();
+  Batch e1 = loader.next(64);
+  loader.begin_epoch();
+  Batch e2 = loader.next(64);
+  EXPECT_NE(e1.labels, e2.labels);  // overwhelmingly likely under any shuffle
+}
+
+TEST(DataLoader, BatchSizeCanGrowMidStream) {
+  // Dynamic mini-batch adjustment grows the batch between epochs; the
+  // loader must serve whatever size is asked per call.
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 48;
+  SyntheticImageDataset ds(spec);
+  DataLoader loader(ds, 4);
+  loader.begin_epoch();
+  EXPECT_EQ(loader.next(16).size(), 16);
+  EXPECT_EQ(loader.next(32).size(), 32);
+  EXPECT_FALSE(loader.has_next());
+}
+
+TEST(DataLoader, IterationsPerEpochRoundsUp) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 100;
+  SyntheticImageDataset ds(spec);
+  DataLoader loader(ds, 5);
+  EXPECT_EQ(loader.iterations_per_epoch(32), 4);
+  EXPECT_EQ(loader.iterations_per_epoch(50), 2);
+  EXPECT_EQ(loader.iterations_per_epoch(100), 1);
+  EXPECT_EQ(loader.iterations_per_epoch(128), 1);
+}
+
+TEST(DataLoader, DeterministicShufflePerSeed) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_samples = 32;
+  SyntheticImageDataset ds(spec);
+  DataLoader a(ds, 7), b(ds, 7);
+  a.begin_epoch();
+  b.begin_epoch();
+  EXPECT_EQ(a.next(32).labels, b.next(32).labels);
+}
+
+}  // namespace
+}  // namespace pt::data

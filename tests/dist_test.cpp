@@ -1,0 +1,229 @@
+// Data-parallel cluster tests: the defining property (synchronous data
+// parallelism == single-device training on the full batch, for BN-free
+// models), replica consistency, allreduce arithmetic, and comm accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/cluster.h"
+#include "models/builders.h"
+#include "prune/reconfigure.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pool.h"
+
+namespace pt::dist {
+namespace {
+
+/// BN-free model so shard statistics cannot diverge from full-batch math.
+graph::Network make_bnfree_net(std::uint64_t seed) {
+  graph::Network net;
+  Rng rng(seed);
+  const int input = net.add_input();
+  auto c1 = std::make_shared<nn::Conv2d>(2, 6, 3, 1, 1, rng);
+  const int n1 = net.add_layer(c1, input);
+  auto r1 = std::make_shared<nn::ReLU>();
+  const int n2 = net.add_layer(r1, n1);
+  auto gap = std::make_shared<nn::GlobalAvgPool>();
+  const int n3 = net.add_layer(gap, n2);
+  auto fc = std::make_shared<nn::Linear>(6, 3, rng);
+  net.set_output(net.add_layer(fc, n3));
+  return net;
+}
+
+data::Batch make_batch(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.images = Tensor::randn({n, 2, 5, 5}, rng);
+  for (std::int64_t i = 0; i < n; ++i) {
+    b.labels.push_back(static_cast<std::int64_t>(rng.uniform_int(3)));
+  }
+  return b;
+}
+
+cost::CommSpec spec_for(int gpus) {
+  cost::CommSpec s;
+  s.gpus = gpus;
+  return s;
+}
+
+Cluster make_cluster(int replicas, std::uint64_t seed = 42) {
+  std::vector<graph::Network> nets;
+  for (int i = 0; i < replicas; ++i) nets.push_back(make_bnfree_net(seed));
+  return Cluster(std::move(nets), spec_for(replicas));
+}
+
+TEST(Cluster, RejectsMismatchedCommSpec) {
+  std::vector<graph::Network> nets;
+  nets.push_back(make_bnfree_net(1));
+  EXPECT_THROW(Cluster(std::move(nets), spec_for(4)), std::invalid_argument);
+}
+
+TEST(Cluster, StepMatchesSingleDeviceTraining) {
+  // 4-way data parallelism on a divisible batch must produce the same
+  // weights as one device with the full batch.
+  Cluster cluster = make_cluster(4, 7);
+  graph::Network solo = make_bnfree_net(7);
+  data::Batch batch = make_batch(16, 3);
+
+  optim::SGD opt_cluster(0.1f, 0.9f);
+  optim::SGD opt_solo(0.1f, 0.9f);
+  for (int step = 0; step < 3; ++step) {
+    cluster.step(batch, opt_cluster);
+    nn::SoftmaxCrossEntropy loss;
+    Tensor out = solo.forward(batch.images, true);
+    loss.forward(out, batch.labels);
+    solo.zero_grad();
+    solo.backward(loss.backward());
+    opt_solo.step(solo.params());
+  }
+  auto pc = cluster.replica(0).params();
+  auto ps = solo.params();
+  ASSERT_EQ(pc.size(), ps.size());
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    for (std::int64_t q = 0; q < pc[i]->value.numel(); ++q) {
+      EXPECT_NEAR(pc[i]->value.data()[q], ps[i]->value.data()[q], 1e-5f)
+          << "param " << i << " elem " << q;
+    }
+  }
+}
+
+TEST(Cluster, ReplicasStayIdentical) {
+  Cluster cluster = make_cluster(3, 9);
+  optim::SGD opt(0.05f, 0.9f);
+  for (int step = 0; step < 4; ++step) {
+    cluster.step(make_batch(9 + step, 100 + step), opt);  // uneven shards too
+  }
+  auto p0 = cluster.replica(0).params();
+  for (int r = 1; r < cluster.size(); ++r) {
+    auto pr = cluster.replica(r).params();
+    for (std::size_t i = 0; i < p0.size(); ++i) {
+      for (std::int64_t q = 0; q < p0[i]->value.numel(); ++q) {
+        ASSERT_EQ(p0[i]->value.data()[q], pr[i]->value.data()[q]);
+      }
+    }
+  }
+}
+
+TEST(Cluster, AllreduceAveragesGradients) {
+  Cluster cluster = make_cluster(2, 11);
+  auto p0 = cluster.replica(0).params();
+  auto p1 = cluster.replica(1).params();
+  p0[0]->grad.fill(1.f);
+  p1[0]->grad.fill(3.f);
+  cluster.allreduce_gradients({1.0, 1.0});
+  EXPECT_FLOAT_EQ(p0[0]->grad.data()[0], 2.f);
+  EXPECT_FLOAT_EQ(p1[0]->grad.data()[0], 2.f);
+}
+
+TEST(Cluster, AllreduceWeightsByShardSize) {
+  Cluster cluster = make_cluster(2, 12);
+  auto p0 = cluster.replica(0).params();
+  auto p1 = cluster.replica(1).params();
+  p0[0]->grad.fill(1.f);
+  p1[0]->grad.fill(4.f);
+  cluster.allreduce_gradients({3.0, 1.0});  // (3*1 + 1*4) / 4 = 1.75
+  EXPECT_FLOAT_EQ(p0[0]->grad.data()[0], 1.75f);
+}
+
+TEST(Cluster, RejectsTinyBatch) {
+  Cluster cluster = make_cluster(4, 13);
+  optim::SGD opt(0.1f);
+  EXPECT_THROW(cluster.step(make_batch(2, 1), opt), std::invalid_argument);
+}
+
+TEST(Cluster, CommBytesMatchRingFormula) {
+  Cluster cluster = make_cluster(4, 14);
+  optim::SGD opt(0.1f);
+  const auto result = cluster.step(make_batch(8, 2), opt);
+  const double model_bytes =
+      static_cast<double>(cluster.replica(0).num_params()) * 4.0;
+  EXPECT_DOUBLE_EQ(result.comm_bytes_per_gpu, 2.0 * 3.0 / 4.0 * model_bytes);
+  EXPECT_GT(result.comm_time_modeled, 0.0);
+  EXPECT_DOUBLE_EQ(cluster.update_bytes(), result.comm_bytes_per_gpu);
+}
+
+TEST(Cluster, LossDecreasesOverSteps) {
+  Cluster cluster = make_cluster(2, 15);
+  optim::SGD opt(0.1f, 0.9f);
+  data::Batch batch = make_batch(12, 5);
+  double first = 0, last = 0;
+  for (int step = 0; step < 15; ++step) {
+    const auto r = cluster.step(batch, opt);
+    if (step == 0) first = r.loss;
+    last = r.loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+
+TEST(Cluster, ReconfigurationKeepsReplicasConsistent) {
+  // Data-parallel PruneTrain: every replica prunes deterministically from
+  // identical weights, so reconfiguring each replica independently leaves
+  // the cluster consistent and training proceeds on the smaller model.
+  models::ModelConfig mc;
+  mc.image_h = 8;
+  mc.image_w = 8;
+  mc.classes = 4;
+  mc.width_mult = 0.5f;
+  std::vector<graph::Network> nets;
+  for (int i = 0; i < 2; ++i) nets.push_back(models::build_resnet_basic(8, mc));
+  Cluster cluster(std::move(nets), spec_for(2));
+
+  // Kill one stage-variable channel identically on both replicas (writers
+  // and readers), as group lasso would.
+  for (int r = 0; r < 2; ++r) {
+    graph::Network& net = cluster.replica(r);
+    const auto& blk = net.info.blocks[0];
+    auto& stem = net.layer_as<nn::Conv2d>(net.info.first_conv);
+    auto& c1 = net.layer_as<nn::Conv2d>(blk.path_convs[0]);
+    auto& c2 = net.layer_as<nn::Conv2d>(blk.path_convs[1]);
+    const std::int64_t len0 = stem.in_channels() * 9;
+    for (std::int64_t q = 0; q < len0; ++q) stem.weight().value.data()[q] = 0.f;
+    const std::int64_t rs = 9;
+    for (std::int64_t k = 0; k < c1.out_channels(); ++k) {
+      for (std::int64_t q = 0; q < rs; ++q) {
+        c1.weight().value.data()[(k * c1.in_channels()) * rs + q] = 0.f;
+      }
+    }
+    const std::int64_t len2 = c2.in_channels() * rs;
+    for (std::int64_t q = 0; q < len2; ++q) c2.weight().value.data()[q] = 0.f;
+    // Readers of the stage var in the next block.
+    const auto& blk1 = net.info.blocks[1];
+    auto& n1 = net.layer_as<nn::Conv2d>(blk1.path_convs[0]);
+    for (std::int64_t k = 0; k < n1.out_channels(); ++k) {
+      for (std::int64_t q = 0; q < rs; ++q) {
+        n1.weight().value.data()[(k * n1.in_channels()) * rs + q] = 0.f;
+      }
+    }
+    auto& sc = net.layer_as<nn::Conv2d>(blk1.shortcut_conv);
+    for (std::int64_t k = 0; k < sc.out_channels(); ++k) {
+      sc.weight().value.data()[k * sc.in_channels()] = 0.f;
+    }
+    prune::Reconfigurer rec(net, 1e-4f);
+    const auto stats = rec.reconfigure();
+    EXPECT_TRUE(stats.changed);
+  }
+
+  // Replica structures must agree, and training must still work.
+  EXPECT_EQ(cluster.replica(0).num_params(), cluster.replica(1).num_params());
+  optim::SGD opt(0.05f, 0.9f);
+  Rng rng(77);
+  data::Batch batch;
+  batch.images = Tensor::randn({8, 3, 8, 8}, rng);
+  for (int i = 0; i < 8; ++i) batch.labels.push_back(i % 4);
+  const auto result = cluster.step(batch, opt);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  auto p0 = cluster.replica(0).params();
+  auto p1 = cluster.replica(1).params();
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    for (std::int64_t q = 0; q < p0[i]->value.numel(); ++q) {
+      ASSERT_EQ(p0[i]->value.data()[q], p1[i]->value.data()[q]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pt::dist

@@ -1,0 +1,90 @@
+// Optimizer and LR-schedule tests: exact SGD momentum arithmetic, weight
+// decay, the linear LR scaling hook used by dynamic mini-batch adjustment,
+// and multi-step decay.
+#include <gtest/gtest.h>
+
+#include "nn/layer.h"
+#include "optim/lr_schedule.h"
+#include "optim/sgd.h"
+
+namespace pt::optim {
+namespace {
+
+nn::Param make_param(std::vector<float> w, std::vector<float> g) {
+  nn::Param p;
+  const auto n = static_cast<std::int64_t>(w.size());
+  p.value = Tensor::from_values({n}, std::move(w));
+  p.init_state();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    p.grad.at(static_cast<std::int64_t>(i)) = g[i];
+  }
+  return p;
+}
+
+TEST(SGD, VanillaStep) {
+  nn::Param p = make_param({1.f}, {0.5f});
+  SGD opt(/*lr=*/0.1f, /*momentum=*/0.f);
+  opt.step({&p});
+  EXPECT_NEAR(p.value.at(0), 1.f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  nn::Param p = make_param({0.f}, {1.f});
+  SGD opt(0.1f, 0.9f);
+  opt.step({&p});
+  EXPECT_NEAR(p.momentum.at(0), 1.f, 1e-6f);
+  EXPECT_NEAR(p.value.at(0), -0.1f, 1e-6f);
+  // Second step with the same gradient: v = 0.9*1 + 1 = 1.9.
+  opt.step({&p});
+  EXPECT_NEAR(p.momentum.at(0), 1.9f, 1e-6f);
+  EXPECT_NEAR(p.value.at(0), -0.1f - 0.19f, 1e-6f);
+}
+
+TEST(SGD, WeightDecayAddsToGradient) {
+  nn::Param p = make_param({2.f}, {0.f});
+  SGD opt(0.1f, 0.f, /*weight_decay=*/0.01f);
+  opt.step({&p});
+  // g_eff = 0 + 0.01 * 2 = 0.02; w = 2 - 0.1*0.02.
+  EXPECT_NEAR(p.value.at(0), 2.f - 0.002f, 1e-7f);
+}
+
+TEST(SGD, ScaleLrForDynamicBatch) {
+  SGD opt(0.1f);
+  opt.scale_lr(1.5f);  // batch 128 -> 192
+  EXPECT_FLOAT_EQ(opt.lr(), 0.15f);
+  opt.set_lr(0.05f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.05f);
+}
+
+TEST(SGD, MultipleParams) {
+  nn::Param a = make_param({1.f, 2.f}, {1.f, 1.f});
+  nn::Param b = make_param({-1.f}, {2.f});
+  SGD opt(0.5f, 0.f);
+  opt.step({&a, &b});
+  EXPECT_NEAR(a.value.at(0), 0.5f, 1e-6f);
+  EXPECT_NEAR(a.value.at(1), 1.5f, 1e-6f);
+  EXPECT_NEAR(b.value.at(0), -2.f, 1e-6f);
+}
+
+TEST(MultiStepLR, DecaysAtMilestones) {
+  MultiStepLR sched({10, 20}, 0.1);
+  EXPECT_DOUBLE_EQ(sched.multiplier_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.multiplier_at(9), 1.0);
+  EXPECT_DOUBLE_EQ(sched.multiplier_at(10), 0.1);
+  EXPECT_DOUBLE_EQ(sched.multiplier_at(19), 0.1);
+  EXPECT_NEAR(sched.multiplier_at(20), 0.01, 1e-12);
+  EXPECT_NEAR(sched.multiplier_at(100), 0.01, 1e-12);
+}
+
+TEST(MultiStepLR, EmptyMilestonesIsConstant) {
+  MultiStepLR sched({});
+  EXPECT_DOUBLE_EQ(sched.multiplier_at(1000), 1.0);
+}
+
+TEST(MultiStepLR, CustomGamma) {
+  MultiStepLR sched({5}, 0.5);
+  EXPECT_DOUBLE_EQ(sched.multiplier_at(5), 0.5);
+}
+
+}  // namespace
+}  // namespace pt::optim

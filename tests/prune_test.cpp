@@ -1,0 +1,537 @@
+// Pruning machinery tests: group-lasso math (Eq. 2), penalty calibration
+// (Eq. 3), channel-variable analysis (channel union), reconfiguration
+// surgery with exact function preservation, dead-branch (layer) removal,
+// channel gating, sparsity monitoring, and snapshots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/flops.h"
+#include "models/builders.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/channel_index.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "prune/channel_analysis.h"
+#include "prune/gating.h"
+#include "prune/group_lasso.h"
+#include "prune/reconfigure.h"
+#include "prune/snapshot.h"
+#include "prune/sparsity_monitor.h"
+
+namespace pt::prune {
+namespace {
+
+models::ModelConfig tiny_cfg() {
+  models::ModelConfig cfg;
+  cfg.image_h = 8;
+  cfg.image_w = 8;
+  cfg.classes = 4;
+  cfg.width_mult = 0.25f;
+  return cfg;
+}
+
+/// Zeroes output channel `k` of a conv and neutralizes the following BN
+/// channel so pruning it preserves the function exactly.
+void kill_out_channel(graph::Network& net, int conv_node, int bn_node,
+                      std::int64_t k) {
+  auto& conv = net.layer_as<nn::Conv2d>(conv_node);
+  const std::int64_t len = conv.in_channels() * conv.kernel() * conv.kernel();
+  for (std::int64_t q = 0; q < len; ++q) {
+    conv.weight().value.data()[k * len + q] = 0.f;
+  }
+  auto& bn = net.layer_as<nn::BatchNorm2d>(bn_node);
+  bn.gamma().value.at(k) = 1.f;
+  bn.beta().value.at(k) = 0.f;
+  bn.running_mean().at(k) = 0.f;
+  bn.running_var().at(k) = 1.f;
+}
+
+/// Zeroes input channel `c` of a conv.
+void kill_in_channel(graph::Network& net, int conv_node, std::int64_t c) {
+  auto& conv = net.layer_as<nn::Conv2d>(conv_node);
+  const std::int64_t rs = conv.kernel() * conv.kernel();
+  for (std::int64_t k = 0; k < conv.out_channels(); ++k) {
+    for (std::int64_t q = 0; q < rs; ++q) {
+      conv.weight().value.data()[(k * conv.in_channels() + c) * rs + q] = 0.f;
+    }
+  }
+}
+
+// --- Group lasso -------------------------------------------------------------
+
+TEST(GroupLasso, LossMatchesHandComputation) {
+  graph::Network net;
+  Rng rng(1);
+  const int input = net.add_input();
+  auto conv = std::make_shared<nn::Conv2d>(2, 2, 1, 1, 0, rng);
+  // W[k][c][0][0] = [[1, 2], [3, 4]] (k major).
+  conv->weight().value = Tensor::from_values({2, 2, 1, 1}, {1, 2, 3, 4});
+  const int c = net.add_layer(conv, input);
+  net.set_output(c);
+  net.info.first_conv = -1;  // regularize everything, including in-groups
+  GroupLassoRegularizer reg(net);
+  // Out groups: ||(1,2)|| + ||(3,4)|| ; in groups: ||(1,3)|| + ||(2,4)||.
+  const double expected = std::sqrt(5.0) + std::sqrt(25.0) + std::sqrt(10.0) +
+                          std::sqrt(20.0);
+  EXPECT_NEAR(reg.loss(), expected, 1e-6);
+}
+
+TEST(GroupLasso, FirstConvInputGroupsExcluded) {
+  graph::Network net;
+  Rng rng(2);
+  const int input = net.add_input();
+  auto conv = std::make_shared<nn::Conv2d>(2, 2, 1, 1, 0, rng);
+  conv->weight().value = Tensor::from_values({2, 2, 1, 1}, {1, 2, 3, 4});
+  const int c = net.add_layer(conv, input);
+  net.set_output(c);
+  net.info.first_conv = c;
+  GroupLassoRegularizer reg(net);
+  EXPECT_NEAR(reg.loss(), std::sqrt(5.0) + std::sqrt(25.0), 1e-6);
+}
+
+TEST(GroupLasso, GradientMatchesFiniteDifference) {
+  graph::Network net;
+  Rng rng(3);
+  const int input = net.add_input();
+  auto conv = std::make_shared<nn::Conv2d>(3, 4, 3, 1, 1, rng);
+  const int c = net.add_layer(conv, input);
+  net.set_output(c);
+  net.info.first_conv = -1;
+  GroupLassoRegularizer reg(net);
+  const float lambda = 0.37f;
+  auto& w = net.layer_as<nn::Conv2d>(c).weight();
+  w.grad.fill(0.f);
+  reg.add_gradients(lambda);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < w.value.numel(); i += 5) {
+    const float orig = w.value.data()[i];
+    w.value.data()[i] = orig + eps;
+    const double lp = lambda * reg.loss();
+    w.value.data()[i] = orig - eps;
+    const double lm = lambda * reg.loss();
+    w.value.data()[i] = orig;
+    EXPECT_NEAR(w.grad.data()[i], (lp - lm) / (2 * eps), 2e-3) << "at " << i;
+  }
+}
+
+TEST(GroupLasso, ZeroGroupHasZeroSubgradient) {
+  graph::Network net;
+  Rng rng(4);
+  const int input = net.add_input();
+  auto conv = std::make_shared<nn::Conv2d>(1, 2, 1, 1, 0, rng);
+  conv->weight().value = Tensor::from_values({2, 1, 1, 1}, {0.f, 1.f});
+  const int c = net.add_layer(conv, input);
+  net.set_output(c);
+  net.info.first_conv = c;
+  GroupLassoRegularizer reg(net);
+  auto& w = net.layer_as<nn::Conv2d>(c).weight();
+  w.grad.fill(0.f);
+  reg.add_gradients(1.f);
+  EXPECT_EQ(w.grad.at(0, 0, 0, 0), 0.f);   // zero group: subgradient 0
+  EXPECT_NEAR(w.grad.at(1, 0, 0, 0), 1.f, 1e-6f);  // w/||w|| = 1
+}
+
+TEST(GroupLasso, RegularizationShrinksWeights) {
+  // Pure-lasso gradient descent must drive group norms toward zero.
+  graph::Network net;
+  Rng rng(5);
+  const int input = net.add_input();
+  auto conv = std::make_shared<nn::Conv2d>(4, 4, 3, 1, 1, rng);
+  const int c = net.add_layer(conv, input);
+  net.set_output(c);
+  net.info.first_conv = -1;
+  GroupLassoRegularizer reg(net);
+  auto& w = net.layer_as<nn::Conv2d>(c).weight();
+  const double before = reg.loss();
+  for (int step = 0; step < 50; ++step) {
+    w.grad.fill(0.f);
+    reg.add_gradients(1.f);
+    for (std::int64_t i = 0; i < w.value.numel(); ++i) {
+      w.value.data()[i] -= 0.01f * w.grad.data()[i];
+    }
+  }
+  EXPECT_LT(reg.loss(), before);
+}
+
+TEST(Calibration, LambdaAchievesExactRatio) {
+  for (float ratio : {0.05f, 0.1f, 0.2f, 0.25f, 0.3f}) {
+    const double class_loss = 2.3;
+    const double lasso = 140.0;
+    const float lambda = calibrate_lambda(ratio, class_loss, lasso);
+    EXPECT_NEAR(lasso_penalty_ratio(lambda, class_loss, lasso), ratio, 1e-6);
+  }
+}
+
+TEST(Calibration, RejectsBadInputs) {
+  EXPECT_THROW(calibrate_lambda(0.f, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_lambda(1.f, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(calibrate_lambda(0.2f, 1.0, 0.0), std::invalid_argument);
+}
+
+// --- Channel analysis ---------------------------------------------------------
+
+TEST(ChannelAnalysis, AdjacentConvsIntersectionRule) {
+  // conv1 -> bn -> relu -> conv2 chain: a channel survives unless BOTH
+  // conv1's out-group and conv2's in-group sparsified it.
+  graph::Network net;
+  Rng rng(10);
+  const int input = net.add_input();
+  auto c1 = std::make_shared<nn::Conv2d>(2, 4, 3, 1, 1, rng);
+  const int n1 = net.add_layer(c1, input);
+  auto bn = std::make_shared<nn::BatchNorm2d>(4);
+  const int n2 = net.add_layer(bn, n1);
+  auto relu = std::make_shared<nn::ReLU>();
+  const int n3 = net.add_layer(relu, n2);
+  auto c2 = std::make_shared<nn::Conv2d>(4, 2, 3, 1, 1, rng);
+  const int n4 = net.add_layer(c2, n3);
+  net.set_output(n4);
+  net.info.first_conv = n1;
+
+  // Channel 0: dead on both sides -> pruned. Channel 1: dead only in
+  // conv1-out -> kept (conv2 still reads it). Channel 2: dead only in
+  // conv2-in -> kept. Channel 3: alive both sides -> kept.
+  kill_out_channel(net, n1, n2, 0);
+  kill_in_channel(net, n4, 0);
+  kill_out_channel(net, n1, n2, 1);
+  kill_in_channel(net, n4, 2);
+
+  const auto analysis = analyze_channels(net, 1e-4f);
+  const auto& keep = analysis.keep_of(n1);
+  EXPECT_EQ(keep, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(ChannelAnalysis, InputVariableStaysDense) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  const auto analysis = analyze_channels(net, 1e10f);  // everything "sparse"
+  const auto& keep0 = analysis.vars[static_cast<std::size_t>(
+      analysis.var_of(0))].keep;
+  EXPECT_EQ(static_cast<std::int64_t>(keep0.size()), 3);  // RGB input kept
+}
+
+TEST(ChannelAnalysis, ResidualStageSharesOneVariable) {
+  // All convs bordering a residual stage's shared nodes must land in the
+  // same channel variable (channel union).
+  auto net = models::build_resnet_basic(20, tiny_cfg());
+  const auto analysis = analyze_channels(net, 1e-4f);
+  // Blocks 0..2 are stage 0 (identity shortcuts to the stem output).
+  const auto& blk0 = net.info.blocks[0];
+  const auto& blk1 = net.info.blocks[1];
+  const auto& blk2 = net.info.blocks[2];
+  const int v_add0 = analysis.var_of(blk0.add_node);
+  EXPECT_EQ(v_add0, analysis.var_of(blk1.add_node));
+  EXPECT_EQ(v_add0, analysis.var_of(blk2.add_node));
+  // The stem output is the same variable too (identity short-cut).
+  EXPECT_EQ(v_add0, analysis.var_of(net.info.first_conv));
+  // Stage 1 starts with a projection: new variable.
+  const auto& blk3 = net.info.blocks[3];
+  EXPECT_NE(v_add0, analysis.var_of(blk3.add_node));
+}
+
+TEST(ChannelAnalysis, UnionKeepsChannelAliveAnywhereInStage) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());  // 1 block per stage
+  // Stage 0: stem + block0. Zero stem-out channel 0 and block conv2-out
+  // channel 0, but leave block conv1's *input* weights for channel 0 alive:
+  // union must keep channel 0.
+  const auto& blk = net.info.blocks[0];
+  kill_out_channel(net, net.info.first_conv, net.info.first_conv + 1, 0);
+  kill_out_channel(net, blk.path_convs[1], blk.path_nodes[4], 0);
+  const auto analysis = analyze_channels(net, 1e-4f);
+  const auto& keep = analysis.keep_of(blk.add_node);
+  EXPECT_TRUE(std::find(keep.begin(), keep.end(), 0) != keep.end());
+}
+
+TEST(ChannelAnalysis, EmptyVariableKeepsStrongestChannel) {
+  graph::Network net;
+  Rng rng(11);
+  const int input = net.add_input();
+  auto c1 = std::make_shared<nn::Conv2d>(1, 3, 1, 1, 0, rng);
+  c1->weight().value = Tensor::from_values({3, 1, 1, 1}, {0.f, 1e-6f, 0.f});
+  const int n1 = net.add_layer(c1, input);
+  auto c2 = std::make_shared<nn::Conv2d>(3, 1, 1, 1, 0, rng);
+  c2->weight().value.fill(0.f);
+  const int n2 = net.add_layer(c2, n1);
+  net.set_output(n2);
+  net.info.first_conv = n1;
+  const auto analysis = analyze_channels(net, 1e-4f);
+  EXPECT_EQ(analysis.keep_of(n1), (std::vector<std::int64_t>{1}));
+}
+
+// --- Reconfiguration -----------------------------------------------------------
+
+TEST(Reconfigure, FunctionPreservedExactlyWhenChannelsDead) {
+  // VGG-style chain: kill a channel on both sides, reconfigure, and the
+  // network must compute the *same* outputs (eval mode).
+  auto cfg = tiny_cfg();
+  auto net = models::build_vgg(11, cfg);
+  Rng rng(12);
+  // conv 0 out-channel 1: vgg stage0 conv -> node ids: conv=1, bn=2.
+  kill_out_channel(net, 1, 2, 1);
+  const auto convs = net.nodes_of_type<nn::Conv2d>();
+  kill_in_channel(net, convs[1], 1);
+
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor before = net.forward(x, false).clone();
+  Reconfigurer rec(net, 1e-4f);
+  const auto stats = rec.reconfigure();
+  EXPECT_TRUE(stats.changed);
+  EXPECT_EQ(stats.channels_after, stats.channels_before - 1);
+  Tensor after = net.forward(x, false);
+  ASSERT_EQ(before.shape(), after.shape());
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(before.data()[i], after.data()[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(Reconfigure, ResidualStageFunctionPreserved) {
+  auto cfg = tiny_cfg();
+  auto net = models::build_resnet_basic(8, cfg);
+  Rng rng(13);
+  // Kill channel 2 of the stage-0 variable everywhere it is written or
+  // read: stem out, block conv1 in, block conv2 out (+BN), next stage
+  // projection & conv1 in.
+  const auto& blk0 = net.info.blocks[0];
+  const auto& blk1 = net.info.blocks[1];
+  kill_out_channel(net, net.info.first_conv, net.info.first_conv + 1, 2);
+  kill_in_channel(net, blk0.path_convs[0], 2);
+  kill_out_channel(net, blk0.path_convs[1], blk0.path_nodes[4], 2);
+  kill_in_channel(net, blk1.path_convs[0], 2);
+  kill_in_channel(net, blk1.shortcut_conv, 2);
+
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor before = net.forward(x, false).clone();
+  Reconfigurer rec(net, 1e-4f);
+  const auto stats = rec.reconfigure();
+  EXPECT_TRUE(stats.changed);
+  Tensor after = net.forward(x, false);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(before.data()[i], after.data()[i], 1e-4f);
+  }
+}
+
+TEST(Reconfigure, MomentumPreservedForSurvivors) {
+  auto net = models::build_vgg(11, tiny_cfg());
+  // Tag momentum of conv1 (the second conv).
+  const auto convs = net.nodes_of_type<nn::Conv2d>();
+  auto& conv = net.layer_as<nn::Conv2d>(convs[1]);
+  for (std::int64_t i = 0; i < conv.weight().momentum.numel(); ++i) {
+    conv.weight().momentum.data()[i] = float(i);
+  }
+  kill_out_channel(net, 1, 2, 0);
+  kill_in_channel(net, convs[1], 0);
+  const std::int64_t in_before = conv.in_channels();
+  const std::int64_t rs = conv.kernel() * conv.kernel();
+  const float expected = conv.weight().momentum.at(0, 1, 0, 0);
+  Reconfigurer rec(net, 1e-4f);
+  rec.reconfigure();
+  // Input channel 0 removed: new [0][0] was old [0][1].
+  EXPECT_EQ(conv.in_channels(), in_before - 1);
+  EXPECT_FLOAT_EQ(conv.weight().momentum.at(0, 0, 0, 0), expected);
+  (void)rs;
+}
+
+TEST(Reconfigure, DeadBranchRemovedAndBypassed) {
+  auto net = models::build_resnet_basic(20, tiny_cfg());
+  // Kill every out-channel of block 1's first conv: whole branch dies.
+  const auto& blk = net.info.blocks[1];
+  auto& conv = net.layer_as<nn::Conv2d>(blk.path_convs[0]);
+  conv.weight().value.fill(0.f);
+  const std::int64_t convs_before = models::count_conv_layers(net);
+  Reconfigurer rec(net, 1e-4f);
+  const auto stats = rec.reconfigure();
+  EXPECT_EQ(stats.blocks_removed, 1);
+  EXPECT_EQ(stats.convs_removed, 2);
+  EXPECT_EQ(models::count_conv_layers(net), convs_before - 2);
+  EXPECT_TRUE(net.info.blocks[1].removed);
+  // The network still trains and evaluates.
+  Rng rng(14);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_EQ(net.forward(x, false).shape(), (Shape{2, 4}));
+}
+
+TEST(Reconfigure, DeadBranchFunctionPreservedWithIdentityShortcut) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  const auto& blk = net.info.blocks[0];  // identity shortcut
+  // Kill the *last* conv of the branch and neutralize its BN: branch
+  // contributes exactly zero, so removal is exact.
+  auto& conv = net.layer_as<nn::Conv2d>(blk.path_convs[1]);
+  conv.weight().value.fill(0.f);
+  auto& bn = net.layer_as<nn::BatchNorm2d>(blk.path_nodes[4]);
+  bn.beta().value.fill(0.f);
+  bn.running_mean().fill(0.f);
+  bn.running_var().fill(1.f);
+
+  Rng rng(15);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor before = net.forward(x, false).clone();
+  Reconfigurer rec(net, 1e-4f);
+  const auto stats = rec.reconfigure();
+  EXPECT_EQ(stats.blocks_removed, 1);
+  Tensor after = net.forward(x, false);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(before.data()[i], after.data()[i], 1e-4f);
+  }
+}
+
+TEST(Reconfigure, NoopWhenNothingSparse) {
+  auto net = models::build_resnet_basic(20, tiny_cfg());
+  Reconfigurer rec(net, 1e-8f);  // threshold below any initialized weight
+  const auto stats = rec.reconfigure();
+  EXPECT_FALSE(stats.changed);
+  EXPECT_EQ(stats.channels_before, stats.channels_after);
+}
+
+TEST(Reconfigure, ClassifierInputsFollowLastStage) {
+  auto net = models::build_vgg(11, tiny_cfg());
+  const auto convs = net.nodes_of_type<nn::Conv2d>();
+  const int last_conv = convs.back();
+  auto& conv = net.layer_as<nn::Conv2d>(last_conv);
+  const int bn_after = net.consumer_map()[static_cast<std::size_t>(last_conv)][0];
+  kill_out_channel(net, last_conv, bn_after, 3);
+  auto& fc = net.layer_as<nn::Linear>(net.info.classifier);
+  const std::int64_t fc_in_before = fc.in_features();
+  Reconfigurer rec(net, 1e-4f);
+  rec.reconfigure();
+  EXPECT_EQ(fc.in_features(), fc_in_before - 1);
+  EXPECT_EQ(conv.out_channels(), fc_in_before - 1);
+}
+
+// --- Channel gating -------------------------------------------------------------
+
+TEST(Gating, InsertsGatesAndPreservesFunction) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  Rng rng(16);
+  const auto& blk = net.info.blocks[1];  // stage-1 block (projection shortcut)
+  // Make the branch's first conv ignore channel 1 (its own dense_in is a
+  // proper subset of the union) and its last conv emit nothing on channel 0.
+  kill_in_channel(net, blk.path_convs[0], 1);
+  kill_out_channel(net, blk.path_convs[1], blk.path_nodes[4], 0);
+
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  // Union reconfigure first (gating builds on the union model).
+  Reconfigurer rec(net, 1e-4f);
+  rec.reconfigure();
+  Tensor union_out = net.forward(x, false).clone();
+
+  const auto stats = apply_channel_gating(net, 1e-4f);
+  EXPECT_EQ(stats.selects_inserted, 1);
+  EXPECT_EQ(stats.scatters_inserted, 1);
+  EXPECT_GT(stats.channels_gated_away, 0);
+
+  Tensor gated_out = net.forward(x, false);
+  ASSERT_EQ(union_out.shape(), gated_out.shape());
+  for (std::int64_t i = 0; i < union_out.numel(); ++i) {
+    EXPECT_NEAR(union_out.data()[i], gated_out.data()[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(Gating, ReducesConvFlopsVsUnion) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  const auto& blk = net.info.blocks[1];
+  kill_in_channel(net, blk.path_convs[0], 1);
+  kill_in_channel(net, blk.path_convs[0], 2);
+  Reconfigurer rec(net, 1e-4f);
+  rec.reconfigure();
+  cost::FlopsModel union_flops(net, {3, 8, 8});
+  apply_channel_gating(net, 1e-4f);
+  cost::FlopsModel gated_flops(net, {3, 8, 8});
+  EXPECT_LT(gated_flops.inference_flops(), union_flops.inference_flops());
+}
+
+TEST(Gating, NoGatesWhenBranchFullyDense) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  Reconfigurer rec(net, 1e-8f);
+  rec.reconfigure();
+  const auto stats = apply_channel_gating(net, 1e-8f);
+  EXPECT_EQ(stats.selects_inserted, 0);
+  EXPECT_EQ(stats.scatters_inserted, 0);
+}
+
+// --- Sparsity monitor ------------------------------------------------------------
+
+TEST(SparsityMonitor, RecordsPerChannelMaxAbs) {
+  auto net = models::build_vgg(11, tiny_cfg());
+  SparsityMonitor mon(net);
+  mon.record(0);
+  const auto convs = net.nodes_of_type<nn::Conv2d>();
+  auto& conv = net.layer_as<nn::Conv2d>(convs[0]);
+  conv.weight().value.fill(0.f);
+  mon.record(1);
+  const auto& h = mon.history()[0];
+  ASSERT_EQ(h.max_abs.size(), 2u);
+  EXPECT_GT(h.max_abs[0][0], 0.f);
+  EXPECT_EQ(h.max_abs[1][0], 0.f);
+}
+
+TEST(SparsityMonitor, CountsRevivals) {
+  auto net = models::build_vgg(11, tiny_cfg());
+  SparsityMonitor mon(net);
+  const auto convs = net.nodes_of_type<nn::Conv2d>();
+  auto& conv = net.layer_as<nn::Conv2d>(convs[0]);
+  conv.weight().value.fill(0.f);
+  mon.record(0);
+  EXPECT_EQ(mon.count_revivals(1e-4f), 0);
+  conv.weight().value.fill(0.5f);  // everything revives
+  mon.record(1);
+  EXPECT_EQ(mon.count_revivals(1e-4f), conv.out_channels());
+}
+
+TEST(SparsityMonitor, ReconfigurationResetsComparisonWindow) {
+  auto net = models::build_vgg(11, tiny_cfg());
+  SparsityMonitor mon(net);
+  mon.record(0);
+  // Shrink conv0 between records: widths differ, no revival comparison.
+  const auto convs = net.nodes_of_type<nn::Conv2d>();
+  auto& conv = net.layer_as<nn::Conv2d>(convs[0]);
+  std::vector<std::int64_t> keep_in{0, 1, 2}, keep_out;
+  for (std::int64_t k = 1; k < conv.out_channels(); ++k) keep_out.push_back(k);
+  conv.shrink(keep_in, keep_out);
+  mon.record(1);
+  EXPECT_EQ(mon.count_revivals(1e-4f), 0);
+}
+
+TEST(LayerDensities, ReflectSparsity) {
+  auto net = models::build_vgg(11, tiny_cfg());
+  kill_out_channel(net, 1, 2, 0);
+  const auto densities = layer_densities(net, 1e-4f);
+  ASSERT_FALSE(densities.empty());
+  const auto& first = densities[0];
+  auto& conv = net.layer_as<nn::Conv2d>(1);
+  EXPECT_NEAR(first.channel_density,
+              double(conv.out_channels() - 1) / double(conv.out_channels()), 1e-9);
+  EXPECT_LT(first.weight_density, 1.0);
+  EXPECT_GT(first.weight_density, 0.0);
+}
+
+// --- Snapshots -------------------------------------------------------------------
+
+TEST(Snapshot, RoundTripRestoresEverything) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  Rng rng(17);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  // Mutate BN running stats via a training forward.
+  net.forward(x, true);
+  const Snapshot snap = save_state(net);
+  Tensor before = net.forward(x, false).clone();
+  // Scramble all state.
+  for (nn::Param* p : net.params()) p->value.fill(0.123f);
+  load_state(net, snap);
+  Tensor after = net.forward(x, false);
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+TEST(Snapshot, SizeMismatchThrows) {
+  auto net = models::build_resnet_basic(8, tiny_cfg());
+  Snapshot snap = save_state(net);
+  snap.values.pop_back();
+  EXPECT_THROW(load_state(net, snap), std::invalid_argument);
+  snap.values.push_back(0.f);
+  snap.values.push_back(0.f);
+  EXPECT_THROW(load_state(net, snap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pt::prune

@@ -1,0 +1,114 @@
+// Utility tests: table rendering/CSV escaping, CLI flag parsing, logging
+// levels, timers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/cli.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace pt {
+namespace {
+
+TEST(Table, RendersAlignedText) {
+  Table t({"model", "flops"});
+  t.add_row({"resnet50", "123.4"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("model"), std::string::npos);
+  EXPECT_NE(text.find("resnet50"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, ArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumericRows) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.rows()[0][0], "1.23");
+  EXPECT_EQ(t.rows()[0][1], "2.00");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name"});
+  t.add_row({"a,b"});
+  t.add_row({"q\"uote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Table, WritesCsvFile) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  const std::string path = "/tmp/pt_table_test.csv";
+  t.print(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-1.0, 0), "-1");
+}
+
+TEST(Cli, ParsesAllForms) {
+  CliFlags flags;
+  flags.define("alpha", "1.0", "");
+  flags.define("name", "x", "");
+  flags.define("quick", "false", "");
+  flags.define("count", "3", "");
+  const char* argv[] = {"prog", "--alpha=2.5", "--name", "model", "--quick"};
+  flags.parse(5, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), 2.5);
+  EXPECT_EQ(flags.get("name"), "model");
+  EXPECT_TRUE(flags.get_bool("quick"));
+  EXPECT_EQ(flags.get_int("count"), 3);  // default preserved
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliFlags flags;
+  flags.define("a", "1", "");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(flags.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpRequested) {
+  CliFlags flags;
+  flags.define("a", "1", "doc for a");
+  const char* argv[] = {"prog", "--help"};
+  flags.parse(2, argv);
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.usage("prog").find("doc for a"), std::string::npos);
+}
+
+TEST(Cli, UndefinedGetThrows) {
+  CliFlags flags;
+  EXPECT_THROW(flags.get("nope"), std::invalid_argument);
+}
+
+TEST(Logging, LevelFilters) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log_info("should not crash (filtered)");
+  set_log_level(before);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace pt
