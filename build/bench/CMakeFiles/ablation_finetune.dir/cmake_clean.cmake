@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_finetune.dir/ablation_finetune.cpp.o"
+  "CMakeFiles/ablation_finetune.dir/ablation_finetune.cpp.o.d"
+  "ablation_finetune"
+  "ablation_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

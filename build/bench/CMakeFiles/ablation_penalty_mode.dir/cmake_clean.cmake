@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_penalty_mode.dir/ablation_penalty_mode.cpp.o"
+  "CMakeFiles/ablation_penalty_mode.dir/ablation_penalty_mode.cpp.o.d"
+  "ablation_penalty_mode"
+  "ablation_penalty_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_penalty_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_reconfig_interval.dir/fig10_reconfig_interval.cpp.o"
+  "CMakeFiles/fig10_reconfig_interval.dir/fig10_reconfig_interval.cpp.o.d"
+  "fig10_reconfig_interval"
+  "fig10_reconfig_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_reconfig_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

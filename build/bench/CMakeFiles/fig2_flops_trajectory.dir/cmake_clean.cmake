@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_flops_trajectory.dir/fig2_flops_trajectory.cpp.o"
+  "CMakeFiles/fig2_flops_trajectory.dir/fig2_flops_trajectory.cpp.o.d"
+  "fig2_flops_trajectory"
+  "fig2_flops_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_flops_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

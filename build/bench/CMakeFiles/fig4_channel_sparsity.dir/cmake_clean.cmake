@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_channel_sparsity.dir/fig4_channel_sparsity.cpp.o"
+  "CMakeFiles/fig4_channel_sparsity.dir/fig4_channel_sparsity.cpp.o.d"
+  "fig4_channel_sparsity"
+  "fig4_channel_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_channel_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_union_vs_gating_flops.dir/fig6_union_vs_gating_flops.cpp.o"
+  "CMakeFiles/fig6_union_vs_gating_flops.dir/fig6_union_vs_gating_flops.cpp.o.d"
+  "fig6_union_vs_gating_flops"
+  "fig6_union_vs_gating_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_union_vs_gating_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

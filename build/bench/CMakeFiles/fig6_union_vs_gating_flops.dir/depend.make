@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_union_vs_gating_flops.
+# This may be replaced when dependencies are built.

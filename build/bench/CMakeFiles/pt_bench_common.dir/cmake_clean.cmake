@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_bench_common.dir/common.cpp.o"
+  "CMakeFiles/pt_bench_common.dir/common.cpp.o.d"
+  "libpt_bench_common.a"
+  "libpt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_inference_perf.dir/table2_inference_perf.cpp.o"
+  "CMakeFiles/table2_inference_perf.dir/table2_inference_perf.cpp.o.d"
+  "table2_inference_perf"
+  "table2_inference_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_inference_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_dynamic_minibatch.dir/table4_dynamic_minibatch.cpp.o"
+  "CMakeFiles/table4_dynamic_minibatch.dir/table4_dynamic_minibatch.cpp.o.d"
+  "table4_dynamic_minibatch"
+  "table4_dynamic_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dynamic_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

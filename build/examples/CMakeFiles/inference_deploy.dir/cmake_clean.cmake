@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_deploy.dir/inference_deploy.cpp.o"
+  "CMakeFiles/inference_deploy.dir/inference_deploy.cpp.o.d"
+  "inference_deploy"
+  "inference_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

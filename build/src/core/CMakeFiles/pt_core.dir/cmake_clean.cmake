@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_core.dir/dynamic_batch.cpp.o"
+  "CMakeFiles/pt_core.dir/dynamic_batch.cpp.o.d"
+  "CMakeFiles/pt_core.dir/trainer.cpp.o"
+  "CMakeFiles/pt_core.dir/trainer.cpp.o.d"
+  "libpt_core.a"
+  "libpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/comm.cpp" "src/cost/CMakeFiles/pt_cost.dir/comm.cpp.o" "gcc" "src/cost/CMakeFiles/pt_cost.dir/comm.cpp.o.d"
+  "/root/repo/src/cost/device.cpp" "src/cost/CMakeFiles/pt_cost.dir/device.cpp.o" "gcc" "src/cost/CMakeFiles/pt_cost.dir/device.cpp.o.d"
+  "/root/repo/src/cost/flops.cpp" "src/cost/CMakeFiles/pt_cost.dir/flops.cpp.o" "gcc" "src/cost/CMakeFiles/pt_cost.dir/flops.cpp.o.d"
+  "/root/repo/src/cost/memory.cpp" "src/cost/CMakeFiles/pt_cost.dir/memory.cpp.o" "gcc" "src/cost/CMakeFiles/pt_cost.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_cost.dir/comm.cpp.o"
+  "CMakeFiles/pt_cost.dir/comm.cpp.o.d"
+  "CMakeFiles/pt_cost.dir/device.cpp.o"
+  "CMakeFiles/pt_cost.dir/device.cpp.o.d"
+  "CMakeFiles/pt_cost.dir/flops.cpp.o"
+  "CMakeFiles/pt_cost.dir/flops.cpp.o.d"
+  "CMakeFiles/pt_cost.dir/memory.cpp.o"
+  "CMakeFiles/pt_cost.dir/memory.cpp.o.d"
+  "libpt_cost.a"
+  "libpt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

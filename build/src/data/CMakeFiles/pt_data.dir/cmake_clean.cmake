@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_data.dir/loader.cpp.o"
+  "CMakeFiles/pt_data.dir/loader.cpp.o.d"
+  "CMakeFiles/pt_data.dir/synthetic.cpp.o"
+  "CMakeFiles/pt_data.dir/synthetic.cpp.o.d"
+  "libpt_data.a"
+  "libpt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_dist.dir/cluster.cpp.o"
+  "CMakeFiles/pt_dist.dir/cluster.cpp.o.d"
+  "libpt_dist.a"
+  "libpt_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

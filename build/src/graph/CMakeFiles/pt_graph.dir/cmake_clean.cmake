@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_graph.dir/network.cpp.o"
+  "CMakeFiles/pt_graph.dir/network.cpp.o.d"
+  "libpt_graph.a"
+  "libpt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

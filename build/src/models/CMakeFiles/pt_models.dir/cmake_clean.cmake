@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_models.dir/builders.cpp.o"
+  "CMakeFiles/pt_models.dir/builders.cpp.o.d"
+  "libpt_models.a"
+  "libpt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

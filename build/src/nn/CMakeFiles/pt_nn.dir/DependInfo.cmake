@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/pt_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/pt_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/channel_index.cpp" "src/nn/CMakeFiles/pt_nn.dir/channel_index.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/channel_index.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/pt_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/pt_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/pt_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pt_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/pt_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/pt_nn.dir/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

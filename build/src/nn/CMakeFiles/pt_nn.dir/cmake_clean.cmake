@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_nn.dir/activations.cpp.o"
+  "CMakeFiles/pt_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/pt_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/channel_index.cpp.o"
+  "CMakeFiles/pt_nn.dir/channel_index.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/pt_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/layer.cpp.o"
+  "CMakeFiles/pt_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/linear.cpp.o"
+  "CMakeFiles/pt_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/loss.cpp.o"
+  "CMakeFiles/pt_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pt_nn.dir/pool.cpp.o"
+  "CMakeFiles/pt_nn.dir/pool.cpp.o.d"
+  "libpt_nn.a"
+  "libpt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

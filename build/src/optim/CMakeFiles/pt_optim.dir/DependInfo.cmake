@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/lr_schedule.cpp" "src/optim/CMakeFiles/pt_optim.dir/lr_schedule.cpp.o" "gcc" "src/optim/CMakeFiles/pt_optim.dir/lr_schedule.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/optim/CMakeFiles/pt_optim.dir/sgd.cpp.o" "gcc" "src/optim/CMakeFiles/pt_optim.dir/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

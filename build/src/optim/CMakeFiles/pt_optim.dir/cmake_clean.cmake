@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_optim.dir/lr_schedule.cpp.o"
+  "CMakeFiles/pt_optim.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/pt_optim.dir/sgd.cpp.o"
+  "CMakeFiles/pt_optim.dir/sgd.cpp.o.d"
+  "libpt_optim.a"
+  "libpt_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prune/channel_analysis.cpp" "src/prune/CMakeFiles/pt_prune.dir/channel_analysis.cpp.o" "gcc" "src/prune/CMakeFiles/pt_prune.dir/channel_analysis.cpp.o.d"
+  "/root/repo/src/prune/gating.cpp" "src/prune/CMakeFiles/pt_prune.dir/gating.cpp.o" "gcc" "src/prune/CMakeFiles/pt_prune.dir/gating.cpp.o.d"
+  "/root/repo/src/prune/group_lasso.cpp" "src/prune/CMakeFiles/pt_prune.dir/group_lasso.cpp.o" "gcc" "src/prune/CMakeFiles/pt_prune.dir/group_lasso.cpp.o.d"
+  "/root/repo/src/prune/reconfigure.cpp" "src/prune/CMakeFiles/pt_prune.dir/reconfigure.cpp.o" "gcc" "src/prune/CMakeFiles/pt_prune.dir/reconfigure.cpp.o.d"
+  "/root/repo/src/prune/snapshot.cpp" "src/prune/CMakeFiles/pt_prune.dir/snapshot.cpp.o" "gcc" "src/prune/CMakeFiles/pt_prune.dir/snapshot.cpp.o.d"
+  "/root/repo/src/prune/sparsity_monitor.cpp" "src/prune/CMakeFiles/pt_prune.dir/sparsity_monitor.cpp.o" "gcc" "src/prune/CMakeFiles/pt_prune.dir/sparsity_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_prune.dir/channel_analysis.cpp.o"
+  "CMakeFiles/pt_prune.dir/channel_analysis.cpp.o.d"
+  "CMakeFiles/pt_prune.dir/gating.cpp.o"
+  "CMakeFiles/pt_prune.dir/gating.cpp.o.d"
+  "CMakeFiles/pt_prune.dir/group_lasso.cpp.o"
+  "CMakeFiles/pt_prune.dir/group_lasso.cpp.o.d"
+  "CMakeFiles/pt_prune.dir/reconfigure.cpp.o"
+  "CMakeFiles/pt_prune.dir/reconfigure.cpp.o.d"
+  "CMakeFiles/pt_prune.dir/snapshot.cpp.o"
+  "CMakeFiles/pt_prune.dir/snapshot.cpp.o.d"
+  "CMakeFiles/pt_prune.dir/sparsity_monitor.cpp.o"
+  "CMakeFiles/pt_prune.dir/sparsity_monitor.cpp.o.d"
+  "libpt_prune.a"
+  "libpt_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

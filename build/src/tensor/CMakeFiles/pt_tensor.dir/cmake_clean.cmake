@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/pt_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/pt_tensor.dir/ops.cpp.o"
+  "CMakeFiles/pt_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/pt_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/pt_tensor.dir/tensor.cpp.o.d"
+  "libpt_tensor.a"
+  "libpt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_util.dir/cli.cpp.o"
+  "CMakeFiles/pt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pt_util.dir/logging.cpp.o"
+  "CMakeFiles/pt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pt_util.dir/rng.cpp.o"
+  "CMakeFiles/pt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pt_util.dir/table.cpp.o"
+  "CMakeFiles/pt_util.dir/table.cpp.o.d"
+  "libpt_util.a"
+  "libpt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
