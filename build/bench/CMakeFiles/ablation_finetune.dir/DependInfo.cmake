@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/pt_core.dir/DependInfo.cmake"
   "/root/repo/build/src/models/CMakeFiles/pt_models.dir/DependInfo.cmake"
   "/root/repo/build/src/prune/CMakeFiles/pt_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/pt_ckpt.dir/DependInfo.cmake"
   "/root/repo/build/src/dist/CMakeFiles/pt_dist.dir/DependInfo.cmake"
   "/root/repo/build/src/optim/CMakeFiles/pt_optim.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/pt_data.dir/DependInfo.cmake"

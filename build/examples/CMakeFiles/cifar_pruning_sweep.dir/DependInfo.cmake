@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cost/CMakeFiles/pt_cost.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
   "/root/repo/build/src/models/CMakeFiles/pt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/pt_ckpt.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/pt_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/optim/CMakeFiles/pt_optim.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/pt_nn.dir/DependInfo.cmake"

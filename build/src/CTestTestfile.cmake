@@ -13,5 +13,6 @@ subdirs("data")
 subdirs("models")
 subdirs("cost")
 subdirs("prune")
+subdirs("ckpt")
 subdirs("dist")
 subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/pt_ckpt.dir/checkpoint.cpp.o.d"
+  "libpt_ckpt.a"
+  "libpt_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -231,14 +231,26 @@ src/core/CMakeFiles/pt_core.dir/trainer.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/cost/flops.h \
- /root/repo/src/cost/memory.h /root/repo/src/models/builders.h \
- /root/repo/src/nn/conv2d.h /root/repo/src/tensor/im2col.h \
- /root/repo/src/nn/loss.h /root/repo/src/optim/lr_schedule.h \
- /root/repo/src/optim/sgd.h /root/repo/src/prune/group_lasso.h \
- /root/repo/src/prune/reconfigure.h /root/repo/src/util/logging.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
+ /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
+ /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/ckpt/checkpoint.h /root/repo/src/ckpt/serialize.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/cost/flops.h /root/repo/src/cost/memory.h \
+ /root/repo/src/models/builders.h /root/repo/src/nn/conv2d.h \
+ /root/repo/src/tensor/im2col.h /root/repo/src/nn/loss.h \
+ /root/repo/src/optim/lr_schedule.h /root/repo/src/optim/sgd.h \
+ /root/repo/src/prune/group_lasso.h /root/repo/src/prune/reconfigure.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/chrono

@@ -20,9 +20,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/graph/CMakeFiles/pt_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/cost/CMakeFiles/pt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/pt_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/pt_tensor.dir/DependInfo.cmake"
-  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -206,9 +206,5 @@ src/prune/CMakeFiles/pt_prune.dir/snapshot.cpp.o: \
  /root/repo/src/tensor/tensor.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/util/rng.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/nn/batchnorm.h
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/fileio.h

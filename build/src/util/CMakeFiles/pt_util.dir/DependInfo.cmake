@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/pt_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/pt_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/fileio.cpp" "src/util/CMakeFiles/pt_util.dir/fileio.cpp.o" "gcc" "src/util/CMakeFiles/pt_util.dir/fileio.cpp.o.d"
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/pt_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/pt_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/pt_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/pt_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/pt_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/pt_util.dir/table.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/pt_util.dir/cli.cpp.o"
   "CMakeFiles/pt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pt_util.dir/fileio.cpp.o"
+  "CMakeFiles/pt_util.dir/fileio.cpp.o.d"
   "CMakeFiles/pt_util.dir/logging.cpp.o"
   "CMakeFiles/pt_util.dir/logging.cpp.o.d"
   "CMakeFiles/pt_util.dir/rng.cpp.o"

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ckpt_test.cpp" "tests/CMakeFiles/test_ckpt.dir/ckpt_test.cpp.o" "gcc" "tests/CMakeFiles/test_ckpt.dir/ckpt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/pt_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/pt_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/pt_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/pt_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_asan.dir/ckpt_test.cpp.o"
+  "CMakeFiles/test_ckpt_asan.dir/ckpt_test.cpp.o.d"
+  "test_ckpt_asan"
+  "test_ckpt_asan.pdb"
+  "test_ckpt_asan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_asan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

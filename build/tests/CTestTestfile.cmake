@@ -18,3 +18,5 @@ include("/root/repo/build/tests/test_util[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt[1]_include.cmake")
+include("/root/repo/build/tests/test_ckpt_asan[1]_include.cmake")

@@ -1,12 +1,17 @@
 // Quickstart: train a ResNet with PruneTrain and watch the model shrink.
 //
-//   $ ./quickstart [--epochs N] [--ratio R]
+//   $ ./quickstart [--epochs N] [--ratio R] [--checkpoint-dir D] [--resume F]
 //
 // Builds a CIFAR-style ResNet-20 on the synthetic CIFAR-10 stand-in,
 // trains it with group-lasso regularization from iteration 0, and
 // reconfigures the network every few epochs. Prints the per-epoch model
 // size, cost, and accuracy, then the final summary against the dense
 // starting point.
+//
+// With --checkpoint-dir the trainer writes a crash-safe checkpoint
+// (reconfigured model + full training context) after every epoch; after an
+// interruption, --resume <dir>/ckpt-latest.bin continues the run exactly
+// where it stopped.
 #include <iostream>
 
 #include "core/trainer.h"
@@ -19,6 +24,10 @@ int main(int argc, char** argv) {
   pt::CliFlags flags;
   flags.define("epochs", "36", "training epochs");
   flags.define("ratio", "0.25", "group-lasso penalty ratio (Eq. 3 target)");
+  flags.define("checkpoint-dir", "",
+               "write crash-safe per-epoch checkpoints into this directory");
+  flags.define("resume", "", "resume from a checkpoint file (e.g. "
+               "<dir>/ckpt-latest.bin)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage("quickstart");
@@ -50,6 +59,8 @@ int main(int argc, char** argv) {
   cfg.lasso_boost = 150.f;  // proxy-scale time compression (see DESIGN.md)
   cfg.reconfig_interval = std::max<std::int64_t>(2, epochs / 6);
   cfg.eval_interval = 4;
+  cfg.checkpoint_dir = flags.get("checkpoint-dir");
+  cfg.resume_from = flags.get("resume");
 
   pt::core::PruneTrainer trainer(net, dataset, cfg);
   const auto result = trainer.run();

@@ -1,0 +1,325 @@
+#include "ckpt/checkpoint.h"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "ckpt/serialize.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/channel_index.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "util/fileio.h"
+
+namespace pt::ckpt {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'T', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void Checkpoint::set_section(const std::string& name,
+                             std::vector<std::uint8_t> bytes) {
+  sections_[name] = std::move(bytes);
+}
+
+const std::vector<std::uint8_t>* Checkpoint::section(
+    const std::string& name) const {
+  auto it = sections_.find(name);
+  return it == sections_.end() ? nullptr : &it->second;
+}
+
+Checkpoint Checkpoint::capture(graph::Network& net) {
+  Checkpoint ck;
+  ck.nodes_.reserve(net.num_nodes());
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    graph::Node& n = net.node(static_cast<int>(i));
+    NodeRecord rec;
+    rec.kind = static_cast<std::uint8_t>(n.kind);
+    rec.inputs.assign(n.inputs.begin(), n.inputs.end());
+    if (n.kind == graph::Node::Kind::kLayer) {
+      rec.type = n.layer->type();
+      rec.name = n.layer->name();
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(n.layer.get())) {
+        rec.geom_i = {conv->in_channels(), conv->out_channels(), conv->kernel(),
+                      conv->stride(), conv->pad(),
+                      conv->has_bias() ? std::int64_t{1} : std::int64_t{0}};
+      } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(n.layer.get())) {
+        rec.geom_i = {bn->channels()};
+        rec.geom_f = {bn->bn_momentum(), bn->eps()};
+      } else if (auto* fc = dynamic_cast<nn::Linear*>(n.layer.get())) {
+        rec.geom_i = {fc->in_features(), fc->out_features(),
+                      fc->has_bias() ? std::int64_t{1} : std::int64_t{0}};
+      } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(n.layer.get())) {
+        rec.geom_i = {pool->window()};
+      } else if (auto* sel = dynamic_cast<nn::ChannelSelect*>(n.layer.get())) {
+        rec.indices = sel->indices();
+        rec.geom_i = {sel->in_channels()};
+      } else if (auto* sc = dynamic_cast<nn::ChannelScatter*>(n.layer.get())) {
+        rec.indices = sc->indices();
+        rec.geom_i = {sc->out_channels()};
+      } else if (dynamic_cast<nn::ReLU*>(n.layer.get()) != nullptr ||
+                 dynamic_cast<nn::GlobalAvgPool*>(n.layer.get()) != nullptr) {
+        // stateless, no geometry
+      } else {
+        throw std::runtime_error("Checkpoint::capture: unsupported layer type " +
+                                 rec.type + " (node " + std::to_string(i) + ")");
+      }
+    }
+    ck.nodes_.push_back(std::move(rec));
+  }
+  ck.output_ = net.output();
+  ck.first_conv_ = net.info.first_conv;
+  ck.classifier_ = net.info.classifier;
+  ck.blocks_ = net.info.blocks;
+
+  for (const nn::StateEntry& e : net.state()) {
+    if (e.role == nn::StateRole::kGrad) continue;  // transient
+    TensorRecord t;
+    t.name = e.name;
+    t.role = e.role;
+    t.dims = e.tensor->shape().dims();
+    t.values.assign(e.tensor->data(), e.tensor->data() + e.tensor->numel());
+    ck.tensors_.push_back(std::move(t));
+  }
+  return ck;
+}
+
+graph::Network Checkpoint::restore_network() const {
+  graph::Network net;
+  Rng init_rng(0);  // layer ctors draw init weights; all overwritten below
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeRecord& rec = nodes_[i];
+    graph::Node n;
+    n.kind = static_cast<graph::Node::Kind>(rec.kind);
+    n.inputs.assign(rec.inputs.begin(), rec.inputs.end());
+    if (n.kind == graph::Node::Kind::kLayer) {
+      nn::LayerPtr layer;
+      auto need = [&](std::size_t count) {
+        if (rec.geom_i.size() < count) {
+          throw std::runtime_error("checkpoint: bad geometry for node " +
+                                   std::to_string(i) + " (" + rec.type + ")");
+        }
+      };
+      if (rec.type == "Conv2d") {
+        need(6);
+        layer = std::make_shared<nn::Conv2d>(rec.geom_i[0], rec.geom_i[1],
+                                             rec.geom_i[2], rec.geom_i[3],
+                                             rec.geom_i[4], init_rng,
+                                             rec.geom_i[5] != 0);
+      } else if (rec.type == "BatchNorm2d") {
+        need(1);
+        if (rec.geom_f.size() < 2) {
+          throw std::runtime_error("checkpoint: bad BN geometry for node " +
+                                   std::to_string(i));
+        }
+        layer = std::make_shared<nn::BatchNorm2d>(rec.geom_i[0], rec.geom_f[0],
+                                                  rec.geom_f[1]);
+      } else if (rec.type == "Linear") {
+        need(3);
+        layer = std::make_shared<nn::Linear>(rec.geom_i[0], rec.geom_i[1],
+                                             init_rng, rec.geom_i[2] != 0);
+      } else if (rec.type == "ReLU") {
+        layer = std::make_shared<nn::ReLU>();
+      } else if (rec.type == "MaxPool2d") {
+        need(1);
+        layer = std::make_shared<nn::MaxPool2d>(rec.geom_i[0]);
+      } else if (rec.type == "GlobalAvgPool") {
+        layer = std::make_shared<nn::GlobalAvgPool>();
+      } else if (rec.type == "ChannelSelect") {
+        need(1);
+        layer = std::make_shared<nn::ChannelSelect>(rec.indices, rec.geom_i[0]);
+      } else if (rec.type == "ChannelScatter") {
+        need(1);
+        layer = std::make_shared<nn::ChannelScatter>(rec.indices, rec.geom_i[0]);
+      } else {
+        throw std::runtime_error("checkpoint: unknown layer type " + rec.type);
+      }
+      layer->set_name(rec.name);
+      n.layer = std::move(layer);
+    }
+    net.append_raw(std::move(n));
+  }
+  net.set_output(output_);
+  net.info.first_conv = first_conv_;
+  net.info.classifier = classifier_;
+  net.info.blocks = blocks_;
+
+  // Load tensors by walking the restored network's state in the same
+  // deterministic order capture() used, verifying name/role/shape per entry.
+  std::size_t cursor = 0;
+  for (const nn::StateEntry& e : net.state()) {
+    if (e.role == nn::StateRole::kGrad) continue;
+    if (cursor >= tensors_.size()) {
+      throw std::runtime_error("checkpoint: tensor table too short at " +
+                               e.name);
+    }
+    const TensorRecord& t = tensors_[cursor++];
+    if (t.name != e.name || t.role != e.role) {
+      throw std::runtime_error("checkpoint: tensor mismatch, file has '" +
+                               t.name + "' (" + nn::to_string(t.role) +
+                               ") where network expects '" + e.name + "' (" +
+                               nn::to_string(e.role) + ")");
+    }
+    if (Shape(t.dims) != e.tensor->shape()) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + e.name +
+                               ": file " + Shape(t.dims).to_string() +
+                               " vs network " + e.tensor->shape().to_string());
+    }
+    std::copy(t.values.begin(), t.values.end(), e.tensor->data());
+  }
+  if (cursor != tensors_.size()) {
+    throw std::runtime_error("checkpoint: " +
+                             std::to_string(tensors_.size() - cursor) +
+                             " unconsumed tensor records");
+  }
+  return net;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  ByteWriter w;
+  w.put_bytes(kMagic, sizeof(kMagic));
+  w.put<std::uint32_t>(kVersion);
+
+  // Topology block.
+  w.put<std::uint64_t>(nodes_.size());
+  for (const NodeRecord& rec : nodes_) {
+    w.put<std::uint8_t>(rec.kind);
+    w.put_vector(rec.inputs);
+    w.put_string(rec.type);
+    w.put_string(rec.name);
+    w.put_vector(rec.geom_i);
+    w.put_vector(rec.geom_f);
+    w.put_vector(rec.indices);
+  }
+  w.put<std::int32_t>(output_);
+  w.put<std::int32_t>(first_conv_);
+  w.put<std::int32_t>(classifier_);
+  w.put<std::uint64_t>(blocks_.size());
+  for (const graph::ResidualBlockInfo& b : blocks_) {
+    w.put_vector(std::vector<std::int32_t>(b.path_nodes.begin(),
+                                           b.path_nodes.end()));
+    w.put_vector(std::vector<std::int32_t>(b.path_convs.begin(),
+                                           b.path_convs.end()));
+    w.put<std::int32_t>(b.add_node);
+    w.put_vector(std::vector<std::int32_t>(b.shortcut_nodes.begin(),
+                                           b.shortcut_nodes.end()));
+    w.put<std::int32_t>(b.shortcut_conv);
+    w.put<std::uint8_t>(b.removed ? 1 : 0);
+  }
+
+  // Named tensor table.
+  w.put<std::uint64_t>(tensors_.size());
+  for (const TensorRecord& t : tensors_) {
+    w.put_string(t.name);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(t.role));
+    w.put_vector(t.dims);
+    w.put_vector(t.values);
+  }
+
+  // Extra sections (trainer state etc).
+  w.put<std::uint64_t>(sections_.size());
+  for (const auto& [name, bytes] : sections_) {
+    w.put_string(name);
+    w.put_vector(bytes);
+  }
+
+  // CRC footer over everything above.
+  std::vector<std::uint8_t> buf = w.take();
+  const std::uint32_t crc = crc32(buf.data(), buf.size());
+  const auto* cp = reinterpret_cast<const std::uint8_t*>(&crc);
+  buf.insert(buf.end(), cp, cp + sizeof(crc));
+
+  atomic_write_file(path, buf.data(), buf.size());
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
+    throw std::runtime_error("checkpoint: file too short: " + path);
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  // Verify the CRC footer before trusting any length field in the body.
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  const std::uint32_t actual = crc32(bytes.data(), body);
+  if (stored != actual) {
+    throw std::runtime_error("checkpoint: CRC mismatch in " + path +
+                             " (file is truncated or corrupted)");
+  }
+
+  ByteReader r(bytes.data(), body);
+  char magic[sizeof(kMagic)];
+  r.get_bytes(magic, sizeof(magic));
+  const auto version = r.get<std::uint32_t>();
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version) + " in " + path);
+  }
+
+  Checkpoint ck;
+  const auto num_nodes = r.get<std::uint64_t>();
+  ck.nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    NodeRecord rec;
+    rec.kind = r.get<std::uint8_t>();
+    rec.inputs = r.get_vector<std::int32_t>();
+    rec.type = r.get_string();
+    rec.name = r.get_string();
+    rec.geom_i = r.get_vector<std::int64_t>();
+    rec.geom_f = r.get_vector<float>();
+    rec.indices = r.get_vector<std::int64_t>();
+    ck.nodes_.push_back(std::move(rec));
+  }
+  ck.output_ = r.get<std::int32_t>();
+  ck.first_conv_ = r.get<std::int32_t>();
+  ck.classifier_ = r.get<std::int32_t>();
+  const auto num_blocks = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    graph::ResidualBlockInfo b;
+    const auto path_nodes = r.get_vector<std::int32_t>();
+    const auto path_convs = r.get_vector<std::int32_t>();
+    b.path_nodes.assign(path_nodes.begin(), path_nodes.end());
+    b.path_convs.assign(path_convs.begin(), path_convs.end());
+    b.add_node = r.get<std::int32_t>();
+    const auto shortcut_nodes = r.get_vector<std::int32_t>();
+    b.shortcut_nodes.assign(shortcut_nodes.begin(), shortcut_nodes.end());
+    b.shortcut_conv = r.get<std::int32_t>();
+    b.removed = r.get<std::uint8_t>() != 0;
+    ck.blocks_.push_back(std::move(b));
+  }
+
+  const auto num_tensors = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_tensors; ++i) {
+    TensorRecord t;
+    t.name = r.get_string();
+    t.role = static_cast<nn::StateRole>(r.get<std::uint8_t>());
+    t.dims = r.get_vector<std::int64_t>();
+    t.values = r.get_vector<float>();
+    std::int64_t numel = 1;
+    for (std::int64_t d : t.dims) numel *= d;
+    if (numel != static_cast<std::int64_t>(t.values.size())) {
+      throw std::runtime_error("checkpoint: tensor " + t.name +
+                               " payload does not match its shape");
+    }
+    ck.tensors_.push_back(std::move(t));
+  }
+
+  const auto num_sections = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < num_sections; ++i) {
+    std::string name = r.get_string();
+    ck.sections_[std::move(name)] = r.get_vector<std::uint8_t>();
+  }
+  if (!r.exhausted()) {
+    throw std::runtime_error("checkpoint: trailing bytes in " + path);
+  }
+  return ck;
+}
+
+}  // namespace pt::ckpt

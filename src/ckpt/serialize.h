@@ -1,0 +1,115 @@
+// Little-endian byte-buffer primitives for the checkpoint file format.
+//
+// ByteWriter appends POD scalars, strings, and vectors into a growable
+// buffer; ByteReader parses them back with hard bounds checks (a truncated
+// or corrupted buffer throws, it never reads out of range). Both sides must
+// agree on the field sequence — the format has no per-field tags, the
+// structure is fixed by the checkpoint version.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pt::ckpt {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    put_bytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    // Divide instead of multiplying so a hostile length cannot overflow.
+    if (n > remaining() / sizeof(T)) {
+      throw std::runtime_error("checkpoint parse: truncated vector");
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(n) * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  void get_bytes(void* out, std::size_t size) {
+    require(size);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (n > size_ - pos_) {
+      throw std::runtime_error("checkpoint parse: truncated buffer (need " +
+                               std::to_string(n) + " bytes at offset " +
+                               std::to_string(pos_) + ")");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pt::ckpt

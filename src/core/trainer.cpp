@@ -1,10 +1,13 @@
 #include "core/trainer.h"
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/serialize.h"
 #include "cost/flops.h"
 #include "cost/memory.h"
 #include "models/builders.h"
@@ -18,6 +21,93 @@
 
 namespace pt::core {
 
+namespace {
+
+// Trainer-section (de)serialization. The section rides inside the
+// checkpoint as an opaque named blob, so src/ckpt never needs to know
+// these types; both sides must agree on the field sequence.
+
+void put_epoch_stats(ckpt::ByteWriter& w, const EpochStats& s) {
+  w.put<std::int64_t>(s.epoch);
+  w.put<std::int64_t>(s.batch_size);
+  w.put<double>(s.lr);
+  w.put<double>(s.train_loss);
+  w.put<double>(s.train_acc);
+  w.put<double>(s.test_acc);
+  w.put<double>(s.lasso_loss);
+  w.put<double>(s.flops_per_sample_train);
+  w.put<double>(s.flops_per_sample_inf);
+  w.put<double>(s.epoch_train_flops);
+  w.put<double>(s.epoch_bn_traffic);
+  w.put<double>(s.memory_bytes);
+  w.put<double>(s.comm_bytes_per_gpu);
+  w.put<double>(s.comm_time_modeled);
+  w.put<double>(s.gpu_time_modeled);
+  w.put<double>(s.wall_seconds);
+  w.put<std::int64_t>(s.channels_alive);
+  w.put<std::int64_t>(s.conv_layers);
+  w.put<std::uint8_t>(s.reconfigured ? 1 : 0);
+}
+
+EpochStats get_epoch_stats(ckpt::ByteReader& r) {
+  EpochStats s;
+  s.epoch = r.get<std::int64_t>();
+  s.batch_size = r.get<std::int64_t>();
+  s.lr = r.get<double>();
+  s.train_loss = r.get<double>();
+  s.train_acc = r.get<double>();
+  s.test_acc = r.get<double>();
+  s.lasso_loss = r.get<double>();
+  s.flops_per_sample_train = r.get<double>();
+  s.flops_per_sample_inf = r.get<double>();
+  s.epoch_train_flops = r.get<double>();
+  s.epoch_bn_traffic = r.get<double>();
+  s.memory_bytes = r.get<double>();
+  s.comm_bytes_per_gpu = r.get<double>();
+  s.comm_time_modeled = r.get<double>();
+  s.gpu_time_modeled = r.get<double>();
+  s.wall_seconds = r.get<double>();
+  s.channels_alive = r.get<std::int64_t>();
+  s.conv_layers = r.get<std::int64_t>();
+  s.reconfigured = r.get<std::uint8_t>() != 0;
+  return s;
+}
+
+void put_result(ckpt::ByteWriter& w, const TrainResult& res) {
+  w.put<double>(res.final_test_acc);
+  w.put<double>(res.total_train_flops);
+  w.put<double>(res.total_bn_traffic);
+  w.put<double>(res.total_comm_bytes);
+  w.put<double>(res.total_gpu_time_modeled);
+  w.put<double>(res.total_wall_seconds);
+  w.put<double>(res.final_inference_flops);
+  w.put<std::int64_t>(res.layers_removed);
+  w.put<std::int64_t>(res.final_channels);
+  w.put<float>(res.lambda);
+  w.put<std::uint64_t>(res.epochs.size());
+  for (const EpochStats& s : res.epochs) put_epoch_stats(w, s);
+}
+
+TrainResult get_result(ckpt::ByteReader& r) {
+  TrainResult res;
+  res.final_test_acc = r.get<double>();
+  res.total_train_flops = r.get<double>();
+  res.total_bn_traffic = r.get<double>();
+  res.total_comm_bytes = r.get<double>();
+  res.total_gpu_time_modeled = r.get<double>();
+  res.total_wall_seconds = r.get<double>();
+  res.final_inference_flops = r.get<double>();
+  res.layers_removed = r.get<std::int64_t>();
+  res.final_channels = r.get<std::int64_t>();
+  res.lambda = r.get<float>();
+  const auto n = r.get<std::uint64_t>();
+  res.epochs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) res.epochs.push_back(get_epoch_stats(r));
+  return res;
+}
+
+}  // namespace
+
 std::string to_string(PrunePolicy policy) {
   switch (policy) {
     case PrunePolicy::kDense: return "Dense";
@@ -26,6 +116,41 @@ std::string to_string(PrunePolicy policy) {
     case PrunePolicy::kOneShot: return "OneShot";
   }
   return "?";
+}
+
+void TrainConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("TrainConfig: " + what);
+  };
+  if (epochs <= 0) {
+    fail("epochs must be positive (got " + std::to_string(epochs) + ")");
+  }
+  if (batch_size <= 0) {
+    fail("batch_size must be positive (got " + std::to_string(batch_size) + ")");
+  }
+  if (!(base_lr > 0.f)) {
+    fail("base_lr must be positive (got " + std::to_string(base_lr) + ")");
+  }
+  if (reconfig_interval < 1) {
+    fail("reconfig_interval must be >= 1 (got " +
+         std::to_string(reconfig_interval) + ")");
+  }
+  if (eval_interval < 1) {
+    fail("eval_interval must be >= 1 (got " + std::to_string(eval_interval) +
+         ")");
+  }
+  if (checkpoint_interval < 1) {
+    fail("checkpoint_interval must be >= 1 (got " +
+         std::to_string(checkpoint_interval) + ")");
+  }
+  if (!(lasso_ratio > 0.f) || !(lasso_ratio < 1.f)) {
+    fail("lasso_ratio must lie in (0, 1) (got " + std::to_string(lasso_ratio) +
+         ")");
+  }
+  if (fine_tune_epochs < 0) {
+    fail("fine_tune_epochs must be >= 0 (got " +
+         std::to_string(fine_tune_epochs) + ")");
+  }
 }
 
 PruneTrainer::PruneTrainer(graph::Network& net,
@@ -38,7 +163,9 @@ PruneTrainer::PruneTrainer(graph::Network& net,
       input_shape_({dataset.spec().channels, dataset.spec().height,
                     dataset.spec().width}),
       batch_size_(cfg_.batch_size) {
-  if (cfg_.record_sparsity) {
+  cfg_.validate();
+  if (!cfg_.resume_from.empty()) load_resume_state();
+  if (cfg_.record_sparsity && !monitor_) {
     monitor_ = std::make_unique<prune::SparsityMonitor>(net);
   }
 }
@@ -71,6 +198,10 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
   reg.set_size_normalized(cfg_.size_normalized_penalty);
   optim::SGD opt(lr, cfg_.momentum, cfg_.weight_decay);
   nn::SoftmaxCrossEntropy loss;
+  // The topology is fixed within an epoch (reconfiguration happens only at
+  // epoch boundaries), so the named parameter view is built once here
+  // rather than per iteration.
+  const std::vector<nn::NamedParam> named = nn::group_params(net_->state());
   loader_.begin_epoch();
   double loss_sum = 0;
   std::int64_t correct = 0, samples = 0;
@@ -84,7 +215,7 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
     net_->zero_grad();
     net_->backward(loss.backward());
     if (lambda > 0.f && !cfg_.proximal_update) reg.add_gradients(lambda);
-    opt.step(net_->params());
+    opt.step(named);
     if (lambda > 0.f && cfg_.proximal_update) reg.apply_proximal(lr * lambda);
   }
   stats.train_loss = loss_sum / static_cast<double>(samples);
@@ -95,10 +226,24 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
 void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
                              bool regularize, bool reconfig,
                              std::int64_t one_shot_at, float& lambda) {
+  // Resume bookkeeping: phases completed before the checkpoint are skipped
+  // wholesale; the checkpointed phase re-enters at its first unfinished
+  // epoch. The restored model/optimizer/RNG state makes the remaining
+  // epochs bitwise-identical to an uninterrupted run.
+  const std::int64_t phase = phase_index_;
+  std::int64_t start = 0;
+  if (resuming_) {
+    if (phase < resume_phase_) {
+      ++phase_index_;
+      return;
+    }
+    if (phase == resume_phase_) start = resume_epoch_;
+  }
+
   optim::MultiStepLR schedule(cfg_.lr_milestones, cfg_.lr_gamma);
   DynamicBatchAdjuster adjuster(cfg_.dynamic_batch);
 
-  for (std::int64_t e = 0; e < epochs; ++e) {
+  for (std::int64_t e = start; e < epochs; ++e) {
     Timer wall;
     EpochStats stats;
     stats.epoch = epoch_counter_;
@@ -205,12 +350,121 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
     }
     result.epochs.push_back(stats);
     ++epoch_counter_;
+
+    if (!cfg_.checkpoint_dir.empty() &&
+        epoch_counter_ % cfg_.checkpoint_interval == 0) {
+      save_checkpoint(result, e + 1, lambda);
+    }
+  }
+  ++phase_index_;
+}
+
+void PruneTrainer::save_checkpoint(const TrainResult& result,
+                                   std::int64_t phase_epochs_done,
+                                   float lambda) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cfg_.checkpoint_dir);
+
+  ckpt::Checkpoint ck = ckpt::Checkpoint::capture(*net_);
+
+  ckpt::ByteWriter w;
+  w.put<std::int64_t>(phase_index_);
+  w.put<std::int64_t>(phase_epochs_done);
+  w.put<std::int64_t>(epoch_counter_);
+  w.put<std::int64_t>(batch_size_);
+  w.put<float>(lambda);
+  w.put<float>(lr_scale_);
+  w.put<double>(last_test_acc_);
+  const RngState rng = loader_.rng_state();
+  w.put<std::uint64_t>(rng.s0);
+  w.put<std::uint64_t>(rng.s1);
+  w.put<double>(rng.cached_normal);
+  w.put<std::uint8_t>(rng.has_cached_normal ? 1 : 0);
+  put_result(w, result);
+  ck.set_section("trainer", w.take());
+
+  if (monitor_) {
+    ckpt::ByteWriter m;
+    const auto& history = monitor_->history();
+    m.put<std::uint64_t>(history.size());
+    for (const auto& h : history) {
+      m.put<std::int32_t>(h.node);
+      m.put_string(h.name);
+      m.put_vector(h.epochs);
+      m.put<std::uint64_t>(h.max_abs.size());
+      for (const auto& row : h.max_abs) m.put_vector(row);
+    }
+    ck.set_section("sparsity_monitor", m.take());
+  }
+
+  const fs::path dir(cfg_.checkpoint_dir);
+  const std::string numbered =
+      (dir / ("ckpt-epoch-" + std::to_string(epoch_counter_) + ".bin")).string();
+  ck.save(numbered);
+  ck.save((dir / "ckpt-latest.bin").string());
+}
+
+void PruneTrainer::load_resume_state() {
+  ckpt::Checkpoint ck = ckpt::Checkpoint::load(cfg_.resume_from);
+  *net_ = ck.restore_network();
+
+  const std::vector<std::uint8_t>* section = ck.section("trainer");
+  if (section == nullptr) {
+    throw std::runtime_error("checkpoint " + cfg_.resume_from +
+                             " has no trainer section (not written by "
+                             "PruneTrainer?)");
+  }
+  ckpt::ByteReader r(*section);
+  resume_phase_ = r.get<std::int64_t>();
+  resume_epoch_ = r.get<std::int64_t>();
+  epoch_counter_ = r.get<std::int64_t>();
+  batch_size_ = r.get<std::int64_t>();
+  resume_lambda_ = r.get<float>();
+  lr_scale_ = r.get<float>();
+  last_test_acc_ = r.get<double>();
+  RngState rng;
+  rng.s0 = r.get<std::uint64_t>();
+  rng.s1 = r.get<std::uint64_t>();
+  rng.cached_normal = r.get<double>();
+  rng.has_cached_normal = r.get<std::uint8_t>() != 0;
+  loader_.set_rng_state(rng);
+  resume_result_ = get_result(r);
+  resuming_ = true;
+
+  if (cfg_.record_sparsity) {
+    monitor_ = std::make_unique<prune::SparsityMonitor>(*net_);
+    if (const std::vector<std::uint8_t>* mon = ck.section("sparsity_monitor")) {
+      ckpt::ByteReader mr(*mon);
+      std::vector<prune::SparsityMonitor::ConvHistory> history(
+          static_cast<std::size_t>(mr.get<std::uint64_t>()));
+      for (auto& h : history) {
+        h.node = mr.get<std::int32_t>();
+        h.name = mr.get_string();
+        h.epochs = mr.get_vector<std::int64_t>();
+        h.max_abs.resize(static_cast<std::size_t>(mr.get<std::uint64_t>()));
+        for (auto& row : h.max_abs) row = mr.get_vector<float>();
+      }
+      monitor_->set_history(std::move(history));
+    }
   }
 }
 
 TrainResult PruneTrainer::run() {
   TrainResult result;
   float lambda = -1.f;  // calibrated lazily at the first regularized epoch
+
+  // The number of run_phase calls preceding the fine-tune phase; used to
+  // tell whether a checkpoint was taken after the main phases (and thus
+  // after the post-phase reconfiguration passes, which must not re-run on
+  // a model that has trained past them).
+  const std::int64_t main_phases = cfg_.policy == PrunePolicy::kSSL ? 2 : 1;
+
+  if (resuming_) {
+    // Continue from the partial statistics and calibrated lambda the
+    // checkpoint carried; the epochs that re-run append to resume_result_.
+    result = resume_result_;
+    lambda = resume_lambda_;
+  }
 
   switch (cfg_.policy) {
     case PrunePolicy::kDense:
@@ -223,8 +477,10 @@ TrainResult PruneTrainer::run() {
       // Calibrate lambda from the *random-init* losses (Eq. 3), exactly as
       // PruneTrain does — the paper applies its calibration mechanism to
       // SSL too. Calibrating after dense pre-training would be degenerate:
-      // the converged classification loss would make lambda ~0.
-      {
+      // the converged classification loss would make lambda ~0. A resumed
+      // run restores the calibrated value instead (the probe's RNG draws
+      // are already baked into the restored shuffle state).
+      if (!resuming_) {
         loader_.begin_epoch();
         data::Batch probe = loader_.next(std::min<std::int64_t>(batch_size_, 32));
         nn::SoftmaxCrossEntropy loss;
@@ -240,10 +496,14 @@ TrainResult PruneTrainer::run() {
       // Phase 1: dense pre-training (counts toward training cost).
       run_phase(result, cfg_.epochs, false, false, -1, lambda);
       // Phase 2: sparsify on the dense architecture; prune only at the end.
+      // Skip the end-of-phase prune when resuming past it (a later-phase
+      // checkpoint already reflects it).
       run_phase(result, cfg_.epochs, true, false, -1, lambda);
-      prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
-      const auto rstats = reconfigurer.reconfigure();
-      result.layers_removed += rstats.convs_removed;
+      if (!(resuming_ && resume_phase_ > 1)) {
+        prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+        const auto rstats = reconfigurer.reconfigure();
+        result.layers_removed += rstats.convs_removed;
+      }
       break;
     }
     case PrunePolicy::kOneShot:
@@ -252,19 +512,27 @@ TrainResult PruneTrainer::run() {
   }
 
   // Final pruning pass so the reported inference model is fully compacted
-  // (a no-op if the last reconfiguration already caught everything).
-  if (cfg_.policy != PrunePolicy::kDense && cfg_.final_reconfigure) {
+  // (a no-op if the last reconfiguration already caught everything). A
+  // checkpoint taken during fine-tuning postdates this pass, so resuming
+  // from one must not repeat it on the fine-tuned weights.
+  const bool resumed_past_main = resuming_ && resume_phase_ >= main_phases;
+  if (cfg_.policy != PrunePolicy::kDense && cfg_.final_reconfigure &&
+      !resumed_past_main) {
     prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
     const auto rstats = reconfigurer.reconfigure();
     result.layers_removed += rstats.convs_removed;
   }
 
   // Optional fine-tuning on the pruned architecture: extra epochs without
-  // regularization, at the final decayed learning rate (Sec. 5.1).
+  // regularization, at the final decayed learning rate (Sec. 5.1). When
+  // resuming into this phase, the restored lr_scale_ already carries the
+  // decay multiplier — applying it again would square the decay.
   if (cfg_.fine_tune_epochs > 0 && cfg_.policy != PrunePolicy::kDense) {
     optim::MultiStepLR schedule(cfg_.lr_milestones, cfg_.lr_gamma);
     const float saved_scale = lr_scale_;
-    lr_scale_ *= static_cast<float>(schedule.multiplier_at(cfg_.epochs));
+    if (!resumed_past_main) {
+      lr_scale_ *= static_cast<float>(schedule.multiplier_at(cfg_.epochs));
+    }
     float no_lambda = 0.f;
     run_phase(result, cfg_.fine_tune_epochs, false, false, -1, no_lambda);
     lr_scale_ = saved_scale;

@@ -91,6 +91,25 @@ struct TrainConfig {
   /// evaluated); other epochs report the last measured value.
   std::int64_t eval_interval = 1;
   bool verbose = false;
+
+  /// Directory for crash-safe checkpoints. Empty (the default) disables
+  /// checkpointing. When set, the trainer writes `ckpt-epoch-<N>.bin` plus
+  /// a rolling `ckpt-latest.bin` every `checkpoint_interval` epochs, each
+  /// via write-temp-then-rename with a CRC-32 footer.
+  std::string checkpoint_dir;
+  std::int64_t checkpoint_interval = 1;  ///< epochs between checkpoint saves
+  /// Path of a checkpoint file to resume from. The trainer replaces the
+  /// network with the checkpoint's (reconfigured) model, restores optimizer
+  /// momentum, BN statistics, shuffle-RNG state, epoch counters, calibrated
+  /// lambda, and partial epoch statistics, then continues the schedule from
+  /// the saved epoch. Resuming is bitwise-deterministic: the remaining
+  /// epochs reproduce an uninterrupted run exactly (wall-clock aside).
+  std::string resume_from;
+
+  /// Throws std::invalid_argument (with the offending field named) when a
+  /// field combination cannot produce a valid run. Called by PruneTrainer's
+  /// constructor, so a bad config fails fast rather than mid-training.
+  void validate() const;
 };
 
 struct EpochStats {
@@ -156,6 +175,17 @@ class PruneTrainer {
   void run_phase(TrainResult& result, std::int64_t epochs, bool regularize,
                  bool reconfig, std::int64_t one_shot_at, float& lambda);
 
+  /// Writes ckpt-epoch-<N>.bin + ckpt-latest.bin into cfg_.checkpoint_dir:
+  /// the reconfigured model (via ckpt::Checkpoint::capture) plus a "trainer"
+  /// section holding counters, lambda, lr scaling, shuffle-RNG state, and
+  /// the partial TrainResult accumulated so far.
+  void save_checkpoint(const TrainResult& result, std::int64_t phase_epochs_done,
+                       float lambda);
+
+  /// Loads cfg_.resume_from: replaces *net_ with the checkpointed model and
+  /// fills the resume_* members from the trainer section.
+  void load_resume_state();
+
   graph::Network* net_;
   const data::SyntheticImageDataset* dataset_;
   TrainConfig cfg_;
@@ -166,6 +196,17 @@ class PruneTrainer {
   std::unique_ptr<prune::SparsityMonitor> monitor_;
   std::int64_t epoch_counter_ = 0;  ///< global epoch index across phases
   double last_test_acc_ = 0;        ///< cached between eval_interval epochs
+
+  // Resume bookkeeping. phase_index_ counts run_phase invocations within
+  // run(); a checkpoint records (phase, epochs completed in that phase) so
+  // resuming can skip exactly the finished work and re-enter the schedule
+  // mid-phase.
+  std::int64_t phase_index_ = 0;
+  bool resuming_ = false;            ///< a checkpoint was loaded
+  std::int64_t resume_phase_ = 0;    ///< phase the checkpoint was taken in
+  std::int64_t resume_epoch_ = 0;    ///< epochs already completed in that phase
+  float resume_lambda_ = -1.f;       ///< calibrated lambda at save time
+  TrainResult resume_result_;        ///< partial stats accumulated pre-crash
 };
 
 }  // namespace pt::core

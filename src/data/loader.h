@@ -40,6 +40,12 @@ class DataLoader {
   /// Number of iterations one epoch takes at the given batch size.
   std::int64_t iterations_per_epoch(std::int64_t batch_size) const;
 
+  /// Shuffle-RNG state capture/restore (checkpoint resume). Restoring the
+  /// state at an epoch boundary reproduces the exact remaining shuffle
+  /// sequence of an uninterrupted run.
+  RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const RngState& s) { rng_.set_state(s); }
+
  private:
   const SyntheticImageDataset* dataset_;
   Rng rng_;

@@ -149,6 +149,22 @@ std::vector<nn::Param*> Network::params() {
   return out;
 }
 
+std::vector<nn::StateEntry> Network::state() {
+  std::vector<nn::StateEntry> out;
+  for (int id : topo_order()) {
+    if (id == 0) continue;
+    Node& n = node(id);
+    if (n.kind != Node::Kind::kLayer) continue;
+    const std::string prefix =
+        n.layer->name().empty() ? "node" + std::to_string(id) : n.layer->name();
+    for (nn::StateEntry e : n.layer->state()) {
+      e.name = prefix + "." + e.name;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
 void Network::zero_grad() {
   for (nn::Param* p : params()) p->grad.fill(0.f);
 }
@@ -164,6 +180,11 @@ std::int64_t Network::num_params() {
   std::int64_t total = 0;
   for (nn::Param* p : params()) total += p->value.numel();
   return total;
+}
+
+int Network::append_raw(Node n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
 }
 
 void Network::bypass_add(int add_id, int surviving_input,

@@ -64,6 +64,13 @@ class Network {
 
   /// All live parameters, in node order.
   std::vector<nn::Param*> params();
+
+  /// Named state of every live layer, in topological order. Layer-local
+  /// entry names are qualified with the layer's hierarchical name (or
+  /// "node<id>" for unnamed layers): "stage1.block0.conv1.weight". This is
+  /// the traversal snapshots, checkpoints, and the optimizer build on.
+  std::vector<nn::StateEntry> state();
+
   void zero_grad();
   /// Releases every layer's cached forward context.
   void clear_context();
@@ -101,6 +108,10 @@ class Network {
     if (!p) throw std::logic_error("node has unexpected layer type");
     return *p;
   }
+
+  /// Raw node append used by checkpoint restore: no input validation (the
+  /// node may reference ids not appended yet, or be dead). Returns the id.
+  int append_raw(Node n);
 
   /// Surgery: replaces add node `add_id` by a pass-through of
   /// `surviving_input` (rewiring all consumers) and kills `dead_nodes`.

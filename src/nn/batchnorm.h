@@ -21,6 +21,14 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<StateEntry> state() override {
+    std::vector<StateEntry> out;
+    append_param_state(out, gamma_, "gamma");
+    append_param_state(out, beta_, "beta");
+    out.push_back({"running_mean", &running_mean_, StateRole::kBuffer});
+    out.push_back({"running_var", &running_var_, StateRole::kBuffer});
+    return out;
+  }
   std::string type() const override { return "BatchNorm2d"; }
   Shape output_shape(const Shape& in) const override { return in; }
   void clear_context() override {
@@ -28,6 +36,8 @@ class BatchNorm2d final : public Layer {
   }
 
   std::int64_t channels() const { return channels_; }
+  float bn_momentum() const { return momentum_; }
+  float eps() const { return eps_; }
   Param& gamma() { return gamma_; }
   Param& beta() { return beta_; }
   Tensor& running_mean() { return running_mean_; }

@@ -26,6 +26,7 @@ class ChannelSelect final : public Layer {
   }
 
   const std::vector<std::int64_t>& indices() const { return indices_; }
+  std::int64_t in_channels() const { return in_channels_; }
 
  private:
   std::vector<std::int64_t> indices_;
@@ -47,6 +48,7 @@ class ChannelScatter final : public Layer {
   }
 
   const std::vector<std::int64_t>& indices() const { return indices_; }
+  std::int64_t out_channels() const { return out_channels_; }
 
  private:
   std::vector<std::int64_t> indices_;

@@ -113,6 +113,13 @@ std::vector<Param*> Conv2d::params() {
   return {&weight_};
 }
 
+std::vector<StateEntry> Conv2d::state() {
+  std::vector<StateEntry> out;
+  append_param_state(out, weight_, "weight");
+  if (has_bias_) append_param_state(out, bias_, "bias");
+  return out;
+}
+
 float Conv2d::in_channel_max_abs(std::int64_t c) const {
   const std::int64_t rs = kernel_ * kernel_;
   float m = 0.f;

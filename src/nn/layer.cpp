@@ -7,6 +7,67 @@ void Param::init_state() {
   momentum = Tensor::zeros(value.shape());
 }
 
+std::string to_string(StateRole role) {
+  switch (role) {
+    case StateRole::kParam: return "param";
+    case StateRole::kGrad: return "grad";
+    case StateRole::kMomentum: return "momentum";
+    case StateRole::kBuffer: return "buffer";
+  }
+  return "?";
+}
+
+void Layer::append_param_state(std::vector<StateEntry>& out, Param& p,
+                               const std::string& name) {
+  out.push_back({name, &p.value, StateRole::kParam});
+  out.push_back({name, &p.grad, StateRole::kGrad});
+  out.push_back({name, &p.momentum, StateRole::kMomentum});
+}
+
+std::vector<StateEntry> Layer::state() {
+  // Fallback for layers that only override params(): synthesize names from
+  // the position ("param0", ...) unless the Param carries its own name.
+  std::vector<StateEntry> out;
+  std::size_t i = 0;
+  for (Param* p : params()) {
+    const std::string name =
+        p->name.empty() ? "param" + std::to_string(i) : p->name;
+    append_param_state(out, *p, name);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<NamedParam> group_params(const std::vector<StateEntry>& entries) {
+  std::vector<NamedParam> out;
+  for (const StateEntry& e : entries) {
+    if (e.role == StateRole::kBuffer) continue;
+    // Entries of one param arrive adjacently (value, grad, momentum), so
+    // only the tail triple can still be open; a same-named triple whose
+    // target role is already filled belongs to a different layer.
+    NamedParam* slot = nullptr;
+    if (!out.empty() && out.back().name == e.name) {
+      NamedParam& tail = out.back();
+      const bool occupied = (e.role == StateRole::kParam && tail.value) ||
+                            (e.role == StateRole::kGrad && tail.grad) ||
+                            (e.role == StateRole::kMomentum && tail.momentum);
+      if (!occupied) slot = &tail;
+    }
+    if (slot == nullptr) {
+      out.push_back({e.name, nullptr, nullptr, nullptr});
+      slot = &out.back();
+    }
+    switch (e.role) {
+      case StateRole::kParam: slot->value = e.tensor; break;
+      case StateRole::kGrad: slot->grad = e.tensor; break;
+      case StateRole::kMomentum: slot->momentum = e.tensor; break;
+      case StateRole::kBuffer: break;
+    }
+  }
+  std::erase_if(out, [](const NamedParam& p) { return p.value == nullptr; });
+  return out;
+}
+
 void Layer::zero_grad() {
   for (Param* p : params()) p->grad.fill(0.f);
 }

@@ -27,6 +27,39 @@ struct Param {
   void init_state();
 };
 
+/// What a state tensor is, in the named-state API. `kParam`/`kGrad`/
+/// `kMomentum` are the three faces of one Param; `kBuffer` is non-learnable
+/// persistent state (e.g. BN running statistics) that checkpoints must
+/// capture but the optimizer must not touch.
+enum class StateRole : std::uint8_t { kParam, kGrad, kMomentum, kBuffer };
+
+std::string to_string(StateRole role);
+
+/// One named state tensor of a layer. Entries from Layer::state() carry
+/// layer-local names ("weight", "gamma", "running_mean", ...);
+/// graph::Network::state() qualifies them with the layer's hierarchical
+/// name, e.g. "stage1.block0.conv1.weight". The three roles of one Param
+/// share a name and are distinguished by `role`.
+struct StateEntry {
+  std::string name;
+  Tensor* tensor = nullptr;
+  StateRole role = StateRole::kParam;
+};
+
+/// A Param regrouped from named state entries: the value/grad/momentum
+/// triple the optimizer consumes, keyed by name.
+struct NamedParam {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  Tensor* momentum = nullptr;
+};
+
+/// Regroups flat state entries into optimizer-ready triples (in first-
+/// appearance order; kBuffer entries are skipped). Entries missing a value
+/// tensor are dropped.
+std::vector<NamedParam> group_params(const std::vector<StateEntry>& entries);
+
 /// Abstract layer. Subclasses implement forward/backward and expose their
 /// parameters for the optimizer and the pruning machinery.
 class Layer {
@@ -43,6 +76,21 @@ class Layer {
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
+
+  /// Named state introspection: every persistent tensor of the layer under
+  /// a layer-local name, one entry per (tensor, role). The default derives
+  /// param/grad/momentum entries from params(); layers with extra
+  /// non-learnable buffers (BatchNorm2d) extend it. Entry order is
+  /// deterministic and must stay stable across calls — serialization
+  /// (prune::Snapshot, ckpt::Checkpoint) depends on it.
+  virtual std::vector<StateEntry> state();
+
+ protected:
+  /// Appends the value/grad/momentum entries of one Param under `name`.
+  static void append_param_state(std::vector<StateEntry>& out, Param& p,
+                                 const std::string& name);
+
+ public:
 
   /// Layer kind, e.g. "Conv2d"; used by cost models and debug dumps.
   virtual std::string type() const = 0;

@@ -60,6 +60,13 @@ std::vector<Param*> Linear::params() {
   return {&weight_};
 }
 
+std::vector<StateEntry> Linear::state() {
+  std::vector<StateEntry> out;
+  append_param_state(out, weight_, "weight");
+  if (has_bias_) append_param_state(out, bias_, "bias");
+  return out;
+}
+
 float Linear::in_feature_max_abs(std::int64_t j) const {
   float m = 0.f;
   const float* w = weight_.value.data();

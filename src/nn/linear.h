@@ -21,12 +21,14 @@ class Linear final : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override;
+  std::vector<StateEntry> state() override;
   std::string type() const override { return "Linear"; }
   Shape output_shape(const Shape& in) const override { return {in[0], out_f_}; }
   void clear_context() override { input_ = Tensor(); }
 
   std::int64_t in_features() const { return in_f_; }
   std::int64_t out_features() const { return out_f_; }
+  bool has_bias() const { return has_bias_; }
   Param& weight() { return weight_; }
   const Param& weight() const { return weight_; }
   Param& bias() { return bias_; }

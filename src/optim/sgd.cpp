@@ -1,18 +1,33 @@
 #include "optim/sgd.h"
 
 namespace pt::optim {
+namespace {
+
+void sgd_update(float* w, const float* g, float* v, std::int64_t n, float lr,
+                float momentum, float weight_decay) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float grad = g[i] + weight_decay * w[i];
+    v[i] = momentum * v[i] + grad;
+    w[i] -= lr * v[i];
+  }
+}
+
+}  // namespace
 
 void SGD::step(const std::vector<nn::Param*>& params) {
   for (nn::Param* p : params) {
-    float* w = p->value.data();
-    const float* g = p->grad.data();
-    float* v = p->momentum.data();
-    const std::int64_t n = p->value.numel();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float grad = g[i] + weight_decay_ * w[i];
-      v[i] = momentum_ * v[i] + grad;
-      w[i] -= lr_ * v[i];
+    sgd_update(p->value.data(), p->grad.data(), p->momentum.data(),
+               p->value.numel(), lr_, momentum_, weight_decay_);
+  }
+}
+
+void SGD::step(const std::vector<nn::NamedParam>& params) {
+  for (const nn::NamedParam& p : params) {
+    if (p.value == nullptr || p.grad == nullptr || p.momentum == nullptr) {
+      continue;
     }
+    sgd_update(p.value->data(), p.grad->data(), p.momentum->data(),
+               p.value->numel(), lr_, momentum_, weight_decay_);
   }
 }
 

@@ -20,6 +20,10 @@ class SGD {
   /// v = mu * v + (g + wd * w);  w -= lr * v.
   void step(const std::vector<nn::Param*>& params);
 
+  /// Same update over the named state-dict view (nn::group_params over
+  /// Layer::state() entries). Triples missing grad or momentum are skipped.
+  void step(const std::vector<nn::NamedParam>& params);
+
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
   /// Multiplies the current LR, used by dynamic mini-batch adjustment's

@@ -1,25 +1,24 @@
 #include "prune/snapshot.h"
 
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
-#include "nn/batchnorm.h"
+#include "util/fileio.h"
 
 namespace pt::prune {
 namespace {
 
-/// Visits every state tensor in deterministic (topological) order.
+/// Visits every persistent state tensor (parameter values + buffers such as
+/// BN running stats) in deterministic (topological) order, via the named
+/// state-dict API. Gradients and momentum are transient here: snapshots
+/// capture the *model*, checkpoints (src/ckpt) capture training state too.
 template <typename Fn>
 void for_each_state(graph::Network& net, Fn&& fn) {
-  for (int id : net.topo_order()) {
-    if (id == 0) continue;
-    graph::Node& node = net.node(id);
-    if (node.kind != graph::Node::Kind::kLayer) continue;
-    for (nn::Param* p : node.layer->params()) fn(p->value);
-    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(node.layer.get())) {
-      fn(bn->running_mean());
-      fn(bn->running_var());
+  for (const nn::StateEntry& e : net.state()) {
+    if (e.role == nn::StateRole::kParam || e.role == nn::StateRole::kBuffer) {
+      fn(*e.tensor);
     }
   }
 }
@@ -56,32 +55,35 @@ constexpr char kMagic[8] = {'P', 'T', 'S', 'N', 'A', 'P', '0', '1'};
 }  // namespace
 
 void save_to_file(const Snapshot& snap, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_to_file: cannot open " + path);
-  f.write(kMagic, sizeof(kMagic));
+  std::vector<char> buf;
+  buf.reserve(sizeof(kMagic) + sizeof(std::uint64_t) +
+              snap.values.size() * sizeof(float));
+  buf.insert(buf.end(), kMagic, kMagic + sizeof(kMagic));
   const std::uint64_t count = snap.values.size();
-  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  f.write(reinterpret_cast<const char*>(snap.values.data()),
-          static_cast<std::streamsize>(count * sizeof(float)));
-  if (!f) throw std::runtime_error("save_to_file: write failed for " + path);
+  const char* cp = reinterpret_cast<const char*>(&count);
+  buf.insert(buf.end(), cp, cp + sizeof(count));
+  const char* vp = reinterpret_cast<const char*>(snap.values.data());
+  buf.insert(buf.end(), vp, vp + count * sizeof(float));
+  // Write-temp-then-rename: an interrupted save can never tear `path`.
+  atomic_write_file(path, buf.data(), buf.size());
 }
 
 Snapshot load_from_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("load_from_file: cannot open " + path);
-  char magic[8];
-  f.read(magic, sizeof(magic));
-  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint64_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("load_from_file: bad magic in " + path);
   }
   std::uint64_t count = 0;
-  f.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!f) throw std::runtime_error("load_from_file: truncated header in " + path);
+  std::memcpy(&count, bytes.data() + sizeof(kMagic), sizeof(count));
+  const std::size_t payload = sizeof(kMagic) + sizeof(count);
+  if (bytes.size() < payload + count * sizeof(float)) {
+    throw std::runtime_error("load_from_file: truncated payload in " + path);
+  }
   Snapshot snap;
   snap.values.resize(count);
-  f.read(reinterpret_cast<char*>(snap.values.data()),
-         static_cast<std::streamsize>(count * sizeof(float)));
-  if (!f) throw std::runtime_error("load_from_file: truncated payload in " + path);
+  std::memcpy(snap.values.data(), bytes.data() + payload,
+              count * sizeof(float));
   return snap;
 }
 

@@ -30,6 +30,12 @@ class SparsityMonitor {
 
   const std::vector<ConvHistory>& history() const { return history_; }
 
+  /// Replaces the recorded history (checkpoint restore). The entries must
+  /// describe the same conv nodes the monitor was constructed over.
+  void set_history(std::vector<ConvHistory> history) {
+    history_ = std::move(history);
+  }
+
   /// Channels that were below `threshold` at some epoch and later exceeded
   /// `revive_factor * threshold` while the layer width was unchanged — the
   /// paper's "revived weights" (expected: none or near-threshold only).

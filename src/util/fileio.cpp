@@ -1,0 +1,83 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pt {
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+  }
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw std::runtime_error("atomic_write_file: write failed for " + tmp);
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // Flush file data before the rename so a crash between rename and the
+  // next page-cache writeback cannot surface a renamed-but-empty file.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: fsync failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: rename to " + path + " failed");
+  }
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("read_file_bytes: cannot open " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    f.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!f) throw std::runtime_error("read_file_bytes: read failed for " + path);
+  }
+  return bytes;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace pt

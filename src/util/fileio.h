@@ -1,0 +1,31 @@
+// Crash-safe file I/O primitives shared by snapshots and checkpoints.
+//
+// atomic_write_file() implements the write-temp-then-rename protocol: the
+// payload is written to `<path>.tmp`, flushed to stable storage (fsync),
+// and renamed over `path`. POSIX rename(2) is atomic, so a reader — or a
+// process restarted after a crash mid-save — sees either the complete old
+// file or the complete new file, never a torn mix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pt {
+
+/// Atomically replaces `path` with `size` bytes of `data`. Throws
+/// std::runtime_error on any I/O failure (the temp file is removed).
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size);
+
+/// Reads an entire file into memory. Throws std::runtime_error if the file
+/// cannot be opened or read.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of a byte range.
+/// Used as the integrity footer of snapshot/checkpoint files.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace pt

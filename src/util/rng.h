@@ -9,6 +9,15 @@
 
 namespace pt {
 
+/// Complete serializable state of an Rng: restoring it resumes the stream
+/// exactly where it left off (used by checkpoint/resume).
+struct RngState {
+  std::uint64_t s0 = 0;
+  std::uint64_t s1 = 0;
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// Counter-free splitmix64/xoshiro-style generator.
 ///
 /// Small, fast, and statistically adequate for weight initialization and
@@ -43,6 +52,19 @@ class Rng {
   /// Derives an independent child stream; used to give each dataset /
   /// model / replica its own stream from one experiment seed.
   Rng fork();
+
+  /// Captures the full generator state for serialization.
+  RngState state() const {
+    return {s0_, s1_, cached_normal_, has_cached_normal_};
+  }
+
+  /// Restores a state captured by state(); the stream continues bit-exactly.
+  void set_state(const RngState& s) {
+    s0_ = s.s0;
+    s1_ = s.s1;
+    cached_normal_ = s.cached_normal;
+    has_cached_normal_ = s.has_cached_normal;
+  }
 
  private:
   std::uint64_t s0_ = 0;

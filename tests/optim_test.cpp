@@ -60,7 +60,7 @@ TEST(SGD, MultipleParams) {
   nn::Param a = make_param({1.f, 2.f}, {1.f, 1.f});
   nn::Param b = make_param({-1.f}, {2.f});
   SGD opt(0.5f, 0.f);
-  opt.step({&a, &b});
+  opt.step(std::vector<nn::Param*>{&a, &b});
   EXPECT_NEAR(a.value.at(0), 0.5f, 1e-6f);
   EXPECT_NEAR(a.value.at(1), 1.5f, 1e-6f);
   EXPECT_NEAR(b.value.at(0), -2.f, 1e-6f);
