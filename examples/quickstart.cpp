@@ -12,6 +12,15 @@
 // (reconfigured model + full training context) after every epoch; after an
 // interruption, --resume <dir>/ckpt-latest.bin continues the run exactly
 // where it stopped.
+//
+// --max-rollbacks N arms the training guardian: numerical-health checks
+// after every epoch, automatic rollback to the last good checkpoint (with
+// an LR cut) on a fatal event, graceful abort with a diagnostic checkpoint
+// once the budget is spent. --fault-spec injects deterministic faults to
+// watch it work, e.g.:
+//
+//   $ ./quickstart --checkpoint-dir /tmp/pt --max-rollbacks 2 \
+//                  --fault-spec "nan-grad:epoch=7"
 #include <iostream>
 
 #include "core/trainer.h"
@@ -28,6 +37,12 @@ int main(int argc, char** argv) {
                "write crash-safe per-epoch checkpoints into this directory");
   flags.define("resume", "", "resume from a checkpoint file (e.g. "
                "<dir>/ckpt-latest.bin)");
+  flags.define("max-rollbacks", "0",
+               "rollback-to-checkpoint budget on fatal health events "
+               "(requires --checkpoint-dir)");
+  flags.define("fault-spec", "",
+               "inject deterministic faults, e.g. 'nan-grad:epoch=7' or "
+               "'corrupt-ckpt:epoch=5;scale-grad:epoch=6,scale=1e6'");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage("quickstart");
@@ -61,9 +76,23 @@ int main(int argc, char** argv) {
   cfg.eval_interval = 4;
   cfg.checkpoint_dir = flags.get("checkpoint-dir");
   cfg.resume_from = flags.get("resume");
+  cfg.max_rollbacks = flags.get_int("max-rollbacks");
+  cfg.fault_spec = flags.get("fault-spec");
 
   pt::core::PruneTrainer trainer(net, dataset, cfg);
-  const auto result = trainer.run();
+  pt::core::TrainResult result;
+  try {
+    result = trainer.run();
+  } catch (const pt::robust::TrainingAborted& e) {
+    const auto& report = e.report();
+    std::cerr << "training aborted by the guardian: " << e.what() << "\n"
+              << "  rollbacks: " << report.rollbacks
+              << ", faults injected: " << report.faults_injected
+              << ", events: " << report.events.size() << "\n"
+              << "  diagnostic checkpoint: " << cfg.checkpoint_dir
+              << "/ckpt-diagnostic.bin\n";
+    return 1;
+  }
 
   pt::Table t({"epoch", "channels", "train FLOPs/sample", "memory MB",
                "batch", "test acc"});
@@ -92,5 +121,13 @@ int main(int argc, char** argv) {
             << "  conv layers removed: " << result.layers_removed << "\n"
             << "  final test accuracy: " << pt::fmt(result.final_test_acc, 3)
             << "\n";
+  const auto& report = trainer.recovery_report();
+  if (report.faults_injected > 0 || report.rollbacks > 0 ||
+      !report.events.empty()) {
+    std::cout << "  guardian: " << report.faults_injected
+              << " fault(s) injected, " << report.rollbacks
+              << " rollback(s), " << report.events.size()
+              << " health event(s)\n";
+  }
   return 0;
 }

@@ -151,6 +151,38 @@ void TrainConfig::validate() const {
     fail("fine_tune_epochs must be >= 0 (got " +
          std::to_string(fine_tune_epochs) + ")");
   }
+  health.validate();
+  if (max_rollbacks < 0) {
+    fail("max_rollbacks must be >= 0 (got " + std::to_string(max_rollbacks) +
+         ")");
+  }
+  if (max_rollbacks > 0 && checkpoint_dir.empty()) {
+    fail("max_rollbacks > 0 requires checkpoint_dir (rollback needs a "
+         "checkpoint to roll back to)");
+  }
+  if (!(rollback_lr_cut > 0.f) || rollback_lr_cut > 1.f) {
+    fail("rollback_lr_cut must lie in (0, 1] (got " +
+         std::to_string(rollback_lr_cut) + ")");
+  }
+  if (!(rollback_backoff >= 1.0)) {
+    fail("rollback_backoff must be >= 1 (got " +
+         std::to_string(rollback_backoff) + ")");
+  }
+  if (!(rollback_backoff_cap >= 0.0)) {
+    fail("rollback_backoff_cap must be >= 0 (got " +
+         std::to_string(rollback_backoff_cap) + ")");
+  }
+  if (prune_min_channels < 1) {
+    fail("prune_min_channels must be >= 1 (got " +
+         std::to_string(prune_min_channels) + ")");
+  }
+  if (!fault_spec.empty()) {
+    try {
+      robust::parse_fault_specs(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      fail(std::string("fault_spec: ") + e.what());
+    }
+  }
 }
 
 PruneTrainer::PruneTrainer(graph::Network& net,
@@ -164,7 +196,11 @@ PruneTrainer::PruneTrainer(graph::Network& net,
                     dataset.spec().width}),
       batch_size_(cfg_.batch_size) {
   cfg_.validate();
-  if (!cfg_.resume_from.empty()) load_resume_state();
+  fault_ = robust::FaultInjector::from_string(cfg_.fault_spec, cfg_.fault_seed);
+  if (cfg_.health_checks) {
+    health_ = std::make_unique<robust::HealthMonitor>(cfg_.health);
+  }
+  if (!cfg_.resume_from.empty()) load_checkpoint_file(cfg_.resume_from);
   if (cfg_.record_sparsity && !monitor_) {
     monitor_ = std::make_unique<prune::SparsityMonitor>(net);
   }
@@ -204,7 +240,7 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
   const std::vector<nn::NamedParam> named = nn::group_params(net_->state());
   loader_.begin_epoch();
   double loss_sum = 0;
-  std::int64_t correct = 0, samples = 0;
+  std::int64_t correct = 0, samples = 0, iteration = 0;
   while (loader_.has_next()) {
     data::Batch batch = loader_.next(batch_size_);
     Tensor out = net_->forward(batch.images, true);
@@ -214,9 +250,14 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
     samples += batch.size();
     net_->zero_grad();
     net_->backward(loss.backward());
+    if (fault_.armed() &&
+        fault_.corrupt_gradients(*net_, epoch_counter_, iteration)) {
+      ++report_.faults_injected;
+    }
     if (lambda > 0.f && !cfg_.proximal_update) reg.add_gradients(lambda);
     opt.step(named);
     if (lambda > 0.f && cfg_.proximal_update) reg.apply_proximal(lr * lambda);
+    ++iteration;
   }
   stats.train_loss = loss_sum / static_cast<double>(samples);
   stats.train_acc = static_cast<double>(correct) / static_cast<double>(samples);
@@ -269,20 +310,54 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
       }
     }
 
-    const float lr = cfg_.base_lr * lr_scale_ *
+    const float lr = cfg_.base_lr * lr_scale_ * recovery_lr_scale_ *
                      static_cast<float>(schedule.multiplier_at(e));
     stats.lr = lr;
     stats.batch_size = batch_size_;
     train_epoch(stats, regularize ? lambda : 0.f, lr);
     if (monitor_) monitor_->record(epoch_counter_);
 
+    // Guardian: health-check the epoch *before* anything downstream (the
+    // checkpoint save in particular — a poisoned model must never become
+    // the "last good" state). A fatal event with recovery enabled unwinds
+    // to run()'s rollback loop; without recovery it is logged and recorded
+    // but the run is left to its fate, matching historical behavior.
+    if (health_) {
+      const std::vector<robust::HealthEvent> events =
+          health_->check_epoch(epoch_counter_, stats.train_loss, *net_);
+      for (const robust::HealthEvent& ev : events) {
+        report_.events.push_back(ev);
+        if (ev.severity == robust::Severity::kFatal) {
+          log_error("guardian: " + ev.describe());
+        } else {
+          log_warn("guardian: " + ev.describe());
+        }
+      }
+      const robust::HealthEvent* fatal = robust::HealthMonitor::first_fatal(events);
+      if (fatal != nullptr && cfg_.max_rollbacks > 0) {
+        throw robust::FatalHealthError(*fatal);
+      }
+    }
+
     // Periodic (or one-shot) prune + reconfigure at epoch boundaries.
+    // After a rollback with skip_offending_reconfig, reconfigurations in
+    // the replayed window up to the fault epoch are suppressed.
+    const bool suppressed = epoch_counter_ <= skip_reconfig_until_;
     const bool periodic_hit =
         reconfig && cfg_.reconfig_interval > 0 &&
         (e + 1) % cfg_.reconfig_interval == 0;
     const bool one_shot_hit = one_shot_at >= 0 && (e + 1) == one_shot_at;
-    if (periodic_hit || one_shot_hit) {
-      prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+    if ((periodic_hit || one_shot_hit) && !suppressed) {
+      if (health_) {
+        const std::vector<robust::HealthEvent> events =
+            health_->check_prune(epoch_counter_, *net_, cfg_.threshold);
+        for (const robust::HealthEvent& ev : events) {
+          report_.events.push_back(ev);
+          log_warn("guardian: " + ev.describe());
+        }
+      }
+      prune::Reconfigurer reconfigurer(*net_, cfg_.threshold,
+                                       cfg_.prune_min_channels);
       const auto rstats = reconfigurer.reconfigure();
       stats.reconfigured = rstats.changed;
       result.layers_removed += rstats.convs_removed;
@@ -353,13 +428,13 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
 
     if (!cfg_.checkpoint_dir.empty() &&
         epoch_counter_ % cfg_.checkpoint_interval == 0) {
-      save_checkpoint(result, e + 1, lambda);
+      save_checkpoint(result, phase, e + 1, lambda);
     }
   }
   ++phase_index_;
 }
 
-void PruneTrainer::save_checkpoint(const TrainResult& result,
+void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase,
                                    std::int64_t phase_epochs_done,
                                    float lambda) {
   namespace fs = std::filesystem;
@@ -368,7 +443,7 @@ void PruneTrainer::save_checkpoint(const TrainResult& result,
   ckpt::Checkpoint ck = ckpt::Checkpoint::capture(*net_);
 
   ckpt::ByteWriter w;
-  w.put<std::int64_t>(phase_index_);
+  w.put<std::int64_t>(phase);
   w.put<std::int64_t>(phase_epochs_done);
   w.put<std::int64_t>(epoch_counter_);
   w.put<std::int64_t>(batch_size_);
@@ -400,17 +475,25 @@ void PruneTrainer::save_checkpoint(const TrainResult& result,
   const fs::path dir(cfg_.checkpoint_dir);
   const std::string numbered =
       (dir / ("ckpt-epoch-" + std::to_string(epoch_counter_) + ".bin")).string();
+  const std::string latest = (dir / "ckpt-latest.bin").string();
   ck.save(numbered);
-  ck.save((dir / "ckpt-latest.bin").string());
+  ck.save(latest);
+  // Checkpoint-corruption faults strike the freshly written files — the
+  // torn-write / bit-rot failure mode find_last_good_checkpoint must
+  // survive by falling back to an older intact checkpoint.
+  if (fault_.armed() &&
+      fault_.corrupt_checkpoint_files({numbered, latest}, epoch_counter_)) {
+    ++report_.faults_injected;
+  }
 }
 
-void PruneTrainer::load_resume_state() {
-  ckpt::Checkpoint ck = ckpt::Checkpoint::load(cfg_.resume_from);
+void PruneTrainer::load_checkpoint_file(const std::string& path) {
+  ckpt::Checkpoint ck = ckpt::Checkpoint::load(path);
   *net_ = ck.restore_network();
 
   const std::vector<std::uint8_t>* section = ck.section("trainer");
   if (section == nullptr) {
-    throw std::runtime_error("checkpoint " + cfg_.resume_from +
+    throw std::runtime_error("checkpoint " + path +
                              " has no trainer section (not written by "
                              "PruneTrainer?)");
   }
@@ -450,8 +533,98 @@ void PruneTrainer::load_resume_state() {
 }
 
 TrainResult PruneTrainer::run() {
+  if (cfg_.max_rollbacks <= 0) return run_attempt();
+
+  robust::RecoveryConfig rc;
+  rc.max_rollbacks = cfg_.max_rollbacks;
+  rc.lr_cut = cfg_.rollback_lr_cut;
+  rc.backoff_base = cfg_.rollback_backoff;
+  rc.backoff_cap = cfg_.rollback_backoff_cap;
+  rc.skip_offending_reconfig = cfg_.rollback_skip_reconfig;
+  robust::RecoveryPolicy policy(rc);
+
+  for (;;) {
+    try {
+      return run_attempt();
+    } catch (const robust::FatalHealthError& err) {
+      const robust::RecoveryPolicy::Decision decision =
+          policy.on_fatal(err.event());
+      if (decision.action == robust::RecoveryPolicy::Decision::Action::kAbort) {
+        report_.aborted = true;
+        save_diagnostic_checkpoint();
+        log_error("guardian: rollback budget (" +
+                  std::to_string(cfg_.max_rollbacks) +
+                  ") exhausted; aborting with diagnostic checkpoint");
+        throw robust::TrainingAborted("training aborted after " +
+                                          std::to_string(policy.rollbacks()) +
+                                          " rollbacks: " + err.event().describe(),
+                                      report_);
+      }
+      rollback(decision, err.event());
+    }
+  }
+}
+
+void PruneTrainer::rollback(const robust::RecoveryPolicy::Decision& decision,
+                            const robust::HealthEvent& cause) {
+  const std::string path =
+      robust::find_last_good_checkpoint(cfg_.checkpoint_dir);
+  if (path.empty()) {
+    report_.aborted = true;
+    save_diagnostic_checkpoint();
+    throw robust::TrainingAborted("rollback: no loadable checkpoint in '" +
+                                      cfg_.checkpoint_dir +
+                                      "' (cause: " + cause.describe() + ")",
+                                  report_);
+  }
+  // load_checkpoint_file restores the model, optimizer momentum, BN stats,
+  // shuffle-RNG state, counters, and partial statistics, and sets the
+  // resume_* bookkeeping — the retry re-enters the schedule exactly as a
+  // crash-resume would, just in-process.
+  load_checkpoint_file(path);
+  recovery_lr_scale_ = decision.lr_scale;
+  skip_reconfig_until_ = decision.skip_reconfig ? cause.epoch : -1;
+  ++report_.rollbacks;
+  report_.backoff_seconds += decision.backoff_seconds;
+  report_.last_checkpoint = path;
+  if (health_) health_->reset_window();
+  std::ostringstream os;
+  os << "guardian: rollback #" << decision.attempt << " -> " << path << " (lr x"
+     << decision.lr_scale << ", modeled backoff " << decision.backoff_seconds
+     << "s) after " << cause.describe();
+  log_warn(os.str());
+}
+
+void PruneTrainer::save_diagnostic_checkpoint() {
+  if (cfg_.checkpoint_dir.empty()) return;
+  try {
+    namespace fs = std::filesystem;
+    fs::create_directories(cfg_.checkpoint_dir);
+    ckpt::Checkpoint ck = ckpt::Checkpoint::capture(*net_);
+    ck.set_section("guardian", robust::serialize_report(report_));
+    const std::string path =
+        (fs::path(cfg_.checkpoint_dir) / "ckpt-diagnostic.bin").string();
+    ck.save(path);
+    log_info("guardian: diagnostic checkpoint written to " + path);
+  } catch (const std::exception& e) {
+    // The abort path must stay reachable even on a dead disk.
+    log_error(std::string("guardian: diagnostic checkpoint failed: ") +
+              e.what());
+  }
+}
+
+void PruneTrainer::ensure_initial_checkpoint(const TrainResult& result,
+                                             float lambda) {
+  if (cfg_.max_rollbacks <= 0 || initial_ckpt_saved_) return;
+  save_checkpoint(result, resuming_ ? resume_phase_ : 0,
+                  resuming_ ? resume_epoch_ : 0, lambda);
+  initial_ckpt_saved_ = true;
+}
+
+TrainResult PruneTrainer::run_attempt() {
   TrainResult result;
   float lambda = -1.f;  // calibrated lazily at the first regularized epoch
+  phase_index_ = 0;     // each attempt traverses the schedule from the top
 
   // The number of run_phase calls preceding the fine-tune phase; used to
   // tell whether a checkpoint was taken after the main phases (and thus
@@ -468,9 +641,11 @@ TrainResult PruneTrainer::run() {
 
   switch (cfg_.policy) {
     case PrunePolicy::kDense:
+      ensure_initial_checkpoint(result, lambda);
       run_phase(result, cfg_.epochs, false, false, -1, lambda);
       break;
     case PrunePolicy::kPruneTrain:
+      ensure_initial_checkpoint(result, lambda);
       run_phase(result, cfg_.epochs, true, true, -1, lambda);
       break;
     case PrunePolicy::kSSL: {
@@ -493,6 +668,10 @@ TrainResult PruneTrainer::run() {
         result.lambda = lambda;
         net_->clear_context();
       }
+      // The rollback anchor is saved *after* the calibration so the probe's
+      // RNG draws and lambda are baked in — re-calibrating from a partially
+      // trained model would be degenerate (converged loss => lambda ~ 0).
+      ensure_initial_checkpoint(result, lambda);
       // Phase 1: dense pre-training (counts toward training cost).
       run_phase(result, cfg_.epochs, false, false, -1, lambda);
       // Phase 2: sparsify on the dense architecture; prune only at the end.
@@ -500,13 +679,15 @@ TrainResult PruneTrainer::run() {
       // checkpoint already reflects it).
       run_phase(result, cfg_.epochs, true, false, -1, lambda);
       if (!(resuming_ && resume_phase_ > 1)) {
-        prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+        prune::Reconfigurer reconfigurer(*net_, cfg_.threshold,
+                                         cfg_.prune_min_channels);
         const auto rstats = reconfigurer.reconfigure();
         result.layers_removed += rstats.convs_removed;
       }
       break;
     }
     case PrunePolicy::kOneShot:
+      ensure_initial_checkpoint(result, lambda);
       run_phase(result, cfg_.epochs, true, false, cfg_.one_shot_epoch, lambda);
       break;
   }
@@ -518,7 +699,8 @@ TrainResult PruneTrainer::run() {
   const bool resumed_past_main = resuming_ && resume_phase_ >= main_phases;
   if (cfg_.policy != PrunePolicy::kDense && cfg_.final_reconfigure &&
       !resumed_past_main) {
-    prune::Reconfigurer reconfigurer(*net_, cfg_.threshold);
+    prune::Reconfigurer reconfigurer(*net_, cfg_.threshold,
+                                     cfg_.prune_min_channels);
     const auto rstats = reconfigurer.reconfigure();
     result.layers_removed += rstats.convs_removed;
   }

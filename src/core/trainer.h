@@ -31,6 +31,9 @@
 #include "data/synthetic.h"
 #include "graph/network.h"
 #include "prune/sparsity_monitor.h"
+#include "robust/fault.h"
+#include "robust/health.h"
+#include "robust/recovery.h"
 
 namespace pt::core {
 
@@ -106,6 +109,42 @@ struct TrainConfig {
   /// epochs reproduce an uninterrupted run exactly (wall-clock aside).
   std::string resume_from;
 
+  // --- Training guardian (src/robust) ---
+
+  /// Run the HealthMonitor after every epoch: NaN/Inf loss, loss-spike
+  /// divergence, non-finite gradients/params/BN statistics, and
+  /// pruning-collapse warnings before each reconfiguration. Events are
+  /// logged and recorded; they only interrupt the run when rollback
+  /// recovery is enabled (max_rollbacks > 0).
+  bool health_checks = true;
+  robust::HealthConfig health;  ///< monitor thresholds
+
+  /// > 0 enables rollback recovery: a fatal health event rolls the run
+  /// back to the last good checkpoint (requires checkpoint_dir), cuts the
+  /// LR by rollback_lr_cut per attempt, waits a modeled capped-exponential
+  /// backoff, and retries — at most this many times, after which run()
+  /// writes a diagnostic checkpoint (ckpt-diagnostic.bin) and throws
+  /// robust::TrainingAborted.
+  std::int64_t max_rollbacks = 0;
+  float rollback_lr_cut = 0.5f;      ///< recovery LR multiplier per rollback
+  double rollback_backoff = 2.0;     ///< backoff base: min(base^(k-1), cap) s
+  double rollback_backoff_cap = 60.0;
+  /// Also suppress the periodic reconfigurations that fall inside the
+  /// replayed window (rollback epoch, fault epoch] on retry, in case the
+  /// prune itself destabilized the run. Reconfigurations already baked
+  /// into the restored checkpoint are not undone.
+  bool rollback_skip_reconfig = false;
+
+  /// Reconfiguration survival floor: no channel variable is ever sliced
+  /// below this many channels (pruning-collapse guard; 1 = historical).
+  std::int64_t prune_min_channels = 1;
+
+  /// Fault-injection spec (robust::parse_fault_specs grammar), "" = none.
+  /// Deterministic given the spec and fault_seed; used to exercise every
+  /// recovery path in tests and demos.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0x5eedf0a1ULL;
+
   /// Throws std::invalid_argument (with the offending field named) when a
   /// field combination cannot produce a valid run. Called by PruneTrainer's
   /// constructor, so a bad config fails fast rather than mid-training.
@@ -155,6 +194,11 @@ class PruneTrainer {
   PruneTrainer(graph::Network& net, const data::SyntheticImageDataset& dataset,
                TrainConfig cfg);
 
+  /// Runs the configured schedule. With max_rollbacks > 0 this is a retry
+  /// loop: a fatal health event rolls the run back to the last good
+  /// checkpoint and re-enters the schedule (see TrainConfig); when the
+  /// budget is exhausted a diagnostic checkpoint is written and
+  /// robust::TrainingAborted is thrown.
   TrainResult run();
 
   /// Test-set top-1 accuracy of the current model.
@@ -164,7 +208,30 @@ class PruneTrainer {
     return monitor_ ? monitor_.get() : nullptr;
   }
 
+  /// What the guardian did this run: rollbacks, injected faults, modeled
+  /// backoff, every health event. Zero-valued when recovery never engaged.
+  const robust::RecoveryReport& recovery_report() const { return report_; }
+
  private:
+  /// One end-to-end pass over the configured schedule; throws
+  /// robust::FatalHealthError when the monitor flags a fatal event and
+  /// recovery is enabled. run() wraps this in the rollback-retry loop.
+  TrainResult run_attempt();
+
+  /// Executes a kRollback decision: restores the last good checkpoint,
+  /// applies the recovery LR scale, optionally arms reconfiguration
+  /// suppression up to the fault epoch. Throws robust::TrainingAborted if
+  /// no loadable checkpoint exists.
+  void rollback(const robust::RecoveryPolicy::Decision& decision,
+                const robust::HealthEvent& cause);
+
+  /// Best-effort ckpt-diagnostic.bin: the broken model plus a "guardian"
+  /// section holding the serialized RecoveryReport. Never throws.
+  void save_diagnostic_checkpoint();
+
+  /// With recovery enabled, guarantees a rollback target exists before the
+  /// first epoch runs (a fault in epoch 0 must have somewhere to go).
+  void ensure_initial_checkpoint(const TrainResult& result, float lambda);
   /// One full pass over the training set at the current batch size; fills
   /// loss/acc into `stats`. `lambda` == 0 disables regularization.
   void train_epoch(EpochStats& stats, float lambda, float lr);
@@ -179,12 +246,13 @@ class PruneTrainer {
   /// the reconfigured model (via ckpt::Checkpoint::capture) plus a "trainer"
   /// section holding counters, lambda, lr scaling, shuffle-RNG state, and
   /// the partial TrainResult accumulated so far.
-  void save_checkpoint(const TrainResult& result, std::int64_t phase_epochs_done,
-                       float lambda);
+  void save_checkpoint(const TrainResult& result, std::int64_t phase,
+                       std::int64_t phase_epochs_done, float lambda);
 
-  /// Loads cfg_.resume_from: replaces *net_ with the checkpointed model and
-  /// fills the resume_* members from the trainer section.
-  void load_resume_state();
+  /// Loads a checkpoint file (cfg_.resume_from, or a rollback target):
+  /// replaces *net_ with the checkpointed model and fills the resume_*
+  /// members from the trainer section.
+  void load_checkpoint_file(const std::string& path);
 
   graph::Network* net_;
   const data::SyntheticImageDataset* dataset_;
@@ -207,6 +275,14 @@ class PruneTrainer {
   std::int64_t resume_epoch_ = 0;    ///< epochs already completed in that phase
   float resume_lambda_ = -1.f;       ///< calibrated lambda at save time
   TrainResult resume_result_;        ///< partial stats accumulated pre-crash
+
+  // Guardian state (src/robust).
+  robust::FaultInjector fault_;                   ///< disarmed when no spec
+  std::unique_ptr<robust::HealthMonitor> health_; ///< null when checks off
+  robust::RecoveryReport report_;
+  float recovery_lr_scale_ = 1.f;       ///< lr_cut^rollbacks on retries
+  std::int64_t skip_reconfig_until_ = -1;  ///< suppress reconfigs <= this epoch
+  bool initial_ckpt_saved_ = false;
 };
 
 }  // namespace pt::core

@@ -7,6 +7,18 @@
 
 namespace pt::dist {
 
+void FaultPolicy::validate() const {
+  if (max_retries < 0) {
+    throw std::invalid_argument("FaultPolicy: max_retries must be >= 0 (got " +
+                                std::to_string(max_retries) + ")");
+  }
+  if (!(timeout_seconds >= 0.0)) {
+    throw std::invalid_argument(
+        "FaultPolicy: timeout_seconds must be >= 0 (got " +
+        std::to_string(timeout_seconds) + ")");
+  }
+}
+
 Cluster::Cluster(std::vector<graph::Network> replicas, cost::CommSpec comm)
     : replicas_(std::move(replicas)), comm_(comm) {
   if (replicas_.empty()) throw std::invalid_argument("cluster needs >= 1 replica");
@@ -15,9 +27,16 @@ Cluster::Cluster(std::vector<graph::Network> replicas, cost::CommSpec comm)
   }
 }
 
+void Cluster::set_fault_injector(robust::FaultInjector injector,
+                                 FaultPolicy policy) {
+  policy.validate();
+  injector_ = std::move(injector);
+  policy_ = policy;
+}
+
 double Cluster::update_bytes() const {
-  auto& net = const_cast<graph::Network&>(replicas_.front());
-  const double model_bytes = static_cast<double>(net.num_params()) * 4.0;
+  const double model_bytes =
+      static_cast<double>(replicas_.front().num_params()) * 4.0;
   return comm_.ring_bytes_per_update(model_bytes);
 }
 
@@ -39,13 +58,15 @@ void Cluster::allreduce_gradients(const std::vector<double>& weights) {
 
   // Reduce: weighted average into replica 0's gradient buffers, then
   // broadcast. Deterministic summation order (replica index order) keeps
-  // replicas bit-identical across the run.
+  // replicas bit-identical across the run. Zero-weight replicas (failed or
+  // empty shards) contribute nothing but still receive the broadcast.
   for (std::size_t i = 0; i < np; ++i) {
     nn::Param* root = params[0][i];
     const std::int64_t n = root->grad.numel();
     for (std::int64_t q = 0; q < n; ++q) {
       double acc = 0;
       for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        if (weights[r] == 0) continue;
         acc += weights[r] * params[r][i]->grad.data()[q];
       }
       root->grad.data()[q] = static_cast<float>(acc / total_weight);
@@ -60,25 +81,58 @@ void Cluster::allreduce_gradients(const std::vector<double>& weights) {
 StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
   const int p = size();
   const std::int64_t total = batch.size();
-  if (total < p) {
-    throw std::invalid_argument("mini-batch smaller than replica count");
-  }
+  if (total <= 0) throw std::invalid_argument("empty mini-batch");
   const Shape& s = batch.images.shape();
   const std::int64_t sample_len = s[1] * s[2] * s[3];
+  const std::int64_t step_id = step_counter_++;
 
   StepResult result;
-  std::vector<double> shard_sizes;
+  std::vector<double> weights(static_cast<std::size_t>(p), 0.0);
   std::int64_t offset = 0;
+  int survivors = 0;
   for (int r = 0; r < p; ++r) {
     // Contiguous shard; the first (total % p) replicas take one extra.
+    // Batches smaller than the replica count leave trailing shards empty:
+    // those replicas skip compute and carry zero allreduce weight — the
+    // same degraded-shard path a failed replica takes (dynamic mini-batch
+    // shrink can legitimately produce such batches).
     const std::int64_t shard = total / p + (r < total % p ? 1 : 0);
+    if (shard == 0) continue;
+
+    // Failure model: a dropped replica, or one delayed past the timeout,
+    // fails the attempt (charged timeout_seconds of modeled detection
+    // time) and is retried; within-timeout delays are charged as modeled
+    // straggler wait on the synchronous step.
+    bool ok = true;
+    if (injector_.armed()) {
+      for (std::int64_t attempt = 0;; ++attempt) {
+        const bool dropped = injector_.drop_replica(r, step_id);
+        const double delay = dropped ? 0.0 : injector_.replica_delay(r, step_id);
+        if (!dropped && delay <= policy_.timeout_seconds) {
+          result.fault_wait_seconds += delay;
+          ok = true;
+          break;
+        }
+        result.fault_wait_seconds += policy_.timeout_seconds;
+        if (attempt >= policy_.max_retries) {
+          ok = false;
+          break;
+        }
+        ++result.retries;
+      }
+    }
+    if (!ok) {
+      ++result.dropped_replicas;
+      offset += shard;
+      continue;
+    }
+
     Tensor images({shard, s[1], s[2], s[3]});
     std::copy(batch.images.data() + offset * sample_len,
               batch.images.data() + (offset + shard) * sample_len, images.data());
     std::vector<std::int64_t> labels(
         batch.labels.begin() + offset, batch.labels.begin() + offset + shard);
     offset += shard;
-    shard_sizes.push_back(static_cast<double>(shard));
 
     graph::Network& net = replicas_[static_cast<std::size_t>(r)];
     net.zero_grad();
@@ -87,10 +141,19 @@ StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
     result.loss += loss.forward(out, labels) * static_cast<double>(shard);
     result.correct += loss.correct();
     net.backward(loss.backward());
+    if (injector_.armed()) injector_.corrupt_gradients(net, -1, step_id, r);
+    weights[static_cast<std::size_t>(r)] = static_cast<double>(shard);
+    result.processed += shard;
+    ++survivors;
   }
-  result.loss /= static_cast<double>(total);
+  if (survivors == 0) {
+    throw std::runtime_error("cluster step: every replica failed (batch " +
+                             std::to_string(total) + ", " + std::to_string(p) +
+                             " replicas)");
+  }
+  result.loss /= static_cast<double>(result.processed);
 
-  allreduce_gradients(shard_sizes);
+  allreduce_gradients(weights);
   for (auto& r : replicas_) opt.step(r.params());
 
   const double model_bytes =

@@ -7,6 +7,16 @@
 // averaged (weighted by shard size), and every replica applies the same
 // optimizer step — so replicas stay bit-identical. Communication *volume*
 // is accounted with the ring-allreduce cost model from src/cost.
+//
+// Fault model (ISSUE 2): an attached robust::FaultInjector can drop or
+// delay replicas per step. A delayed replica past the timeout, or a
+// dropped one, is retried up to FaultPolicy::max_retries; a replica that
+// stays down has its shard reweighted onto the survivors (weight 0 in the
+// allreduce, its samples excluded from the loss) — and still receives the
+// averaged gradient broadcast plus the common optimizer step, so replicas
+// remain bit-identical and the straggler rejoins the next step. Batches
+// smaller than the replica count degrade the same way: empty shards simply
+// carry zero weight.
 #pragma once
 
 #include <cstdint>
@@ -16,14 +26,28 @@
 #include "data/loader.h"
 #include "graph/network.h"
 #include "optim/sgd.h"
+#include "robust/fault.h"
 
 namespace pt::dist {
 
 struct StepResult {
-  double loss = 0;                 ///< mini-batch mean loss
-  std::int64_t correct = 0;        ///< correct predictions in the mini-batch
+  double loss = 0;                 ///< mean loss over *processed* samples
+  std::int64_t correct = 0;        ///< correct predictions among processed
+  std::int64_t processed = 0;      ///< samples actually trained this step
   double comm_bytes_per_gpu = 0;   ///< ring-allreduce bytes moved per worker
   double comm_time_modeled = 0;    ///< modeled allreduce time (hierarchical)
+  std::int64_t retries = 0;        ///< failed replica attempts that were retried
+  std::int64_t dropped_replicas = 0;  ///< replicas excluded after max_retries
+  double fault_wait_seconds = 0;   ///< modeled straggler / timeout time
+};
+
+/// Timeout + retry semantics for replica failures.
+struct FaultPolicy {
+  std::int64_t max_retries = 2;   ///< re-attempts per replica per step
+  double timeout_seconds = 1.0;   ///< modeled detection time per failed attempt
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 class Cluster {
@@ -35,11 +59,19 @@ class Cluster {
   int size() const { return static_cast<int>(replicas_.size()); }
   graph::Network& replica(int i) { return replicas_[static_cast<std::size_t>(i)]; }
 
-  /// One synchronous data-parallel training step on `batch`.
+  /// Attaches a fault injector (by value; pass {} to disarm). Drop/delay
+  /// faults consult it once per (replica, attempt); gradient faults are
+  /// applied to the matching replica after its backward pass.
+  void set_fault_injector(robust::FaultInjector injector, FaultPolicy policy = {});
+  const robust::FaultInjector& fault_injector() const { return injector_; }
+
+  /// One synchronous data-parallel training step on `batch`. Throws
+  /// std::runtime_error if *every* populated shard's replica fails.
   StepResult step(const data::Batch& batch, optim::SGD& opt);
 
   /// Averages every parameter gradient across replicas, weighting each
-  /// replica by `weights[i]` (shard sizes). Exposed for testing.
+  /// replica by `weights[i]` (shard sizes; 0 = excluded). Exposed for
+  /// testing.
   void allreduce_gradients(const std::vector<double>& weights);
 
   /// Gradient bytes exchanged per update (per worker).
@@ -50,6 +82,9 @@ class Cluster {
  private:
   std::vector<graph::Network> replicas_;
   cost::CommModel comm_;
+  robust::FaultInjector injector_;
+  FaultPolicy policy_;
+  std::int64_t step_counter_ = 0;  ///< global step index for fault matching
 };
 
 }  // namespace pt::dist

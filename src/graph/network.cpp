@@ -149,6 +149,16 @@ std::vector<nn::Param*> Network::params() {
   return out;
 }
 
+std::vector<const nn::Param*> Network::params() const {
+  std::vector<const nn::Param*> out;
+  for (const Node& n : nodes_) {
+    if (n.kind != Node::Kind::kLayer) continue;
+    const nn::Layer& layer = *n.layer;
+    for (const nn::Param* p : layer.params()) out.push_back(p);
+  }
+  return out;
+}
+
 std::vector<nn::StateEntry> Network::state() {
   std::vector<nn::StateEntry> out;
   for (int id : topo_order()) {
@@ -176,9 +186,9 @@ void Network::clear_context() {
   outputs_.clear();
 }
 
-std::int64_t Network::num_params() {
+std::int64_t Network::num_params() const {
   std::int64_t total = 0;
-  for (nn::Param* p : params()) total += p->value.numel();
+  for (const nn::Param* p : params()) total += p->value.numel();
   return total;
 }
 

@@ -64,6 +64,7 @@ class Network {
 
   /// All live parameters, in node order.
   std::vector<nn::Param*> params();
+  std::vector<const nn::Param*> params() const;
 
   /// Named state of every live layer, in topological order. Layer-local
   /// entry names are qualified with the layer's hierarchical name (or
@@ -76,7 +77,7 @@ class Network {
   void clear_context();
 
   /// Total number of parameter scalars (live nodes only).
-  std::int64_t num_params();
+  std::int64_t num_params() const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
   const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }

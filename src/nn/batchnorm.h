@@ -21,6 +21,7 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<const Param*> params() const override { return {&gamma_, &beta_}; }
   std::vector<StateEntry> state() override {
     std::vector<StateEntry> out;
     append_param_state(out, gamma_, "gamma");

@@ -113,6 +113,11 @@ std::vector<Param*> Conv2d::params() {
   return {&weight_};
 }
 
+std::vector<const Param*> Conv2d::params() const {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
 std::vector<StateEntry> Conv2d::state() {
   std::vector<StateEntry> out;
   append_param_state(out, weight_, "weight");

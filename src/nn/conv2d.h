@@ -24,6 +24,7 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override;
+  std::vector<const Param*> params() const override;
   std::vector<StateEntry> state() override;
   std::string type() const override { return "Conv2d"; }
   Shape output_shape(const Shape& in) const override;

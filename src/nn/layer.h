@@ -77,6 +77,11 @@ class Layer {
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
 
+  /// Read-only view of the learnable parameters. Layers with parameters
+  /// override both accessors over the same members, so const traversals
+  /// (e.g. Network::num_params() const) need no const_cast.
+  virtual std::vector<const Param*> params() const { return {}; }
+
   /// Named state introspection: every persistent tensor of the layer under
   /// a layer-local name, one entry per (tensor, role). The default derives
   /// param/grad/momentum entries from params(); layers with extra

@@ -60,6 +60,11 @@ std::vector<Param*> Linear::params() {
   return {&weight_};
 }
 
+std::vector<const Param*> Linear::params() const {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
 std::vector<StateEntry> Linear::state() {
   std::vector<StateEntry> out;
   append_param_state(out, weight_, "weight");

@@ -21,6 +21,7 @@ class Linear final : public Layer {
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override;
+  std::vector<const Param*> params() const override;
   std::vector<StateEntry> state() override;
   std::string type() const override { return "Linear"; }
   Shape output_shape(const Shape& in) const override { return {in[0], out_f_}; }

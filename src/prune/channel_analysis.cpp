@@ -1,6 +1,7 @@
 #include "prune/channel_analysis.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 
@@ -54,7 +55,11 @@ std::vector<std::int64_t> dense_in_channels(const nn::Layer& layer, float thresh
   return out;
 }
 
-ChannelAnalysis analyze_channels(graph::Network& net, float threshold) {
+ChannelAnalysis analyze_channels(graph::Network& net, float threshold,
+                                 std::int64_t min_keep) {
+  if (min_keep < 1) {
+    throw std::invalid_argument("analyze_channels: min_keep must be >= 1");
+  }
   const std::size_t n = net.num_nodes();
   Dsu dsu(n);
 
@@ -135,22 +140,34 @@ ChannelAnalysis analyze_channels(graph::Network& net, float threshold) {
         keep.insert(c);
       }
     }
-    if (keep.empty()) {
-      // Entirely dead variable: keep the strongest writer channel so the
-      // graph stays executable (the paper never hits this because the
-      // classification loss keeps useful paths alive).
-      std::int64_t best = 0;
-      float best_mag = -1.f;
-      if (!info.writer_convs.empty()) {
-        const auto& conv = net.layer_as<nn::Conv2d>(info.writer_convs[0]);
-        for (std::int64_t k = 0; k < conv.out_channels(); ++k) {
-          if (conv.out_channel_max_abs(k) > best_mag) {
-            best_mag = conv.out_channel_max_abs(k);
-            best = k;
-          }
+    // Floor guard: never let a variable fall below min_keep channels. An
+    // entirely dead variable (empty union) gets its strongest writer
+    // channels back so the graph stays executable (the paper never hits
+    // this because the classification loss keeps useful paths alive); a
+    // raised floor additionally survives over-aggressive prunes.
+    const std::int64_t floor = std::min(min_keep, info.channels);
+    if (static_cast<std::int64_t>(keep.size()) < floor) {
+      // Rank channels by magnitude using the first writer conv (channels
+      // of one variable are written by convs sharing the extent).
+      std::vector<std::pair<float, std::int64_t>> ranked;
+      for (std::int64_t k = 0; k < info.channels; ++k) {
+        float mag = 0.f;
+        if (!info.writer_convs.empty()) {
+          const auto& conv = net.layer_as<nn::Conv2d>(info.writer_convs[0]);
+          mag = conv.out_channel_max_abs(k);
         }
+        // A poisoned model can carry NaN/Inf weights; rank those as 0 so
+        // the comparator below stays a strict weak ordering.
+        if (!std::isfinite(mag)) mag = 0.f;
+        ranked.emplace_back(mag, k);
       }
-      keep.insert(best);
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        return a.first > b.first || (a.first == b.first && a.second < b.second);
+      });
+      for (const auto& [mag, k] : ranked) {
+        if (static_cast<std::int64_t>(keep.size()) >= floor) break;
+        keep.insert(k);
+      }
     }
     info.keep.assign(keep.begin(), keep.end());
   }

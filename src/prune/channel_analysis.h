@@ -48,9 +48,13 @@ std::vector<std::int64_t> dense_out_channels(const nn::Layer& conv, float thresh
 /// Dense input channels of a conv.
 std::vector<std::int64_t> dense_in_channels(const nn::Layer& conv, float threshold);
 
-/// Runs the union-find analysis and computes keep-sets. If a variable's
-/// union is empty (an entirely dead stage), the single largest-magnitude
-/// writer channel is kept so the graph remains executable.
-ChannelAnalysis analyze_channels(graph::Network& net, float threshold);
+/// Runs the union-find analysis and computes keep-sets. Every prunable
+/// variable keeps at least `min_keep` channels (clamped to its extent):
+/// when the union falls short — e.g. an entirely dead stage — the largest-
+/// magnitude writer channels are re-added so the graph remains executable.
+/// `min_keep` = 1 is the historical behavior; the training guardian raises
+/// it to survive over-aggressive prunes (pruning collapse).
+ChannelAnalysis analyze_channels(graph::Network& net, float threshold,
+                                 std::int64_t min_keep = 1);
 
 }  // namespace pt::prune

@@ -56,7 +56,8 @@ ReconfigStats Reconfigurer::reconfigure() {
   zero_small_weights();
   remove_dead_branches(stats);
 
-  const ChannelAnalysis analysis = analyze_channels(*net_, threshold_);
+  const ChannelAnalysis analysis =
+      analyze_channels(*net_, threshold_, min_channels_);
 
   auto full = [](std::int64_t extent) {
     std::vector<std::int64_t> keep(static_cast<std::size_t>(extent));

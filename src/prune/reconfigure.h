@@ -32,8 +32,13 @@ struct ReconfigStats {
 class Reconfigurer {
  public:
   /// `threshold` is the paper's zeroing threshold (1e-4 by default).
-  explicit Reconfigurer(graph::Network& net, float threshold = 1e-4f)
-      : net_(&net), threshold_(threshold) {}
+  /// `min_channels` is the per-variable survival floor: no conv/BN/FC is
+  /// ever sliced below this many channels (clamped to the layer's extent),
+  /// so an over-aggressive prune cannot empty a layer — the guardian's
+  /// "pruning collapse" guard. 1 reproduces the historical behavior.
+  explicit Reconfigurer(graph::Network& net, float threshold = 1e-4f,
+                        std::int64_t min_channels = 1)
+      : net_(&net), threshold_(threshold), min_channels_(min_channels) {}
 
   /// Prunes and physically reconfigures the network. Safe to call at any
   /// epoch boundary; all optimizer state of surviving channels is kept.
@@ -43,12 +48,14 @@ class Reconfigurer {
   void zero_small_weights();
 
   float threshold() const { return threshold_; }
+  std::int64_t min_channels() const { return min_channels_; }
 
  private:
   bool remove_dead_branches(ReconfigStats& stats);
 
   graph::Network* net_;
   float threshold_;
+  std::int64_t min_channels_;
 };
 
 }  // namespace pt::prune

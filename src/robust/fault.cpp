@@ -1,0 +1,225 @@
+#include "robust/fault.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "util/fileio.h"
+
+namespace pt::robust {
+
+std::string to_string(FaultSpec::Kind kind) {
+  switch (kind) {
+    case FaultSpec::Kind::kNanGrad: return "nan-grad";
+    case FaultSpec::Kind::kBitflipGrad: return "bitflip-grad";
+    case FaultSpec::Kind::kScaleGrad: return "scale-grad";
+    case FaultSpec::Kind::kDropReplica: return "drop-replica";
+    case FaultSpec::Kind::kDelayReplica: return "delay-replica";
+    case FaultSpec::Kind::kTruncateCkpt: return "truncate-ckpt";
+    case FaultSpec::Kind::kCorruptCkpt: return "corrupt-ckpt";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultSpec::Kind parse_kind(const std::string& token) {
+  using Kind = FaultSpec::Kind;
+  for (Kind k : {Kind::kNanGrad, Kind::kBitflipGrad, Kind::kScaleGrad,
+                 Kind::kDropReplica, Kind::kDelayReplica, Kind::kTruncateCkpt,
+                 Kind::kCorruptCkpt}) {
+    if (token == to_string(k)) return k;
+  }
+  throw std::invalid_argument("fault spec: unknown kind '" + token + "'");
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
+  std::vector<FaultSpec> specs;
+  if (text.empty()) return specs;
+  for (const std::string& clause : split(text, ';')) {
+    if (clause.empty()) {
+      throw std::invalid_argument("fault spec: empty clause");
+    }
+    const std::size_t colon = clause.find(':');
+    FaultSpec spec;
+    spec.kind = parse_kind(clause.substr(0, colon));
+    if (colon == std::string::npos) {
+      specs.push_back(spec);
+      continue;
+    }
+    for (const std::string& kv : split(clause.substr(colon + 1), ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        throw std::invalid_argument("fault spec: malformed key=value '" + kv +
+                                    "'");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      try {
+        if (key == "epoch") {
+          spec.epoch = std::stoll(value);
+        } else if (key == "step") {
+          spec.step = std::stoll(value);
+        } else if (key == "replica") {
+          spec.replica = std::stoi(value);
+        } else if (key == "count") {
+          spec.count = std::stoll(value);
+        } else if (key == "scale") {
+          spec.scale = std::stod(value);
+        } else if (key == "delay") {
+          spec.delay_seconds = std::stod(value);
+        } else {
+          throw std::invalid_argument("fault spec: unknown key '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        throw;
+      } catch (const std::exception&) {
+        throw std::invalid_argument("fault spec: bad value in '" + kv + "'");
+      }
+    }
+    if (spec.count < 0) {
+      throw std::invalid_argument("fault spec: count must be >= 0");
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed)
+    : rng_(seed) {
+  specs_.reserve(specs.size());
+  for (FaultSpec& s : specs) specs_.push_back({s, 0});
+}
+
+FaultInjector FaultInjector::from_string(const std::string& text,
+                                         std::uint64_t seed) {
+  return FaultInjector(parse_fault_specs(text), seed);
+}
+
+bool FaultInjector::matches(const Armed& a, std::int64_t epoch,
+                            std::int64_t step, int replica) {
+  if (a.spec.count != 0 && a.fires >= a.spec.count) return false;
+  if (a.spec.epoch >= 0 && a.spec.epoch != epoch) return false;
+  if (a.spec.step >= 0 && a.spec.step != step) return false;
+  if (a.spec.replica >= 0 && a.spec.replica != replica) return false;
+  return true;
+}
+
+bool FaultInjector::corrupt_gradients(graph::Network& net, std::int64_t epoch,
+                                      std::int64_t step, int replica) {
+  bool fired = false;
+  for (Armed& a : specs_) {
+    const auto kind = a.spec.kind;
+    if (kind != FaultSpec::Kind::kNanGrad &&
+        kind != FaultSpec::Kind::kBitflipGrad &&
+        kind != FaultSpec::Kind::kScaleGrad) {
+      continue;
+    }
+    if (!matches(a, epoch, step, replica)) continue;
+    std::vector<nn::Param*> params = net.params();
+    if (params.empty()) continue;
+    ++a.fires;
+    fired = true;
+    if (kind == FaultSpec::Kind::kScaleGrad) {
+      for (nn::Param* p : params) {
+        float* g = p->grad.data();
+        for (std::int64_t i = 0; i < p->grad.numel(); ++i) {
+          g[i] *= static_cast<float>(a.spec.scale);
+        }
+      }
+      continue;
+    }
+    nn::Param* victim =
+        params[static_cast<std::size_t>(rng_.uniform_int(params.size()))];
+    const std::int64_t elem = static_cast<std::int64_t>(
+        rng_.uniform_int(static_cast<std::uint64_t>(victim->grad.numel())));
+    float* g = victim->grad.data() + elem;
+    if (kind == FaultSpec::Kind::kNanGrad) {
+      *g = std::numeric_limits<float>::quiet_NaN();
+    } else {
+      std::uint32_t bits;
+      std::memcpy(&bits, g, sizeof(bits));
+      bits ^= 1u << rng_.uniform_int(32);
+      std::memcpy(g, &bits, sizeof(bits));
+    }
+  }
+  return fired;
+}
+
+bool FaultInjector::drop_replica(int replica, std::int64_t step) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kDropReplica) continue;
+    // epoch = -1: an epoch-constrained spec never matches cluster steps.
+    if (!matches(a, -1, step, replica)) continue;
+    ++a.fires;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::replica_delay(int replica, std::int64_t step) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kDelayReplica) continue;
+    if (!matches(a, -1, step, replica)) continue;
+    ++a.fires;
+    return a.spec.delay_seconds;
+  }
+  return 0.0;
+}
+
+bool FaultInjector::corrupt_checkpoint_files(
+    const std::vector<std::string>& paths, std::int64_t epoch) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kTruncateCkpt &&
+        a.spec.kind != FaultSpec::Kind::kCorruptCkpt) {
+      continue;
+    }
+    if (!matches(a, epoch, -1, -1)) continue;
+    ++a.fires;
+    for (const std::string& path : paths) {
+      std::vector<std::uint8_t> bytes = read_file_bytes(path);
+      if (bytes.empty()) continue;
+      if (a.spec.kind == FaultSpec::Kind::kTruncateCkpt) {
+        bytes.resize(bytes.size() / 2);
+      } else {
+        const std::size_t at =
+            static_cast<std::size_t>(rng_.uniform_int(bytes.size()));
+        bytes[at] ^= 0xffu;
+      }
+      // Deliberately a plain overwrite, not atomic_write_file: this *is*
+      // the torn-write failure mode the loader must survive.
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    return true;
+  }
+  return false;
+}
+
+std::int64_t FaultInjector::total_fires() const {
+  std::int64_t total = 0;
+  for (const Armed& a : specs_) total += a.fires;
+  return total;
+}
+
+}  // namespace pt::robust

@@ -1,0 +1,118 @@
+// Deterministic, config-driven fault injection (ISSUE 2 tentpole, part c).
+//
+// Every recovery path in the guardian is exercised by *injected* faults,
+// never by luck: the FaultInjector corrupts gradients (NaN / bit-flip /
+// scale), drops or delays simulated cluster replicas (dist::Cluster::step
+// consumes the drop/delay queries and applies timeout + retry + shard
+// reweighting), and truncates or bit-flips checkpoint files as they are
+// written. Faults are described by a compact spec string so tests, the
+// quickstart (--fault-spec), and benchmarks share one vocabulary:
+//
+//   "<kind>[:key=value[,key=value...]][;<kind>:...]"
+//
+//   kinds: nan-grad | bitflip-grad | scale-grad
+//          drop-replica | delay-replica
+//          truncate-ckpt | corrupt-ckpt
+//   keys:  epoch=<N>    fire only at global epoch N         (-1 = any)
+//          step=<N>     fire only at step/iteration N       (-1 = any)
+//          replica=<N>  fire only for replica N             (-1 = any)
+//          count=<N>    maximum firings, 0 = unlimited      (default 1)
+//          scale=<X>    gradient multiplier for scale-grad  (default 1e4)
+//          delay=<X>    modeled straggler seconds           (default 5)
+//
+// Example: "nan-grad:epoch=3" poisons one gradient element at the first
+// iteration of epoch 3, exactly once. Determinism: matching is pure
+// arithmetic on (epoch, step, replica, firings so far); the only random
+// choices (which element, which bit) come from a pt::Rng seeded at
+// construction, so equal spec + seed => bitwise-equal faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+#include "util/rng.h"
+
+namespace pt::robust {
+
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kNanGrad = 0,      ///< set one gradient element to quiet NaN
+    kBitflipGrad = 1,  ///< flip one random bit of one gradient element
+    kScaleGrad = 2,    ///< multiply every gradient by `scale`
+    kDropReplica = 3,  ///< replica fails the step (timeout -> retry)
+    kDelayReplica = 4, ///< replica straggles `delay_seconds` (modeled)
+    kTruncateCkpt = 5, ///< truncate a checkpoint file to half its size
+    kCorruptCkpt = 6,  ///< flip one random byte of a checkpoint file
+  };
+
+  Kind kind = Kind::kNanGrad;
+  std::int64_t epoch = -1;      ///< -1 = any epoch
+  std::int64_t step = -1;       ///< -1 = any step / iteration
+  int replica = -1;             ///< -1 = any replica (cluster kinds only)
+  std::int64_t count = 1;       ///< max firings; 0 = unlimited
+  double scale = 1e4;           ///< kScaleGrad multiplier
+  double delay_seconds = 5.0;   ///< kDelayReplica modeled stall
+};
+
+std::string to_string(FaultSpec::Kind kind);
+
+/// Parses the spec grammar above. Throws std::invalid_argument with the
+/// offending token on malformed input. "" yields an empty list.
+std::vector<FaultSpec> parse_fault_specs(const std::string& text);
+
+class FaultInjector {
+ public:
+  /// Disarmed injector: every query is a cheap no-op returning "no fault".
+  FaultInjector() = default;
+
+  FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed);
+
+  /// Convenience: parse + construct. Throws on malformed spec text.
+  static FaultInjector from_string(const std::string& text, std::uint64_t seed);
+
+  bool armed() const { return !specs_.empty(); }
+
+  /// Applies every matching gradient fault to `net`'s parameter gradients.
+  /// Called between backward() and the optimizer step. `replica` is -1 in
+  /// single-device training; dist::Cluster passes the replica index so
+  /// replica-targeted specs corrupt exactly one worker's local gradients.
+  /// Returns true if at least one fault fired.
+  bool corrupt_gradients(graph::Network& net, std::int64_t epoch,
+                         std::int64_t step, int replica = -1);
+
+  /// True when a kDropReplica fault fires for (replica, step). Each query
+  /// consumes one firing, so a count=1 drop fails the first attempt and
+  /// lets the retry succeed.
+  bool drop_replica(int replica, std::int64_t step);
+
+  /// Modeled straggler seconds for (replica, step); 0 when no delay fault
+  /// fires. Consumes one firing per positive answer.
+  double replica_delay(int replica, std::int64_t step);
+
+  /// Applies a matching checkpoint fault to every path in `paths` (they
+  /// are one logical save: the numbered file plus ckpt-latest.bin).
+  /// Consumes at most one firing per call. Returns true if a fault fired.
+  bool corrupt_checkpoint_files(const std::vector<std::string>& paths,
+                                std::int64_t epoch);
+
+  /// Total firings across all specs so far.
+  std::int64_t total_fires() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::int64_t fires = 0;
+  };
+
+  /// True when `a` still has budget and matches the coordinates; -1 spec
+  /// fields are wildcards.
+  static bool matches(const Armed& a, std::int64_t epoch, std::int64_t step,
+                      int replica);
+
+  std::vector<Armed> specs_;
+  Rng rng_{0x0fa1u};
+};
+
+}  // namespace pt::robust

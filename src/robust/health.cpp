@@ -1,0 +1,161 @@
+#include "robust/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/conv2d.h"
+#include "prune/channel_analysis.h"
+
+namespace pt::robust {
+
+std::string to_string(EventType type) {
+  switch (type) {
+    case EventType::kNonFiniteLoss: return "non-finite-loss";
+    case EventType::kLossSpike: return "loss-spike";
+    case EventType::kNonFiniteGradient: return "non-finite-gradient";
+    case EventType::kNonFiniteParam: return "non-finite-param";
+    case EventType::kNonFiniteBnStats: return "non-finite-bn-stats";
+    case EventType::kPruningCollapse: return "pruning-collapse";
+  }
+  return "?";
+}
+
+std::string to_string(Severity severity) {
+  return severity == Severity::kFatal ? "fatal" : "warning";
+}
+
+std::string HealthEvent::describe() const {
+  std::ostringstream os;
+  os << to_string(severity) << " " << to_string(type) << " at epoch " << epoch
+     << ": " << detail;
+  return os.str();
+}
+
+void HealthConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("HealthConfig: " + what);
+  };
+  if (!(loss_spike_factor > 1.0)) {
+    fail("loss_spike_factor must be > 1 (got " +
+         std::to_string(loss_spike_factor) + ")");
+  }
+  if (loss_window < 1) {
+    fail("loss_window must be >= 1 (got " + std::to_string(loss_window) + ")");
+  }
+  if (spike_warmup < 0) {
+    fail("spike_warmup must be >= 0 (got " + std::to_string(spike_warmup) + ")");
+  }
+}
+
+HealthMonitor::HealthMonitor(HealthConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+double HealthMonitor::trailing_median() const {
+  std::vector<double> sorted(window_.begin(), window_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+namespace {
+
+/// Index of the first non-finite element, or -1.
+std::int64_t first_non_finite(const Tensor& t) {
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(p[i])) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<HealthEvent> HealthMonitor::check_epoch(std::int64_t epoch,
+                                                    double train_loss,
+                                                    graph::Network& net) {
+  std::vector<HealthEvent> events;
+  bool loss_healthy = true;
+
+  if (!std::isfinite(train_loss)) {
+    std::ostringstream os;
+    os << "train loss is " << train_loss;
+    events.push_back({EventType::kNonFiniteLoss, Severity::kFatal, epoch,
+                      train_loss, os.str()});
+    loss_healthy = false;
+  } else if (healthy_epochs_ >= cfg_.spike_warmup && !window_.empty()) {
+    const double median = trailing_median();
+    if (median > 0 && train_loss > cfg_.loss_spike_factor * median) {
+      std::ostringstream os;
+      os << "train loss " << train_loss << " exceeds " << cfg_.loss_spike_factor
+         << "x trailing median " << median;
+      events.push_back({EventType::kLossSpike, Severity::kFatal, epoch,
+                        train_loss / median, os.str()});
+      loss_healthy = false;
+    }
+  }
+
+  if (cfg_.check_gradients || cfg_.check_bn_stats) {
+    for (const nn::StateEntry& e : net.state()) {
+      const bool is_bn_buffer = e.role == nn::StateRole::kBuffer;
+      if (is_bn_buffer && !cfg_.check_bn_stats) continue;
+      if (!is_bn_buffer && !cfg_.check_gradients) continue;
+      if (e.role == nn::StateRole::kMomentum) continue;  // derived from grads
+      const std::int64_t bad = first_non_finite(*e.tensor);
+      if (bad < 0) continue;
+      EventType type = EventType::kNonFiniteGradient;
+      if (e.role == nn::StateRole::kParam) type = EventType::kNonFiniteParam;
+      if (is_bn_buffer) type = EventType::kNonFiniteBnStats;
+      std::ostringstream os;
+      os << e.name << "[" << bad << "] = " << e.tensor->data()[bad];
+      events.push_back({type, Severity::kFatal, epoch,
+                        static_cast<double>(e.tensor->data()[bad]), os.str()});
+      break;  // one non-finite tensor is diagnosis enough
+    }
+  }
+
+  if (loss_healthy && events.empty()) {
+    window_.push_back(train_loss);
+    while (static_cast<std::int64_t>(window_.size()) > cfg_.loss_window) {
+      window_.pop_front();
+    }
+    ++healthy_epochs_;
+  }
+
+  log_.insert(log_.end(), events.begin(), events.end());
+  return events;
+}
+
+std::vector<HealthEvent> HealthMonitor::check_prune(std::int64_t epoch,
+                                                    graph::Network& net,
+                                                    float threshold) {
+  std::vector<HealthEvent> events;
+  for (int id : net.nodes_of_type<nn::Conv2d>()) {
+    const nn::Layer& layer = *net.node(id).layer;
+    if (!prune::dense_out_channels(layer, threshold).empty()) continue;
+    const auto& conv = net.layer_as<nn::Conv2d>(id);
+    std::ostringstream os;
+    os << (layer.name().empty() ? "node" + std::to_string(id) : layer.name())
+       << ": all " << conv.out_channels()
+       << " output channels below threshold " << threshold
+       << " (floor guard will keep the strongest)";
+    events.push_back({EventType::kPruningCollapse, Severity::kWarning, epoch,
+                      static_cast<double>(conv.out_channels()), os.str()});
+  }
+  log_.insert(log_.end(), events.begin(), events.end());
+  return events;
+}
+
+void HealthMonitor::reset_window() {
+  window_.clear();
+  healthy_epochs_ = 0;
+}
+
+const HealthEvent* HealthMonitor::first_fatal(
+    const std::vector<HealthEvent>& events) {
+  for (const HealthEvent& e : events) {
+    if (e.severity == Severity::kFatal) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace pt::robust

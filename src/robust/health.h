@@ -1,0 +1,123 @@
+// Numerical-health monitoring for long PruneTrain runs (the "training
+// guardian", ISSUE 2 tentpole).
+//
+// PruneTrain mutates the live model every reconfiguration interval and
+// calibrates a single global lambda at iteration 0 (Eq. 3), so a
+// miscalibrated penalty, a divergent LR after dynamic mini-batch rescaling
+// (Sec. 4.3), or an over-aggressive prune can silently destroy a long run.
+// The HealthMonitor turns "silently" into structured HealthEvents: after
+// every epoch it checks the loss for NaN/Inf and divergence spikes
+// (loss > k x trailing median of healthy epochs), scans the network's
+// parameters/gradients/BN running statistics for non-finite values, and —
+// before a reconfiguration — flags convolutions about to lose *all* of
+// their channels (pruning collapse).
+//
+// The monitor only observes and reports; acting on fatal events (rollback
+// to the last good checkpoint, LR cut, retry, abort) is RecoveryPolicy's
+// job (recovery.h), wired through core::PruneTrainer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+
+namespace pt::robust {
+
+enum class EventType : std::uint8_t {
+  kNonFiniteLoss = 0,    ///< train loss is NaN or Inf
+  kLossSpike = 1,        ///< loss exceeds spike_factor x trailing median
+  kNonFiniteGradient = 2,///< a parameter gradient holds NaN/Inf
+  kNonFiniteParam = 3,   ///< a parameter value holds NaN/Inf
+  kNonFiniteBnStats = 4, ///< BN running mean/var holds NaN/Inf
+  kPruningCollapse = 5,  ///< a conv is about to lose all channels
+};
+
+enum class Severity : std::uint8_t { kWarning = 0, kFatal = 1 };
+
+std::string to_string(EventType type);
+std::string to_string(Severity severity);
+
+/// One structured observation. Fatal events mean the run cannot make
+/// useful progress from the current state; warnings are survivable (e.g.
+/// pruning collapse, which the reconfiguration floor guard neutralizes).
+struct HealthEvent {
+  EventType type = EventType::kNonFiniteLoss;
+  Severity severity = Severity::kFatal;
+  std::int64_t epoch = -1;  ///< global epoch index the event was seen at
+  double value = 0;         ///< offending value (loss, ratio, bad scalar)
+  std::string detail;       ///< human-readable context (layer name etc.)
+
+  /// "fatal non-finite-loss at epoch 7: train loss is nan".
+  std::string describe() const;
+};
+
+/// Thrown by the trainer when a fatal event fires and recovery is enabled;
+/// carries the event to the rollback machinery at the top of run().
+class FatalHealthError : public std::runtime_error {
+ public:
+  explicit FatalHealthError(HealthEvent event)
+      : std::runtime_error(event.describe()), event_(std::move(event)) {}
+  const HealthEvent& event() const { return event_; }
+
+ private:
+  HealthEvent event_;
+};
+
+struct HealthConfig {
+  /// Fatal when train loss > loss_spike_factor * trailing median of the
+  /// last loss_window healthy epochs. Generous by default: legitimate
+  /// post-reconfiguration or batch-growth bumps are ~2-3x, divergence is
+  /// orders of magnitude.
+  double loss_spike_factor = 10.0;
+  std::int64_t loss_window = 8;   ///< trailing-median window length
+  /// Healthy epochs observed before spike detection arms (early training
+  /// is legitimately volatile).
+  std::int64_t spike_warmup = 3;
+  bool check_gradients = true;    ///< scan grads + params for NaN/Inf
+  bool check_bn_stats = true;     ///< scan BN running stats for NaN/Inf
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig cfg = {});
+
+  /// Post-epoch check: loss finiteness, loss spike, and (per config) a
+  /// scan of every state tensor. Returns the events raised this call; a
+  /// healthy loss is recorded into the trailing window. All events are
+  /// also appended to the cumulative log().
+  std::vector<HealthEvent> check_epoch(std::int64_t epoch, double train_loss,
+                                       graph::Network& net);
+
+  /// Pre-reconfiguration check: a kPruningCollapse warning per conv whose
+  /// output channels would *all* fall below `threshold` (the floor guard
+  /// in prune::Reconfigurer keeps the graph executable regardless).
+  std::vector<HealthEvent> check_prune(std::int64_t epoch, graph::Network& net,
+                                       float threshold);
+
+  /// Clears the trailing-loss window (call after a rollback: the restored
+  /// run re-enters an older loss regime).
+  void reset_window();
+
+  /// Every event ever raised by this monitor, in order.
+  const std::vector<HealthEvent>& log() const { return log_; }
+
+  /// First fatal event in `events`, or nullptr.
+  static const HealthEvent* first_fatal(const std::vector<HealthEvent>& events);
+
+ private:
+  double trailing_median() const;
+
+  HealthConfig cfg_;
+  std::deque<double> window_;       ///< recent healthy losses
+  std::int64_t healthy_epochs_ = 0; ///< arms spike detection after warmup
+  std::vector<HealthEvent> log_;
+};
+
+}  // namespace pt::robust

@@ -1,0 +1,104 @@
+// Rollback-to-checkpoint recovery policy (ISSUE 2 tentpole, part b).
+//
+// When the HealthMonitor raises a fatal event, the RecoveryPolicy decides
+// what the trainer does next: roll back to the last good checkpoint (the
+// PR 1 crash-safe ckpt API), cut the learning rate by a configurable
+// factor, optionally skip the reconfiguration that was replayed into the
+// fault, and retry — with capped exponential backoff (modeled, not slept:
+// the simulated cluster charges time, it never blocks the process). When
+// the rollback budget is exhausted the run aborts gracefully: a final
+// *diagnostic* checkpoint of the broken state is written so the failure
+// can be examined offline, and TrainingAborted is thrown.
+//
+// The policy is pure bookkeeping — it never touches the network or the
+// filesystem itself; core::PruneTrainer executes its decisions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "robust/health.h"
+
+namespace pt::robust {
+
+struct RecoveryConfig {
+  std::int64_t max_rollbacks = 3;  ///< retry budget for the whole run
+  float lr_cut = 0.5f;             ///< LR multiplier applied per rollback
+  double backoff_base = 2.0;       ///< exponential backoff base (>= 1)
+  double backoff_cap = 60.0;       ///< modeled wait ceiling, seconds
+  /// Suppress the periodic reconfigurations replayed between the rollback
+  /// point and the fault epoch, in case the prune itself destabilized the
+  /// run. Off by default: with a deterministic retry the usual cause is a
+  /// transient (injected) fault, and skipping changes the sparsity schedule.
+  bool skip_offending_reconfig = false;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Everything the guardian did during one run, for reporting and tests.
+struct RecoveryReport {
+  std::int64_t rollbacks = 0;        ///< recoveries performed
+  std::int64_t faults_injected = 0;  ///< FaultInjector firings observed
+  double backoff_seconds = 0;        ///< total modeled backoff wait
+  bool aborted = false;              ///< rollback budget exhausted
+  std::string last_checkpoint;       ///< file the last rollback restored
+  std::vector<HealthEvent> events;   ///< every event, warnings included
+};
+
+/// Byte-serialization of a RecoveryReport, used for the "guardian" section
+/// of diagnostic checkpoints (and their offline inspection in tests).
+std::vector<std::uint8_t> serialize_report(const RecoveryReport& report);
+RecoveryReport deserialize_report(const std::vector<std::uint8_t>& bytes);
+
+/// Thrown by PruneTrainer::run() when recovery gives up; carries the final
+/// report (the diagnostic checkpoint holds the same data on disk).
+class TrainingAborted : public std::runtime_error {
+ public:
+  TrainingAborted(const std::string& msg, RecoveryReport report)
+      : std::runtime_error(msg), report_(std::move(report)) {}
+  const RecoveryReport& report() const { return report_; }
+
+ private:
+  RecoveryReport report_;
+};
+
+/// Finds the newest checkpoint in `dir` that actually loads (CRC-verified
+/// full parse): tries ckpt-latest.bin first, then ckpt-epoch-<N>.bin in
+/// descending epoch order. A truncated or bit-flipped file — e.g. one the
+/// FaultInjector corrupted — is skipped, so a rollback lands on the last
+/// *good* state, not merely the last written file. Returns "" when nothing
+/// in the directory is recoverable.
+std::string find_last_good_checkpoint(const std::string& dir);
+
+class RecoveryPolicy {
+ public:
+  struct Decision {
+    enum class Action { kRollback, kAbort };
+    Action action = Action::kRollback;
+    /// Cumulative recovery LR multiplier for the retry (lr_cut^attempt).
+    float lr_scale = 1.f;
+    /// Modeled wait before the retry: min(base^(attempt-1), cap) seconds.
+    double backoff_seconds = 0;
+    std::int64_t attempt = 0;  ///< 1-based rollback count, this one included
+    bool skip_reconfig = false;
+  };
+
+  explicit RecoveryPolicy(RecoveryConfig cfg);
+
+  /// Decides the response to one fatal event. Each kRollback consumes one
+  /// unit of the budget; once `max_rollbacks` are spent the answer is
+  /// kAbort (idempotent thereafter).
+  Decision on_fatal(const HealthEvent& event);
+
+  std::int64_t rollbacks() const { return rollbacks_; }
+  const RecoveryConfig& config() const { return cfg_; }
+
+ private:
+  RecoveryConfig cfg_;
+  std::int64_t rollbacks_ = 0;
+};
+
+}  // namespace pt::robust

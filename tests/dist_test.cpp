@@ -7,6 +7,7 @@
 
 #include "dist/cluster.h"
 #include "models/builders.h"
+#include "robust/fault.h"
 #include "prune/reconfigure.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -128,10 +129,175 @@ TEST(Cluster, AllreduceWeightsByShardSize) {
   EXPECT_FLOAT_EQ(p0[0]->grad.data()[0], 1.75f);
 }
 
-TEST(Cluster, RejectsTinyBatch) {
+TEST(Cluster, RejectsEmptyBatch) {
   Cluster cluster = make_cluster(4, 13);
   optim::SGD opt(0.1f);
-  EXPECT_THROW(cluster.step(make_batch(2, 1), opt), std::invalid_argument);
+  data::Batch empty;
+  EXPECT_THROW(cluster.step(empty, opt), std::invalid_argument);
+}
+
+TEST(Cluster, TinyBatchDegradesGracefully) {
+  // A batch smaller than the replica count used to throw; now the empty
+  // shards simply carry zero allreduce weight, and the step is equivalent
+  // to single-device training on the populated samples.
+  Cluster cluster = make_cluster(4, 13);
+  graph::Network solo = make_bnfree_net(13);
+  data::Batch batch = make_batch(2, 1);
+
+  optim::SGD opt_cluster(0.1f, 0.9f);
+  optim::SGD opt_solo(0.1f, 0.9f);
+  const auto result = cluster.step(batch, opt_cluster);
+  EXPECT_EQ(result.processed, 2);
+  EXPECT_EQ(result.dropped_replicas, 0);
+
+  nn::SoftmaxCrossEntropy loss;
+  Tensor out = solo.forward(batch.images, true);
+  loss.forward(out, batch.labels);
+  solo.zero_grad();
+  solo.backward(loss.backward());
+  opt_solo.step(solo.params());
+
+  auto pc = cluster.replica(0).params();
+  auto ps = solo.params();
+  ASSERT_EQ(pc.size(), ps.size());
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    for (std::int64_t q = 0; q < pc[i]->value.numel(); ++q) {
+      ASSERT_NEAR(pc[i]->value.data()[q], ps[i]->value.data()[q], 1e-6f);
+    }
+  }
+  // Idle replicas received the same broadcast + step: still bit-identical.
+  auto p3 = cluster.replica(3).params();
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    for (std::int64_t q = 0; q < pc[i]->value.numel(); ++q) {
+      ASSERT_EQ(pc[i]->value.data()[q], p3[i]->value.data()[q]);
+    }
+  }
+}
+
+TEST(Cluster, DropRetrySucceedsOnSecondAttempt) {
+  // count defaults to 1: the first attempt of replica 0 fails, the retry
+  // succeeds, and no samples are lost.
+  Cluster cluster = make_cluster(2, 21);
+  cluster.set_fault_injector(
+      robust::FaultInjector::from_string("drop-replica:replica=0", 99), {});
+  optim::SGD opt(0.1f, 0.9f);
+  const auto result = cluster.step(make_batch(8, 4), opt);
+  EXPECT_EQ(result.retries, 1);
+  EXPECT_EQ(result.dropped_replicas, 0);
+  EXPECT_EQ(result.processed, 8);
+  EXPECT_GT(result.fault_wait_seconds, 0.0);
+}
+
+TEST(Cluster, PersistentDropReweightsShardOntoSurvivors) {
+  // Replica 1 stays down past every retry: its shard is excluded, the
+  // survivors' update equals single-device training on replica 0's shard,
+  // and the dead replica still ends the step bit-identical (it receives
+  // the broadcast and the common optimizer step, ready to rejoin).
+  Cluster cluster = make_cluster(2, 22);
+  graph::Network solo = make_bnfree_net(22);
+  FaultPolicy policy;
+  policy.max_retries = 1;
+  policy.timeout_seconds = 0.5;
+  cluster.set_fault_injector(
+      robust::FaultInjector::from_string("drop-replica:replica=1,count=0", 7),
+      policy);
+  data::Batch batch = make_batch(8, 4);
+  optim::SGD opt_cluster(0.1f, 0.9f);
+  optim::SGD opt_solo(0.1f, 0.9f);
+  const auto result = cluster.step(batch, opt_cluster);
+  EXPECT_EQ(result.dropped_replicas, 1);
+  EXPECT_EQ(result.retries, 1);
+  EXPECT_EQ(result.processed, 4);
+  // Charged one timeout per failed attempt (initial + one retry).
+  EXPECT_DOUBLE_EQ(result.fault_wait_seconds, 1.0);
+
+  data::Batch shard;
+  shard.images = Tensor({4, 2, 5, 5});
+  std::copy(batch.images.data(), batch.images.data() + shard.images.numel(),
+            shard.images.data());
+  shard.labels.assign(batch.labels.begin(), batch.labels.begin() + 4);
+  nn::SoftmaxCrossEntropy loss;
+  Tensor out = solo.forward(shard.images, true);
+  loss.forward(out, shard.labels);
+  solo.zero_grad();
+  solo.backward(loss.backward());
+  opt_solo.step(solo.params());
+
+  auto pc = cluster.replica(0).params();
+  auto ps = solo.params();
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    for (std::int64_t q = 0; q < pc[i]->value.numel(); ++q) {
+      ASSERT_NEAR(pc[i]->value.data()[q], ps[i]->value.data()[q], 1e-6f);
+    }
+  }
+  auto p1 = cluster.replica(1).params();
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    for (std::int64_t q = 0; q < pc[i]->value.numel(); ++q) {
+      ASSERT_EQ(pc[i]->value.data()[q], p1[i]->value.data()[q]);
+    }
+  }
+}
+
+TEST(Cluster, DelayWithinTimeoutIsChargedNotRetried) {
+  Cluster cluster = make_cluster(2, 23);
+  cluster.set_fault_injector(robust::FaultInjector::from_string(
+      "delay-replica:replica=1,delay=0.3", 5), {});
+  optim::SGD opt(0.1f);
+  const auto result = cluster.step(make_batch(8, 6), opt);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_EQ(result.dropped_replicas, 0);
+  EXPECT_DOUBLE_EQ(result.fault_wait_seconds, 0.3);
+  EXPECT_EQ(result.processed, 8);
+}
+
+TEST(Cluster, DelayPastTimeoutFailsTheAttempt) {
+  Cluster cluster = make_cluster(2, 24);
+  FaultPolicy policy;
+  policy.max_retries = 0;
+  policy.timeout_seconds = 1.0;
+  cluster.set_fault_injector(robust::FaultInjector::from_string(
+      "delay-replica:replica=1,delay=5,count=0", 5), policy);
+  optim::SGD opt(0.1f);
+  const auto result = cluster.step(make_batch(8, 6), opt);
+  EXPECT_EQ(result.dropped_replicas, 1);
+  EXPECT_EQ(result.processed, 4);
+}
+
+TEST(Cluster, EveryReplicaDownThrows) {
+  Cluster cluster = make_cluster(2, 25);
+  cluster.set_fault_injector(
+      robust::FaultInjector::from_string("drop-replica:count=0", 5), {});
+  optim::SGD opt(0.1f);
+  EXPECT_THROW(cluster.step(make_batch(8, 6), opt), std::runtime_error);
+}
+
+TEST(Cluster, ReplicaTargetedGradientFaultKeepsReplicasIdentical) {
+  // Gradient corruption on one replica flows through the allreduce into
+  // everyone — replicas stay bit-identical (flagging the damage is the
+  // HealthMonitor's job, not the cluster's).
+  Cluster cluster = make_cluster(2, 26);
+  cluster.set_fault_injector(robust::FaultInjector::from_string(
+      "scale-grad:replica=1,scale=100", 5), {});
+  optim::SGD opt(0.1f, 0.9f);
+  cluster.step(make_batch(8, 6), opt);
+  EXPECT_EQ(cluster.fault_injector().total_fires(), 1);
+  auto p0 = cluster.replica(0).params();
+  auto p1 = cluster.replica(1).params();
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    for (std::int64_t q = 0; q < p0[i]->value.numel(); ++q) {
+      ASSERT_EQ(p0[i]->value.data()[q], p1[i]->value.data()[q]);
+    }
+  }
+}
+
+TEST(ClusterFaultPolicy, ValidatesFields) {
+  FaultPolicy bad;
+  bad.max_retries = -1;
+  Cluster cluster = make_cluster(2, 27);
+  EXPECT_THROW(cluster.set_fault_injector({}, bad), std::invalid_argument);
+  bad.max_retries = 0;
+  bad.timeout_seconds = -2.0;
+  EXPECT_THROW(cluster.set_fault_injector({}, bad), std::invalid_argument);
 }
 
 TEST(Cluster, CommBytesMatchRingFormula) {
