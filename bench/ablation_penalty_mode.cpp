@@ -14,8 +14,6 @@
 #include <iostream>
 
 #include "bench/common.h"
-#include "cost/flops.h"
-#include "cost/memory.h"
 
 using namespace pt;
 using namespace pt::bench;
@@ -37,9 +35,7 @@ int main(int argc, char** argv) {
 
   // Dense reference for normalization.
   auto dense_net = build_net(c);
-  cost::FlopsModel dense_flops(dense_net, input);
-  cost::MemoryModel dense_mem(dense_net, input);
-  const double dense_params = static_cast<double>(dense_net.num_params());
+  const ModelCost dense = model_cost(dense_net, input);
 
   for (bool normalized : {false, true}) {
     for (float ratio : {0.2f, 0.3f}) {
@@ -48,14 +44,12 @@ int main(int argc, char** argv) {
       cfg.size_normalized_penalty = normalized;
       core::PruneTrainer trainer(net, ds, cfg);
       const auto r = trainer.run();
-      cost::MemoryModel mem(net, input);
+      const ModelCost pruned = model_cost(net, input);
       t.add_row({normalized ? "size-normalized" : "global (paper)", fmt(ratio, 2),
                  fmt(r.final_test_acc, 3),
-                 fmt(r.final_inference_flops / dense_flops.inference_flops(), 3),
-                 fmt(mem.breakdown().activations_per_sample /
-                         dense_mem.breakdown().activations_per_sample,
-                     3),
-                 fmt(static_cast<double>(net.num_params()) / dense_params, 3)});
+                 fmt(r.final_inference_flops / dense.inference_flops, 3),
+                 fmt(pruned.activation_bytes / dense.activation_bytes, 3),
+                 fmt(pruned.params / dense.params, 3)});
     }
   }
   emit(t, flags, "Ablation: global vs size-normalized group-lasso penalty, " +

@@ -3,7 +3,24 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "cost/flops.h"
+#include "cost/memory.h"
+
 namespace pt::bench {
+
+ModelCost model_cost(graph::Network& net, const Shape& input,
+                     std::int64_t batch) {
+  const cost::FlopsModel flops(net, input);
+  const cost::MemoryModel mem(net, input);
+  ModelCost c;
+  c.inference_flops = flops.inference_flops();
+  c.training_flops = flops.training_flops();
+  c.activation_bytes = mem.breakdown().activations_per_sample;
+  c.memory_bytes = mem.training_bytes(batch);
+  c.bn_traffic_per_sample = mem.bn_traffic_per_sample();
+  c.params = static_cast<double>(net.num_params());
+  return c;
+}
 
 ProxyCase cifar_case(const std::string& model, bool cifar100) {
   ProxyCase c;

@@ -38,6 +38,20 @@ ProxyCase imagenet_case();
 /// Builds the network for a case.
 graph::Network build_net(const ProxyCase& c, std::uint64_t seed = 21);
 
+/// Model cost through the shared cost:: entry points — the one way bench
+/// drivers read a model's cost (no per-driver FLOP arithmetic).
+struct ModelCost {
+  double inference_flops = 0;        ///< per sample
+  double training_flops = 0;         ///< per sample, fwd + bwd
+  double activation_bytes = 0;       ///< stored forward outputs, per sample
+  double memory_bytes = 0;           ///< training context at `batch`
+  double bn_traffic_per_sample = 0;  ///< DRAM bytes per sample
+  double params = 0;                 ///< parameter scalars
+};
+
+ModelCost model_cost(graph::Network& net, const Shape& input,
+                     std::int64_t batch = 64);
+
 /// Canonical training protocol for proxy runs: `epochs` epochs with LR
 /// decays at 50% and 75%, batch 64, lr 0.1, reconfiguration every
 /// `epochs/6` epochs, Eq. 3 ratio `ratio` with the canonical lasso boost.

@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "bench/common.h"
-#include "cost/memory.h"
 
 using namespace pt;
 using namespace pt::bench;
@@ -46,11 +45,13 @@ int main(int argc, char** argv) {
       auto net = build_net(c);
       auto cfg = proxy_train_config(epochs, ratio, core::PrunePolicy::kPruneTrain);
       if (dynamic) {
-        cost::MemoryModel mem(net, {c.data.channels, c.data.height, c.data.width});
         cfg.dynamic_batch.enabled = true;
         cfg.dynamic_batch.granularity = 16;
         cfg.dynamic_batch.max_batch = 256;
-        cfg.dynamic_batch.device_memory_bytes = mem.training_bytes(cfg.batch_size);
+        cfg.dynamic_batch.device_memory_bytes =
+            model_cost(net, {c.data.channels, c.data.height, c.data.width},
+                       cfg.batch_size)
+                .memory_bytes;
       }
       core::PruneTrainer trainer(net, ds, cfg);
       runs.push_back(trainer.run());

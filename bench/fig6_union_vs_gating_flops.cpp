@@ -48,15 +48,14 @@ SchemeFlops scheme_flops(graph::Network& net, const Shape& input, float threshol
   for (int id : net.nodes_of_type<nn::Conv2d>()) {
     const auto& conv = net.layer_as<nn::Conv2d>(id);
     const Shape& oshape = shapes[std::size_t(id)];
-    const double spatial = double(oshape[2]) * oshape[3];
-    const double rs = double(conv.kernel()) * conv.kernel();
     const auto& keep_in = analysis.keep_of(net.node(id).inputs[0]);
     const auto& keep_out = analysis.keep_of(id);
     const double u_in = keep_in.empty() ? double(conv.in_channels())
                                         : double(keep_in.size());
     const double u_out = keep_out.empty() ? double(conv.out_channels())
                                           : double(keep_out.size());
-    out.union_flops += 2.0 * u_in * u_out * rs * spatial;
+    out.union_flops += cost::conv2d_forward_flops(u_out, u_in, conv.kernel(),
+                                                  oshape[2], oshape[3]);
 
     double g_in = u_in, g_out = u_out;
     if (is_first.count(id) != 0) {
@@ -67,7 +66,8 @@ SchemeFlops scheme_flops(graph::Network& net, const Shape& input, float threshol
       g_out = double(prune::dense_out_channels(conv, threshold).size());
       if (g_out == 0) g_out = 1;
     }
-    out.gating_flops += 2.0 * g_in * g_out * rs * spatial;
+    out.gating_flops += cost::conv2d_forward_flops(g_out, g_in, conv.kernel(),
+                                                   oshape[2], oshape[3]);
   }
   return out;
 }

@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "bench/common.h"
-#include "cost/memory.h"
 
 using namespace pt;
 using namespace pt::bench;
@@ -22,8 +21,9 @@ void run_case(const ProxyCase& c, std::int64_t epochs, std::int64_t batch0,
   auto net = build_net(c);
   // Capacity = what the initial model needs at the starting batch (the
   // paper starts at the largest batch that fits the device).
-  cost::MemoryModel mem0(net, {c.data.channels, c.data.height, c.data.width});
-  const double capacity = mem0.training_bytes(batch0);
+  const double capacity =
+      model_cost(net, {c.data.channels, c.data.height, c.data.width}, batch0)
+          .memory_bytes;
 
   auto cfg = proxy_train_config(epochs, 0.3f, core::PrunePolicy::kPruneTrain);
   cfg.batch_size = batch0;

@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "bench/common.h"
-#include "cost/memory.h"
 
 using namespace pt;
 using namespace pt::bench;
@@ -27,11 +26,13 @@ Outcome run(const ProxyCase& c, std::int64_t epochs, float ratio,
   auto net = build_net(c);
   auto cfg = proxy_train_config(epochs, ratio, policy);
   if (dynamic) {
-    cost::MemoryModel mem(net, {c.data.channels, c.data.height, c.data.width});
     cfg.dynamic_batch.enabled = true;
     cfg.dynamic_batch.granularity = 16;
     cfg.dynamic_batch.max_batch = 320;
-    cfg.dynamic_batch.device_memory_bytes = mem.training_bytes(cfg.batch_size);
+    cfg.dynamic_batch.device_memory_bytes =
+        model_cost(net, {c.data.channels, c.data.height, c.data.width},
+                   cfg.batch_size)
+            .memory_bytes;
   }
   core::PruneTrainer trainer(net, ds, cfg);
   Outcome o;

@@ -21,11 +21,17 @@
 //
 //   $ ./quickstart --checkpoint-dir /tmp/pt --max-rollbacks 2 \
 //                  --fault-spec "nan-grad:epoch=7"
+//
+// --metrics-out <dir> records the run as telemetry: <dir>/manifest.json
+// plus one JSONL line per epoch in <dir>/epochs.jsonl (per-layer FLOPs and
+// wall-times, sparsity densities, reconfiguration events, counters/spans).
+// --no-telemetry forces the telemetry switch off, for overhead A/B runs.
 #include <iostream>
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "models/builders.h"
+#include "telemetry/metrics.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -43,6 +49,11 @@ int main(int argc, char** argv) {
   flags.define("fault-spec", "",
                "inject deterministic faults, e.g. 'nan-grad:epoch=7' or "
                "'corrupt-ckpt:epoch=5;scale-grad:epoch=6,scale=1e6'");
+  flags.define("metrics-out", "",
+               "record telemetry into this directory (manifest.json + "
+               "epochs.jsonl, one line per epoch)");
+  flags.define("no-telemetry", "false",
+               "force the telemetry switch off (ignores --metrics-out)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage("quickstart");
@@ -78,6 +89,12 @@ int main(int argc, char** argv) {
   cfg.resume_from = flags.get("resume");
   cfg.max_rollbacks = flags.get_int("max-rollbacks");
   cfg.fault_spec = flags.get("fault-spec");
+  if (flags.get_bool("no-telemetry")) {
+    pt::telemetry::set_enabled(false);
+  } else {
+    cfg.metrics_dir = flags.get("metrics-out");
+    cfg.run_name = "quickstart";
+  }
 
   pt::core::PruneTrainer trainer(net, dataset, cfg);
   pt::core::TrainResult result;

@@ -11,5 +11,14 @@ for b in fig7_union_vs_gating_time fig12_density fig4_channel_sparsity \
   timeout 900 ./$b 2>&1
   echo
 done
+echo "===== bench: telemetry_smoke ====="
+# Instrumented quickstart: records a short run, then folds the JSONL
+# trajectory into BENCH_telemetry_smoke.json (monotone FLOPs/memory flags).
+METRICS_DIR=$(mktemp -d /tmp/pt_metrics_smoke.XXXXXX)
+timeout 900 ../examples/quickstart --epochs 6 --metrics-out "$METRICS_DIR" 2>&1
+timeout 120 ../examples/telemetry_export --run "$METRICS_DIR" \
+  --name telemetry_smoke --out /root/repo/BENCH_telemetry_smoke.json 2>&1
+rm -rf "$METRICS_DIR"
+echo
 echo "SUITE DONE"
 } > /root/repo/bench_output.txt 2>&1

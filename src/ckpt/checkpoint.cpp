@@ -227,34 +227,22 @@ void Checkpoint::save(const std::string& path) const {
     w.put_vector(bytes);
   }
 
-  // CRC footer over everything above.
-  std::vector<std::uint8_t> buf = w.take();
-  const std::uint32_t crc = crc32(buf.data(), buf.size());
-  const auto* cp = reinterpret_cast<const std::uint8_t*>(&crc);
-  buf.insert(buf.end(), cp, cp + sizeof(crc));
-
-  atomic_write_file(path, buf.data(), buf.size());
+  // CRC footer over everything above, via the shared util::fileio
+  // integrity discipline (the telemetry emitter uses the same helpers).
+  atomic_write_file_crc32(path, w.take());
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
-  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
-  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
+  // Verify the CRC footer before trusting any length field in the body.
+  const std::vector<std::uint8_t> bytes = read_file_bytes_crc32(path);
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
     throw std::runtime_error("checkpoint: file too short: " + path);
   }
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("checkpoint: bad magic in " + path);
   }
-  // Verify the CRC footer before trusting any length field in the body.
-  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
-  const std::uint32_t actual = crc32(bytes.data(), body);
-  if (stored != actual) {
-    throw std::runtime_error("checkpoint: CRC mismatch in " + path +
-                             " (file is truncated or corrupted)");
-  }
 
-  ByteReader r(bytes.data(), body);
+  ByteReader r(bytes.data(), bytes.size());
   char magic[sizeof(kMagic)];
   r.get_bytes(magic, sizeof(magic));
   const auto version = r.get<std::uint32_t>();

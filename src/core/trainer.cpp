@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include <cmath>
+#include <ctime>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include "optim/sgd.h"
 #include "prune/group_lasso.h"
 #include "prune/reconfigure.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace pt::core {
@@ -104,6 +106,29 @@ TrainResult get_result(ckpt::ByteReader& r) {
   res.epochs.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) res.epochs.push_back(get_epoch_stats(r));
   return res;
+}
+
+// The manifest's config dump: the fields that shape the run's trajectory
+// (not an exhaustive TrainConfig round-trip — the JSONL records are for
+// humans and plotting scripts, the checkpoint is the machine state).
+telemetry::Json config_json(const TrainConfig& cfg) {
+  telemetry::Json j = telemetry::Json::object();
+  j["policy"] = telemetry::Json(to_string(cfg.policy));
+  j["epochs"] = telemetry::Json(cfg.epochs);
+  j["batch_size"] = telemetry::Json(cfg.batch_size);
+  j["base_lr"] = telemetry::Json(static_cast<double>(cfg.base_lr));
+  j["momentum"] = telemetry::Json(static_cast<double>(cfg.momentum));
+  j["weight_decay"] = telemetry::Json(static_cast<double>(cfg.weight_decay));
+  j["lasso_ratio"] = telemetry::Json(static_cast<double>(cfg.lasso_ratio));
+  j["lasso_boost"] = telemetry::Json(static_cast<double>(cfg.lasso_boost));
+  j["reconfig_interval"] = telemetry::Json(cfg.reconfig_interval);
+  j["threshold"] = telemetry::Json(static_cast<double>(cfg.threshold));
+  j["fine_tune_epochs"] = telemetry::Json(cfg.fine_tune_epochs);
+  j["eval_interval"] = telemetry::Json(cfg.eval_interval);
+  j["prune_min_channels"] = telemetry::Json(cfg.prune_min_channels);
+  j["max_rollbacks"] = telemetry::Json(cfg.max_rollbacks);
+  j["fault_spec"] = telemetry::Json(cfg.fault_spec);
+  return j;
 }
 
 }  // namespace
@@ -200,6 +225,20 @@ PruneTrainer::PruneTrainer(graph::Network& net,
   if (cfg_.health_checks) {
     health_ = std::make_unique<robust::HealthMonitor>(cfg_.health);
   }
+  // Telemetry comes up before any resume load so the profiling flag can be
+  // re-applied to the checkpoint-restored network.
+  if (!cfg_.metrics_dir.empty()) {
+    telemetry::set_enabled(true);
+    net_->set_profiling(true);
+    telemetry::RunManifest manifest;
+    manifest.run_name = cfg_.run_name;
+    manifest.git = telemetry::git_describe();
+    manifest.created_unix = static_cast<std::int64_t>(std::time(nullptr));
+    manifest.seed = cfg_.shuffle_seed;
+    manifest.config = config_json(cfg_);
+    recorder_ =
+        std::make_unique<telemetry::RunRecorder>(cfg_.metrics_dir, manifest);
+  }
   if (!cfg_.resume_from.empty()) load_checkpoint_file(cfg_.resume_from);
   if (cfg_.record_sparsity && !monitor_) {
     monitor_ = std::make_unique<prune::SparsityMonitor>(net);
@@ -207,6 +246,7 @@ PruneTrainer::PruneTrainer(graph::Network& net,
 }
 
 double PruneTrainer::evaluate() {
+  telemetry::ScopedTimer span("eval");
   const Tensor& images = dataset_->test_images();
   const auto& labels = dataset_->test_labels();
   const std::int64_t n = images.shape()[0];
@@ -230,6 +270,7 @@ double PruneTrainer::evaluate() {
 }
 
 void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
+  telemetry::ScopedTimer span("sgd");
   prune::GroupLassoRegularizer reg(*net_);
   reg.set_size_normalized(cfg_.size_normalized_penalty);
   optim::SGD opt(lr, cfg_.momentum, cfg_.weight_decay);
@@ -286,8 +327,10 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
 
   for (std::int64_t e = start; e < epochs; ++e) {
     Timer wall;
+    telemetry::ScopedTimer epoch_span("epoch");
     EpochStats stats;
     stats.epoch = epoch_counter_;
+    telemetry::ReconfigRecord reconfig_rec;
 
     // Eq. 3: calibrate lambda at the first regularized iteration using the
     // initial classification loss and lasso sum.
@@ -358,9 +401,29 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
       }
       prune::Reconfigurer reconfigurer(*net_, cfg_.threshold,
                                        cfg_.prune_min_channels);
-      const auto rstats = reconfigurer.reconfigure();
+      prune::ReconfigStats rstats;
+      {
+        telemetry::ScopedTimer reconfig_span("reconfigure");
+        rstats = reconfigurer.reconfigure();
+      }
       stats.reconfigured = rstats.changed;
       result.layers_removed += rstats.convs_removed;
+      reconfig_rec.happened = true;
+      reconfig_rec.channels_before = rstats.channels_before;
+      reconfig_rec.channels_after = rstats.channels_after;
+      reconfig_rec.convs_removed = rstats.convs_removed;
+      reconfig_rec.blocks_removed = rstats.blocks_removed;
+      if (telemetry::enabled()) {
+        telemetry::count("prune/reconfigurations");
+        telemetry::gauge("prune/channels_alive",
+                         static_cast<double>(rstats.channels_after));
+        std::ostringstream os;
+        os << "epoch " << epoch_counter_ << ": channels "
+           << rstats.channels_before << " -> " << rstats.channels_after
+           << ", convs removed " << rstats.convs_removed
+           << ", blocks removed " << rstats.blocks_removed;
+        telemetry::event("prune/reconfigure", os.str());
+      }
       if (rstats.changed) {
         const auto adj = adjuster.propose(*net_, input_shape_, batch_size_);
         if (adj.changed) {
@@ -424,6 +487,7 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
       log_info(os.str());
     }
     result.epochs.push_back(stats);
+    if (recorder_) emit_epoch_record(stats, reconfig_rec);
     ++epoch_counter_;
 
     if (!cfg_.checkpoint_dir.empty() &&
@@ -434,9 +498,53 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
   ++phase_index_;
 }
 
+void PruneTrainer::emit_epoch_record(const EpochStats& stats,
+                                     const telemetry::ReconfigRecord& reconfig) {
+  telemetry::EpochRecord rec;
+  rec.epoch = stats.epoch;
+  rec.batch_size = stats.batch_size;
+  rec.lr = stats.lr;
+  rec.train_loss = stats.train_loss;
+  rec.train_acc = stats.train_acc;
+  rec.test_acc = stats.test_acc;
+  rec.lasso_loss = stats.lasso_loss;
+  rec.flops_per_sample_train = stats.flops_per_sample_train;
+  rec.flops_per_sample_inf = stats.flops_per_sample_inf;
+  rec.epoch_train_flops = stats.epoch_train_flops;
+  rec.epoch_bn_traffic = stats.epoch_bn_traffic;
+  rec.memory_bytes = stats.memory_bytes;
+  rec.comm_bytes_per_gpu = stats.comm_bytes_per_gpu;
+  rec.comm_time_modeled = stats.comm_time_modeled;
+  rec.gpu_time_modeled = stats.gpu_time_modeled;
+  rec.wall_seconds = stats.wall_seconds;
+  rec.channels_alive = stats.channels_alive;
+  rec.conv_layers = stats.conv_layers;
+  rec.reconfig = reconfig;
+
+  // Per-layer analytical FLOPs are computed on the *current* model, so an
+  // epoch that reconfigured reports the post-surgery (smaller) costs; the
+  // measured wall-times come from this epoch's execution profile, merged
+  // by (stable) node id.
+  rec.layers = telemetry::collect_layer_records(*net_, input_shape_);
+  for (const prune::LayerDensity& d :
+       prune::layer_densities(*net_, cfg_.threshold)) {
+    rec.sparsity.push_back({d.name, d.channel_density, d.weight_density});
+  }
+
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  rec.counters = reg.counters();
+  rec.gauges = reg.gauges();
+  rec.spans = reg.spans();
+  recorder_->append(rec);
+  // Per-layer times are per-epoch quantities; the registry's counters and
+  // spans stay cumulative across the run.
+  net_->reset_profile();
+}
+
 void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase,
                                    std::int64_t phase_epochs_done,
                                    float lambda) {
+  telemetry::ScopedTimer span("checkpoint");
   namespace fs = std::filesystem;
   fs::create_directories(cfg_.checkpoint_dir);
 
@@ -490,6 +598,9 @@ void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase
 void PruneTrainer::load_checkpoint_file(const std::string& path) {
   ckpt::Checkpoint ck = ckpt::Checkpoint::load(path);
   *net_ = ck.restore_network();
+  // The restored network starts with profiling off; keep instrumenting
+  // when this run records telemetry (resume and rollback paths).
+  if (recorder_) net_->set_profiling(true);
 
   const std::vector<std::uint8_t>* section = ck.section("trainer");
   if (section == nullptr) {
@@ -533,6 +644,7 @@ void PruneTrainer::load_checkpoint_file(const std::string& path) {
 }
 
 TrainResult PruneTrainer::run() {
+  telemetry::ScopedTimer run_span("train");
   if (cfg_.max_rollbacks <= 0) return run_attempt();
 
   robust::RecoveryConfig rc;

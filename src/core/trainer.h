@@ -34,6 +34,7 @@
 #include "robust/fault.h"
 #include "robust/health.h"
 #include "robust/recovery.h"
+#include "telemetry/record.h"
 
 namespace pt::core {
 
@@ -145,6 +146,17 @@ struct TrainConfig {
   std::string fault_spec;
   std::uint64_t fault_seed = 0x5eedf0a1ULL;
 
+  // --- Telemetry (src/telemetry) ---
+
+  /// Run-record directory. Empty (the default) leaves telemetry untouched.
+  /// When set, the trainer enables the process-wide telemetry switch and
+  /// per-layer network profiling, writes `<metrics_dir>/manifest.json`
+  /// before the first epoch, and appends one self-describing JSONL line to
+  /// `<metrics_dir>/epochs.jsonl` after every epoch (atomic temp+rename,
+  /// like checkpoints).
+  std::string metrics_dir;
+  std::string run_name = "run";  ///< recorded in the manifest
+
   /// Throws std::invalid_argument (with the offending field named) when a
   /// field combination cannot produce a valid run. Called by PruneTrainer's
   /// constructor, so a bad config fails fast rather than mid-training.
@@ -236,6 +248,13 @@ class PruneTrainer {
   /// loss/acc into `stats`. `lambda` == 0 disables regularization.
   void train_epoch(EpochStats& stats, float lambda, float lr);
 
+  /// Appends one epochs.jsonl line: the epoch's stats, the reconfiguration
+  /// outcome, per-layer FLOPs + measured times, sparsity densities, and a
+  /// snapshot of the cumulative telemetry state. Resets the network's
+  /// execution profile afterwards (layer times are per-epoch).
+  void emit_epoch_record(const EpochStats& stats,
+                         const telemetry::ReconfigRecord& reconfig);
+
   /// One training phase of `epochs` epochs with the given policy behavior.
   /// `regularize` turns the lasso term on; `reconfig` enables periodic
   /// reconfiguration; `one_shot_at` >= 0 reconfigures exactly once.
@@ -283,6 +302,9 @@ class PruneTrainer {
   float recovery_lr_scale_ = 1.f;       ///< lr_cut^rollbacks on retries
   std::int64_t skip_reconfig_until_ = -1;  ///< suppress reconfigs <= this epoch
   bool initial_ckpt_saved_ = false;
+
+  /// Epoch-record emitter (cfg_.metrics_dir); null when telemetry is off.
+  std::unique_ptr<telemetry::RunRecorder> recorder_;
 };
 
 }  // namespace pt::core

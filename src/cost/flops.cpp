@@ -34,6 +34,22 @@ std::vector<Shape> infer_shapes(graph::Network& net, const Shape& input) {
   return shapes;
 }
 
+double conv2d_forward_flops(double out_channels, double in_channels,
+                            std::int64_t kernel, std::int64_t out_h,
+                            std::int64_t out_w) {
+  const double macs = out_channels * in_channels *
+                      static_cast<double>(kernel) * static_cast<double>(kernel) *
+                      static_cast<double>(out_h) * static_cast<double>(out_w);
+  return 2.0 * macs;
+}
+
+double conv2d_backward_flops(double out_channels, double in_channels,
+                             std::int64_t kernel, std::int64_t out_h,
+                             std::int64_t out_w) {
+  return 2.0 *
+         conv2d_forward_flops(out_channels, in_channels, kernel, out_h, out_w);
+}
+
 FlopsModel::FlopsModel(graph::Network& net, Shape input) {
   Shape batched({1, input[0], input[1], input[2]});
   const auto shapes = infer_shapes(net, batched);
@@ -54,11 +70,14 @@ FlopsModel::FlopsModel(graph::Network& net, Shape input) {
       lf.type = layer.type();
       const Shape& in = shapes[static_cast<std::size_t>(n.inputs[0])];
       if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&layer)) {
-        const double macs = static_cast<double>(conv->out_channels()) *
-                            conv->in_channels() * conv->kernel() * conv->kernel() *
-                            out[2] * out[3];
-        lf.forward = 2.0 * macs;
-        lf.backward = 4.0 * macs;  // dW GEMM + dX GEMM
+        lf.forward = conv2d_forward_flops(
+            static_cast<double>(conv->out_channels()),
+            static_cast<double>(conv->in_channels()), conv->kernel(), out[2],
+            out[3]);
+        lf.backward = conv2d_backward_flops(
+            static_cast<double>(conv->out_channels()),
+            static_cast<double>(conv->in_channels()), conv->kernel(), out[2],
+            out[3]);
       } else if (const auto* fc = dynamic_cast<const nn::Linear*>(&layer)) {
         const double macs =
             static_cast<double>(fc->in_features()) * fc->out_features();

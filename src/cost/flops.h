@@ -21,6 +21,20 @@ namespace pt::cost {
 /// network input shape (batch dim included).
 std::vector<Shape> infer_shapes(graph::Network& net, const Shape& input);
 
+/// Forward FLOPs of one conv layer per sample: 2 * K*C*R*S * Ho*Wo.
+/// The single place the convention lives — FlopsModel and every analytical
+/// sweep (e.g. the Fig. 6 union-vs-gating comparison) call this rather
+/// than re-deriving the arithmetic. Channel counts are doubles because
+/// sweeps evaluate hypothetical (keep-set-sized) widths.
+double conv2d_forward_flops(double out_channels, double in_channels,
+                            std::int64_t kernel, std::int64_t out_h,
+                            std::int64_t out_w);
+
+/// Backward FLOPs of the same conv: the dW GEMM + dX GEMM, ~2x forward.
+double conv2d_backward_flops(double out_channels, double in_channels,
+                             std::int64_t kernel, std::int64_t out_h,
+                             std::int64_t out_w);
+
 /// FLOP totals for one layer at batch size 1.
 struct LayerFlops {
   int node = -1;

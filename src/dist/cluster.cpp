@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/loss.h"
+#include "telemetry/metrics.h"
 #include "tensor/ops.h"
 
 namespace pt::dist {
@@ -79,6 +80,7 @@ void Cluster::allreduce_gradients(const std::vector<double>& weights) {
 }
 
 StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
+  telemetry::ScopedTimer step_span("dist/step");
   const int p = size();
   const std::int64_t total = batch.size();
   if (total <= 0) throw std::invalid_argument("empty mini-batch");
@@ -160,6 +162,17 @@ StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
       static_cast<double>(replicas_[0].num_params()) * 4.0;
   result.comm_bytes_per_gpu = comm_.ring_bytes_per_update(model_bytes);
   result.comm_time_modeled = comm_.hierarchical_time_per_update(model_bytes);
+  if (telemetry::enabled()) {
+    telemetry::count("dist/steps");
+    telemetry::count("dist/allreduce_bytes", result.comm_bytes_per_gpu);
+    if (result.retries > 0) {
+      telemetry::count("dist/retries", static_cast<double>(result.retries));
+    }
+    if (result.dropped_replicas > 0) {
+      telemetry::count("dist/dropped_replicas",
+                       static_cast<double>(result.dropped_replicas));
+    }
+  }
   return result;
 }
 

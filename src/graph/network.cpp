@@ -1,11 +1,20 @@
 #include "graph/network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "tensor/ops.h"
 
 namespace pt::graph {
+
+namespace {
+using prof_clock = std::chrono::steady_clock;
+
+double seconds_since(prof_clock::time_point t0) {
+  return std::chrono::duration<double>(prof_clock::now() - t0).count();
+}
+}  // namespace
 
 int Network::add_input() {
   if (!nodes_.empty()) throw std::logic_error("input must be the first node");
@@ -73,10 +82,15 @@ Tensor Network::forward(const Tensor& x, bool training) {
   outputs_.assign(nodes_.size(), Tensor());
   outputs_[0] = x;
   order_cache_ = topo_order();
+  if (profiling_ && profile_.size() != nodes_.size()) {
+    profile_.assign(nodes_.size(), NodeProfile{});
+  }
   for (int id : order_cache_) {
     const std::size_t i = static_cast<std::size_t>(id);
     if (i == 0) continue;
     Node& n = nodes_[i];
+    prof_clock::time_point t0;
+    if (profiling_) t0 = prof_clock::now();
     switch (n.kind) {
       case Node::Kind::kDead:
         break;
@@ -99,6 +113,11 @@ Tensor Network::forward(const Tensor& x, bool training) {
         outputs_[i] = out;
         break;
       }
+    }
+    if (profiling_ && n.kind != Node::Kind::kDead) {
+      NodeProfile& p = profile_[i];
+      ++p.forward_calls;
+      p.forward_seconds += seconds_since(t0);
     }
   }
   trained_forward_ = training;
@@ -126,12 +145,22 @@ Tensor Network::backward(const Tensor& dy) {
     if (n.kind == Node::Kind::kDead) continue;
     const Tensor& g = grads[static_cast<std::size_t>(i)];
     if (!g.defined()) continue;  // node does not influence the output
+    prof_clock::time_point t0;
+    if (profiling_) t0 = prof_clock::now();
     if (n.kind == Node::Kind::kLayer) {
       Tensor gin = n.layer->backward(g);
       accumulate(n.inputs[0], gin);
     } else {  // kAdd
       accumulate(n.inputs[0], g);
       accumulate(n.inputs[1], g);
+    }
+    if (profiling_) {
+      if (profile_.size() != nodes_.size()) {
+        profile_.assign(nodes_.size(), NodeProfile{});
+      }
+      NodeProfile& p = profile_[static_cast<std::size_t>(i)];
+      ++p.backward_calls;
+      p.backward_seconds += seconds_since(t0);
     }
     grads[static_cast<std::size_t>(i)] = Tensor();  // release early
   }

@@ -42,6 +42,17 @@ struct NetworkInfo {
   std::vector<ResidualBlockInfo> blocks;
 };
 
+/// Per-node execution profile accumulated while profiling is enabled:
+/// call counts and wall-time of forward/backward, indexed by node id.
+/// Ids are stable across surgery, so a profile row keeps meaning across
+/// reconfigurations (dead nodes simply stop accumulating).
+struct NodeProfile {
+  std::uint64_t forward_calls = 0;
+  std::uint64_t backward_calls = 0;
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+};
+
 /// Executable network. Builders append nodes in topological order.
 class Network {
  public:
@@ -127,6 +138,16 @@ class Network {
   /// nodes whose id order differs from execution order.
   std::vector<int> topo_order() const;
 
+  /// Per-node wall-time profiling of forward/backward. Off by default:
+  /// when disabled the execution loops take no clock readings at all, so
+  /// production training speed is unaffected. The telemetry subsystem
+  /// turns this on to build per-layer epoch records.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+  /// One entry per node id (empty until the first profiled execution).
+  const std::vector<NodeProfile>& profile() const { return profile_; }
+  void reset_profile() { profile_.assign(nodes_.size(), NodeProfile{}); }
+
   /// Structural annotations (set by model builders).
   NetworkInfo info;
 
@@ -138,6 +159,8 @@ class Network {
   std::vector<Tensor> outputs_;
   std::vector<int> order_cache_;
   bool trained_forward_ = false;
+  bool profiling_ = false;
+  std::vector<NodeProfile> profile_;
 };
 
 }  // namespace pt::graph

@@ -6,8 +6,23 @@
 
 #include "nn/conv2d.h"
 #include "prune/channel_analysis.h"
+#include "telemetry/metrics.h"
 
 namespace pt::robust {
+
+namespace {
+
+/// Mirrors guardian findings into the telemetry event stream
+/// ("health/<type>" events plus a health/events counter).
+void emit_telemetry(const std::vector<HealthEvent>& events) {
+  if (!telemetry::enabled()) return;
+  for (const HealthEvent& e : events) {
+    telemetry::count("health/events");
+    telemetry::event("health/" + to_string(e.type), e.describe());
+  }
+}
+
+}  // namespace
 
 std::string to_string(EventType type) {
   switch (type) {
@@ -122,6 +137,7 @@ std::vector<HealthEvent> HealthMonitor::check_epoch(std::int64_t epoch,
   }
 
   log_.insert(log_.end(), events.begin(), events.end());
+  emit_telemetry(events);
   return events;
 }
 
@@ -142,6 +158,7 @@ std::vector<HealthEvent> HealthMonitor::check_prune(std::int64_t epoch,
                       static_cast<double>(conv.out_channels()), os.str()});
   }
   log_.insert(log_.end(), events.begin(), events.end());
+  emit_telemetry(events);
   return events;
 }
 

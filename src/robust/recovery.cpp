@@ -6,6 +6,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/serialize.h"
+#include "telemetry/metrics.h"
 
 namespace pt::robust {
 
@@ -121,6 +122,9 @@ RecoveryPolicy::Decision RecoveryPolicy::on_fatal(const HealthEvent& event) {
   if (rollbacks_ >= cfg_.max_rollbacks) {
     d.action = Decision::Action::kAbort;
     d.attempt = rollbacks_;
+    telemetry::event("recovery/abort",
+                     "rollback budget exhausted after " +
+                         std::to_string(rollbacks_) + " attempts");
     return d;
   }
   ++rollbacks_;
@@ -132,6 +136,13 @@ RecoveryPolicy::Decision RecoveryPolicy::on_fatal(const HealthEvent& event) {
       std::pow(cfg_.backoff_base, static_cast<double>(rollbacks_ - 1)),
       cfg_.backoff_cap);
   d.skip_reconfig = cfg_.skip_offending_reconfig;
+  if (telemetry::enabled()) {
+    telemetry::count("recovery/rollbacks");
+    telemetry::event("recovery/rollback",
+                     "attempt " + std::to_string(d.attempt) + ", lr_scale " +
+                         std::to_string(d.lr_scale) + ", backoff " +
+                         std::to_string(d.backoff_seconds) + "s");
+  }
   return d;
 }
 

@@ -1,0 +1,82 @@
+#include "telemetry/bench_export.h"
+
+#include <stdexcept>
+
+#include "telemetry/record.h"
+#include "util/fileio.h"
+
+namespace pt::telemetry {
+
+Json bench_summary(const std::string& run_dir, const std::string& name) {
+  const RunManifest manifest = RunRecorder::read_manifest(run_dir);
+  const std::vector<EpochRecord> records = RunRecorder::read_records(run_dir);
+  if (records.empty()) {
+    throw std::runtime_error("bench_summary: " + run_dir +
+                             " has no epoch records");
+  }
+  const EpochRecord& first = records.front();
+  const EpochRecord& last = records.back();
+
+  double total_train_flops = 0;
+  double total_bn_traffic = 0;
+  double total_comm_bytes = 0;
+  double total_gpu_time = 0;
+  double total_wall = 0;
+  std::int64_t reconfig_count = 0;
+  bool flops_monotone = true;
+  bool memory_monotone = true;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EpochRecord& r = records[i];
+    total_train_flops += r.epoch_train_flops;
+    total_bn_traffic += r.epoch_bn_traffic;
+    total_comm_bytes += r.comm_bytes_per_gpu;
+    total_gpu_time += r.gpu_time_modeled;
+    total_wall += r.wall_seconds;
+    if (r.reconfig.happened) ++reconfig_count;
+    if (i > 0) {
+      // Pruning only shrinks the model, so per-sample cost curves must
+      // never rise (the paper's Fig. 2/9 trajectory shape).
+      if (r.flops_per_sample_train >
+          records[i - 1].flops_per_sample_train * (1.0 + 1e-9)) {
+        flops_monotone = false;
+      }
+      if (r.memory_bytes > records[i - 1].memory_bytes * (1.0 + 1e-9)) {
+        memory_monotone = false;
+      }
+    }
+  }
+
+  Json j = Json::object();
+  j["schema"] = Json("pt-telemetry-bench");
+  j["schema_version"] = Json(kSchemaVersion);
+  j["name"] = Json(name);
+  j["run_name"] = Json(manifest.run_name);
+  j["git"] = Json(manifest.git);
+  j["epochs"] = Json(static_cast<std::int64_t>(records.size()));
+  j["reconfigurations"] = Json(reconfig_count);
+  j["first_flops_per_sample_train"] = Json(first.flops_per_sample_train);
+  j["last_flops_per_sample_train"] = Json(last.flops_per_sample_train);
+  j["first_flops_per_sample_inf"] = Json(first.flops_per_sample_inf);
+  j["last_flops_per_sample_inf"] = Json(last.flops_per_sample_inf);
+  j["first_memory_bytes"] = Json(first.memory_bytes);
+  j["last_memory_bytes"] = Json(last.memory_bytes);
+  j["first_channels_alive"] = Json(first.channels_alive);
+  j["last_channels_alive"] = Json(last.channels_alive);
+  j["last_test_acc"] = Json(last.test_acc);
+  j["total_train_flops"] = Json(total_train_flops);
+  j["total_bn_traffic"] = Json(total_bn_traffic);
+  j["total_comm_bytes"] = Json(total_comm_bytes);
+  j["total_gpu_time_modeled"] = Json(total_gpu_time);
+  j["total_wall_seconds"] = Json(total_wall);
+  j["flops_monotone_nonincreasing"] = Json(flops_monotone);
+  j["memory_monotone_nonincreasing"] = Json(memory_monotone);
+  return j;
+}
+
+void bench_export(const std::string& run_dir, const std::string& name,
+                  const std::string& out_path) {
+  const std::string text = bench_summary(run_dir, name).dump() + "\n";
+  atomic_write_file(out_path, text.data(), text.size());
+}
+
+}  // namespace pt::telemetry

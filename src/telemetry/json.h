@@ -1,0 +1,84 @@
+// Minimal JSON document model for the telemetry subsystem: enough to emit
+// and re-read JSONL epoch records, run manifests, and BENCH_* summaries
+// without an external dependency.
+//
+// Design points:
+//  - Objects preserve insertion order, so dump() output is deterministic
+//    and schema fields appear where the writer put them (diff-friendly
+//    JSONL lines).
+//  - Numbers are doubles. Integers up to 2^53 round-trip exactly, which
+//    covers every counter and FLOP total the system records; integral
+//    values are printed without an exponent so records stay greppable.
+//  - Non-finite numbers serialize as null (JSON has no NaN/Inf); parsing
+//    null where a number is expected yields NaN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pt::telemetry {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  // Array interface.
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+  const std::vector<Json>& elements() const;
+
+  // Object interface (insertion-ordered).
+  Json& operator[](const std::string& key);    ///< insert-or-reference
+  const Json* find(const std::string& key) const;  ///< nullptr when absent
+  const Json& at(const std::string& key) const;    ///< throws when absent
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Compact, deterministic serialization (no whitespace).
+  std::string dump() const;
+
+  /// Strict parser for one JSON value; throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace pt::telemetry

@@ -5,7 +5,9 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 
 namespace pt {
@@ -41,6 +43,20 @@ void atomic_write_file(const std::string& path, const void* data,
   }
 }
 
+void atomic_append_line(const std::string& path, const std::string& line) {
+  std::string content;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (f) {
+      content.assign(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+    }
+  }
+  content += line;
+  if (content.empty() || content.back() != '\n') content.push_back('\n');
+  atomic_write_file(path, content.data(), content.size());
+}
+
 std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw std::runtime_error("read_file_bytes: cannot open " + path);
@@ -52,6 +68,15 @@ std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
     if (!f) throw std::runtime_error("read_file_bytes: read failed for " + path);
   }
   return bytes;
+}
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_file_text: cannot open " + path);
+  std::string text(std::istreambuf_iterator<char>(f),
+                   std::istreambuf_iterator<char>{});
+  if (f.bad()) throw std::runtime_error("read_file_text: read failed for " + path);
+  return text;
 }
 
 namespace {
@@ -78,6 +103,32 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
     c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
+}
+
+void atomic_write_file_crc32(const std::string& path,
+                             std::vector<std::uint8_t> bytes) {
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  const auto* cp = reinterpret_cast<const std::uint8_t*>(&crc);
+  bytes.insert(bytes.end(), cp, cp + sizeof(crc));
+  atomic_write_file(path, bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> read_file_bytes_crc32(const std::string& path) {
+  std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  if (bytes.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("read_file_bytes_crc32: " + path +
+                             " is too short for a CRC footer");
+  }
+  const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  const std::uint32_t actual = crc32(bytes.data(), body);
+  if (stored != actual) {
+    throw std::runtime_error("read_file_bytes_crc32: CRC mismatch in " + path +
+                             " (file is truncated or corrupted)");
+  }
+  bytes.resize(body);
+  return bytes;
 }
 
 }  // namespace pt

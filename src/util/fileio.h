@@ -19,9 +19,32 @@ namespace pt {
 void atomic_write_file(const std::string& path, const void* data,
                        std::size_t size);
 
+/// Appends one line to a text file under the same temp+rename discipline:
+/// the existing content plus `line` (a '\n' is added when missing) is
+/// written to `<path>.tmp` and renamed over `path`, so a reader or a
+/// crash-restarted process sees either the file without the line or with
+/// the complete line — never a torn tail. Creates the file when absent.
+/// This is the append protocol of the telemetry JSONL emitter.
+void atomic_append_line(const std::string& path, const std::string& line);
+
 /// Reads an entire file into memory. Throws std::runtime_error if the file
 /// cannot be opened or read.
 std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+/// Reads an entire file as text. Throws std::runtime_error on failure.
+std::string read_file_text(const std::string& path);
+
+/// Atomically writes `bytes` followed by a 4-byte CRC-32 footer covering
+/// them — the integrity discipline shared by checkpoints and any other
+/// consumer that must reject torn or bit-rotted files on load.
+void atomic_write_file_crc32(const std::string& path,
+                             std::vector<std::uint8_t> bytes);
+
+/// Reads a file written by atomic_write_file_crc32: verifies the CRC-32
+/// footer before returning the body (footer stripped). Throws
+/// std::runtime_error when the file is too short or the CRC mismatches
+/// (truncation / corruption).
+std::vector<std::uint8_t> read_file_bytes_crc32(const std::string& path);
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of a byte range.
 /// Used as the integrity footer of snapshot/checkpoint files.

@@ -1,11 +1,26 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace pt {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Single sink shared by every logger; guarded by one mutex so concurrent
+// callers (dist replicas, OpenMP regions) cannot interleave lines.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::function<void(const std::string&)>& sink_ref() {
+  static std::function<void(const std::string&)> sink;
+  return sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,14 +35,33 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::function<void(const std::string& line)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_ref() = std::move(sink);
+}
 
 void log(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  static Timer t0;
-  std::fprintf(stderr, "[%-5s %8.2fs] %s\n", level_name(level), t0.seconds(),
-               msg.c_str());
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  static Timer t0;  // process-relative timestamps
+  char header[32];
+  std::snprintf(header, sizeof(header), "[%-5s %8.2fs] ", level_name(level),
+                t0.seconds());
+  std::string line = header + msg;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_ref()) {
+    sink_ref()(line);
+  } else {
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
 }
 
 }  // namespace pt

@@ -2,9 +2,15 @@
 //
 // Benchmarks and examples narrate long-running training loops through this;
 // quiet by default in tests (level defaults to kInfo, tests may lower it).
+//
+// The sink is a single mutex-guarded writer: each log line is formatted
+// into one buffer and emitted under the lock, so concurrent callers (e.g.
+// simulated dist::Cluster replicas, OpenMP regions, telemetry event echo)
+// never interleave characters within a line.
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <string>
 
 namespace pt {
@@ -15,8 +21,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Prints `[level ts] msg` to stderr when `level >= log_level()`.
+/// Prints `[level ts] msg` to the sink when `level >= log_level()`.
 void log(LogLevel level, const std::string& msg);
+
+/// Redirects fully formatted log lines (no trailing newline) to `sink`
+/// instead of stderr; pass nullptr to restore stderr. The sink is invoked
+/// under the same mutex that serializes normal logging. Used by tests and
+/// by tools that capture the run narration.
+void set_log_sink(std::function<void(const std::string& line)> sink);
 
 inline void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
 inline void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }

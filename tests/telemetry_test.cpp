@@ -1,0 +1,426 @@
+// Telemetry tests: registry semantics (counters/gauges/histograms), the
+// near-zero-cost disabled path, hierarchical ScopedTimer spans, JSON and
+// JSONL round-trips, per-layer FLOPs from a real profiled forward pass
+// matching cost::FlopsModel before and after a reconfiguration, and the
+// instrumented trainer's run records (manifest + one line per epoch with a
+// monotonically non-increasing cost trajectory).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "core/trainer.h"
+#include "cost/flops.h"
+#include "data/synthetic.h"
+#include "models/builders.h"
+#include "nn/conv2d.h"
+#include "prune/reconfigure.h"
+#include "telemetry/bench_export.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/record.h"
+
+namespace pt::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory (pid suffix: test_telemetry and
+/// test_telemetry_asan run concurrently under ctest).
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path p = fs::temp_directory_path() /
+                     ("pt_telemetry_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p;
+}
+
+/// Telemetry state is process-global: every test starts enabled with an
+/// empty registry and leaves the process with telemetry off again.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::global().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(TelemetryTest, CountersAccumulateAndGaugesKeepLastValue) {
+  count("a/hits");
+  count("a/hits", 2.5);
+  gauge("a/level", 7);
+  gauge("a/level", 3);
+  auto& reg = MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(reg.counter("a/hits"), 3.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("a/level"), 3);
+  EXPECT_DOUBLE_EQ(reg.counter("absent"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge("absent"), 0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsCountsAndStats) {
+  auto& reg = MetricsRegistry::global();
+  reg.define_histogram("lat", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 5.0, 5.0, 50.0, 500.0}) observe("lat", v);
+  const auto h = reg.histograms().at("lat");
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.total, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 560.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 500.0);
+}
+
+TEST_F(TelemetryTest, UndeclaredHistogramGetsDefaultBuckets) {
+  observe("auto", 42.0);
+  const auto h = MetricsRegistry::global().histograms().at("auto");
+  EXPECT_GT(h.bounds.size(), 0u);
+  EXPECT_EQ(h.total, 1u);
+}
+
+TEST_F(TelemetryTest, DisabledHelpersRecordNothing) {
+  set_enabled(false);
+  count("off/c");
+  gauge("off/g", 1);
+  observe("off/h", 1);
+  event("off/e", "never");
+  { ScopedTimer t("off/span"); }
+  set_enabled(true);
+  auto& reg = MetricsRegistry::global();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+  EXPECT_TRUE(reg.spans().empty());
+  EXPECT_TRUE(reg.events().empty());
+}
+
+TEST_F(TelemetryTest, ScopedTimersNestIntoHierarchicalNames) {
+  {
+    ScopedTimer outer("train");
+    {
+      ScopedTimer inner("epoch");
+      { ScopedTimer leaf("sgd"); }
+      { ScopedTimer leaf("sgd"); }
+    }
+  }
+  const auto spans = MetricsRegistry::global().spans();
+  ASSERT_TRUE(spans.count("train"));
+  ASSERT_TRUE(spans.count("train/epoch"));
+  ASSERT_TRUE(spans.count("train/epoch/sgd"));
+  EXPECT_EQ(spans.at("train").count, 1u);
+  EXPECT_EQ(spans.at("train/epoch/sgd").count, 2u);
+  // A parent's accumulated time covers its children.
+  EXPECT_GE(spans.at("train").total_seconds,
+            spans.at("train/epoch/sgd").total_seconds);
+  EXPECT_GE(spans.at("train/epoch/sgd").max_seconds,
+            spans.at("train/epoch/sgd").min_seconds);
+}
+
+TEST_F(TelemetryTest, EventsCarryMonotoneSequenceNumbers) {
+  event("health/nan", "loss went NaN");
+  event("recovery/rollback", "attempt 1");
+  const auto events = MetricsRegistry::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_EQ(events[0].name, "health/nan");
+  EXPECT_EQ(events[1].detail, "attempt 1");
+  EXPECT_GE(events[1].at_seconds, events[0].at_seconds);
+}
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":[true,null,"x\n"],"c":{"d":-2.5},"e":9007199254740992.0})";
+  const Json j = Json::parse(text);
+  const Json j2 = Json::parse(j.dump());
+  EXPECT_EQ(j2.at("a").as_int(), 1);
+  EXPECT_TRUE(j2.at("b").at(0).as_bool());
+  EXPECT_EQ(j2.at("b").at(2).as_string(), "x\n");
+  EXPECT_DOUBLE_EQ(j2.at("c").at("d").as_number(), -2.5);
+  EXPECT_THROW(Json::parse("{broken"), std::runtime_error);
+}
+
+EpochRecord sample_record() {
+  EpochRecord r;
+  r.epoch = 3;
+  r.batch_size = 64;
+  r.lr = 0.05;
+  r.train_loss = 1.25;
+  r.train_acc = 0.5;
+  r.test_acc = 0.625;
+  r.lasso_loss = 0.01;
+  r.flops_per_sample_train = 3e6;
+  r.flops_per_sample_inf = 1e6;
+  r.epoch_train_flops = 3e8;
+  r.epoch_bn_traffic = 1e5;
+  r.memory_bytes = 2e6;
+  r.comm_bytes_per_gpu = 4e5;
+  r.comm_time_modeled = 0.125;
+  r.gpu_time_modeled = 0.25;
+  r.wall_seconds = 1.5;
+  r.channels_alive = 42;
+  r.conv_layers = 7;
+  r.reconfig.happened = true;
+  r.reconfig.channels_before = 48;
+  r.reconfig.channels_after = 42;
+  r.reconfig.convs_removed = 1;
+  r.reconfig.blocks_removed = 0;
+  r.layers.push_back({2, "stem", "conv2d", 1e5, 2e5, 0.5, 0.75, 10, 10});
+  r.sparsity.push_back({"stem", 0.875, 0.5});
+  r.counters["dist/steps"] = 12;
+  r.gauges["prune/channels_alive"] = 42;
+  r.spans["train/epoch"] = SpanStats{3, 4.5, 1.0, 2.0};
+  return r;
+}
+
+TEST(EpochRecordJson, RoundTripsFieldForField) {
+  const EpochRecord r = sample_record();
+  const EpochRecord r2 = EpochRecord::from_json(r.to_json());
+  EXPECT_EQ(r2.epoch, r.epoch);
+  EXPECT_EQ(r2.batch_size, r.batch_size);
+  EXPECT_DOUBLE_EQ(r2.lr, r.lr);
+  EXPECT_DOUBLE_EQ(r2.train_loss, r.train_loss);
+  EXPECT_DOUBLE_EQ(r2.test_acc, r.test_acc);
+  EXPECT_DOUBLE_EQ(r2.flops_per_sample_train, r.flops_per_sample_train);
+  EXPECT_DOUBLE_EQ(r2.flops_per_sample_inf, r.flops_per_sample_inf);
+  EXPECT_DOUBLE_EQ(r2.memory_bytes, r.memory_bytes);
+  EXPECT_EQ(r2.channels_alive, r.channels_alive);
+  EXPECT_TRUE(r2.reconfig.happened);
+  EXPECT_EQ(r2.reconfig.channels_before, 48);
+  EXPECT_EQ(r2.reconfig.channels_after, 42);
+  ASSERT_EQ(r2.layers.size(), 1u);
+  EXPECT_EQ(r2.layers[0].node, 2);
+  EXPECT_EQ(r2.layers[0].name, "stem");
+  EXPECT_DOUBLE_EQ(r2.layers[0].fwd_flops, 1e5);
+  EXPECT_EQ(r2.layers[0].fwd_calls, 10u);
+  ASSERT_EQ(r2.sparsity.size(), 1u);
+  EXPECT_DOUBLE_EQ(r2.sparsity[0].channel_density, 0.875);
+  EXPECT_DOUBLE_EQ(r2.counters.at("dist/steps"), 12);
+  EXPECT_DOUBLE_EQ(r2.gauges.at("prune/channels_alive"), 42);
+  ASSERT_TRUE(r2.spans.count("train/epoch"));
+  EXPECT_EQ(r2.spans.at("train/epoch").count, 3u);
+  EXPECT_DOUBLE_EQ(r2.spans.at("train/epoch").total_seconds, 4.5);
+}
+
+TEST(EpochRecordJson, RejectsFutureSchemaVersion) {
+  Json j = sample_record().to_json();
+  j["schema_version"] = Json(double(kSchemaVersion + 1));
+  EXPECT_THROW(EpochRecord::from_json(j), std::runtime_error);
+}
+
+TEST(RunRecorderTest, ManifestAndRecordsRoundTripThroughDisk) {
+  const fs::path dir = scratch_dir("recorder");
+  RunManifest m;
+  m.run_name = "unit";
+  m.git = "deadbeef";
+  m.created_unix = 1700000000;
+  m.seed = 123;
+  m.config = Json::object();
+  m.config["epochs"] = Json(8.0);
+  RunRecorder rec(dir.string(), m);
+
+  EpochRecord r = sample_record();
+  rec.append(r);
+  r.epoch = 4;
+  r.flops_per_sample_inf = 9e5;
+  rec.append(r);
+
+  const RunManifest m2 = RunRecorder::read_manifest(dir.string());
+  EXPECT_EQ(m2.run_name, "unit");
+  EXPECT_EQ(m2.git, "deadbeef");
+  EXPECT_EQ(m2.seed, 123u);
+  EXPECT_EQ(m2.config.at("epochs").as_int(), 8);
+
+  const auto records = RunRecorder::read_records(dir.string());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].epoch, 3);
+  EXPECT_EQ(records[1].epoch, 4);
+  EXPECT_DOUBLE_EQ(records[1].flops_per_sample_inf, 9e5);
+  fs::remove_all(dir);
+}
+
+TEST(RunRecorderTest, ReadRecordsOnEmptyDirectoryIsEmpty) {
+  const fs::path dir = scratch_dir("empty");
+  EXPECT_TRUE(RunRecorder::read_records(dir.string()).empty());
+  fs::remove_all(dir);
+}
+
+models::ModelConfig tiny_model() {
+  models::ModelConfig cfg;
+  cfg.image_h = 8;
+  cfg.image_w = 8;
+  cfg.classes = 4;
+  cfg.width_mult = 0.5f;
+  cfg.seed = 21;
+  return cfg;
+}
+
+/// The tentpole invariant: per-layer FLOPs in the records are the
+/// cost::FlopsModel analytical values, and the measured profile comes from
+/// real executed passes — before AND after a reconfiguration.
+TEST(LayerRecords, MatchAnalyticalFlopsBeforeAndAfterReconfig) {
+  auto net = models::build_resnet_basic(8, tiny_model());
+  const Shape input{3, 8, 8};
+  net.set_profiling(true);
+  Rng rng(7);
+
+  auto run_passes = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+      Tensor y = net.forward(x, true);
+      net.backward(Tensor::full(y.shape(), 1.f / float(y.shape()[0])));
+    }
+  };
+  auto check_against_model = [&](int expected_calls, double* total_out) {
+    const cost::FlopsModel fm(net, input);
+    const auto records = collect_layer_records(net, input);
+    double total_fwd = 0;
+    for (const auto& lr : records) {
+      total_fwd += lr.fwd_flops;
+      EXPECT_EQ(lr.fwd_calls, std::uint64_t(expected_calls)) << lr.name;
+      EXPECT_EQ(lr.bwd_calls, std::uint64_t(expected_calls)) << lr.name;
+      EXPECT_GE(lr.fwd_seconds, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(total_fwd, fm.inference_flops());
+    // Every analytical layer appears in the records with identical FLOPs.
+    ASSERT_EQ(records.size(), fm.layers().size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].node, fm.layers()[i].node);
+      EXPECT_DOUBLE_EQ(records[i].fwd_flops, fm.layers()[i].forward);
+      EXPECT_DOUBLE_EQ(records[i].bwd_flops, fm.layers()[i].backward);
+    }
+    *total_out = total_fwd;
+  };
+
+  run_passes(3);
+  double dense_flops = 0;
+  check_against_model(3, &dense_flops);
+
+  // Force a real reconfiguration: zero every conv, then slice. The
+  // min-channels floor keeps the trunk alive; residual paths are removed.
+  for (int conv_node : net.nodes_of_type<nn::Conv2d>()) {
+    auto& w = net.layer_as<nn::Conv2d>(conv_node).weight().value;
+    for (std::int64_t i = 0; i < w.numel(); ++i) w.data()[i] = 0.f;
+  }
+  prune::Reconfigurer reconf(net, 1e-4f, 1);
+  const auto stats = reconf.reconfigure();
+  ASSERT_TRUE(stats.changed);
+  ASSERT_LT(stats.channels_after, stats.channels_before);
+
+  net.reset_profile();
+  run_passes(2);
+  double pruned_flops = 0;
+  check_against_model(2, &pruned_flops);
+  EXPECT_LT(pruned_flops, dense_flops);
+}
+
+data::SyntheticSpec tiny_data() {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.classes = 4;
+  spec.channels = 3;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 96;
+  spec.test_samples = 64;
+  spec.noise = 0.4f;
+  spec.max_shift = 1;
+  spec.seed = 5;
+  return spec;
+}
+
+/// End-to-end: an instrumented PruneTrainer run writes a manifest plus one
+/// record per epoch whose cost trajectory is monotone non-increasing and
+/// whose per-layer FLOPs sum to the trainer-reported per-sample cost.
+TEST(TrainerTelemetry, WritesManifestAndOneRecordPerEpoch) {
+  const fs::path dir = scratch_dir("trainer");
+  MetricsRegistry::global().reset();
+  auto data = data::SyntheticImageDataset(tiny_data());
+  auto net = models::build_resnet_basic(8, tiny_model());
+  core::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 32;
+  cfg.base_lr = 0.05f;
+  cfg.reconfig_interval = 2;
+  cfg.lasso_ratio = 0.25f;
+  cfg.policy = core::PrunePolicy::kPruneTrain;
+  cfg.metrics_dir = dir.string();
+  cfg.run_name = "unit-train";
+  core::PruneTrainer trainer(net, data, cfg);
+  const auto result = trainer.run();
+  set_enabled(false);
+
+  const RunManifest m = RunRecorder::read_manifest(dir.string());
+  EXPECT_EQ(m.run_name, "unit-train");
+  EXPECT_EQ(m.config.at("epochs").as_int(), 4);
+
+  const auto records = RunRecorder::read_records(dir.string());
+  ASSERT_EQ(records.size(), std::size_t(cfg.epochs));
+  for (std::size_t e = 0; e < records.size(); ++e) {
+    const auto& r = records[e];
+    EXPECT_EQ(r.epoch, std::int64_t(e));
+    // Record mirrors the trainer's own EpochStats.
+    EXPECT_DOUBLE_EQ(r.flops_per_sample_inf,
+                     result.epochs[e].flops_per_sample_inf);
+    EXPECT_DOUBLE_EQ(r.memory_bytes, double(result.epochs[e].memory_bytes));
+    EXPECT_EQ(r.channels_alive, result.epochs[e].channels_alive);
+    // Per-layer analytical FLOPs sum to the reported per-sample cost.
+    double total_fwd = 0;
+    for (const auto& lr : r.layers) total_fwd += lr.fwd_flops;
+    EXPECT_NEAR(total_fwd, r.flops_per_sample_inf,
+                1e-6 * r.flops_per_sample_inf);
+    EXPECT_FALSE(r.sparsity.empty());
+    if (e > 0) {
+      EXPECT_LE(records[e].flops_per_sample_inf,
+                records[e - 1].flops_per_sample_inf * (1.0 + 1e-9));
+      EXPECT_LE(records[e].memory_bytes,
+                records[e - 1].memory_bytes * (1.0 + 1e-9));
+    }
+  }
+  // The trainer's spans made it into the final record, and every
+  // reconfiguration occurrence was counted.
+  const auto& last = records.back();
+  EXPECT_TRUE(last.spans.count("train/epoch/sgd"));
+  std::int64_t reconfigs = 0;
+  for (const auto& r : records) reconfigs += r.reconfig.happened ? 1 : 0;
+  ASSERT_GT(reconfigs, 0);  // interval 2 over 4 epochs must fire
+  EXPECT_DOUBLE_EQ(last.counters.at("prune/reconfigurations"),
+                   double(reconfigs));
+
+  // bench_export over the same directory: totals and sanity flags.
+  const Json summary = bench_summary(dir.string(), "unit");
+  EXPECT_EQ(summary.at("name").as_string(), "unit");
+  EXPECT_EQ(summary.at("epochs").as_int(), cfg.epochs);
+  EXPECT_TRUE(summary.at("flops_monotone_nonincreasing").as_bool());
+  EXPECT_TRUE(summary.at("memory_monotone_nonincreasing").as_bool());
+  const fs::path out = dir / "BENCH_unit.json";
+  bench_export(dir.string(), "unit", out.string());
+  EXPECT_TRUE(fs::exists(out));
+  fs::remove_all(dir);
+}
+
+TEST(BenchSummary, FlagsNonMonotoneTrajectories) {
+  const fs::path dir = scratch_dir("monotone");
+  RunManifest m;
+  m.run_name = "mono";
+  RunRecorder rec(dir.string(), m);
+  EpochRecord r = sample_record();
+  r.epoch = 0;
+  rec.append(r);
+  r.epoch = 1;
+  r.flops_per_sample_train *= 2;  // cost grows: not a PruneTrain trajectory
+  rec.append(r);
+  const Json summary = bench_summary(dir.string(), "mono");
+  EXPECT_FALSE(summary.at("flops_monotone_nonincreasing").as_bool());
+  EXPECT_TRUE(summary.at("memory_monotone_nonincreasing").as_bool());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pt::telemetry
