@@ -26,6 +26,10 @@
 // plus one JSONL line per epoch in <dir>/epochs.jsonl (per-layer FLOPs and
 // wall-times, sparsity densities, reconfiguration events, counters/spans).
 // --no-telemetry forces the telemetry switch off, for overhead A/B runs.
+//
+// --threads N runs the training hot path on an N-thread execution context
+// (0 = all hardware threads). The pool is deterministic: the numbers are
+// bitwise-identical at every thread count (see DESIGN.md §9).
 #include <iostream>
 
 #include "core/trainer.h"
@@ -49,6 +53,10 @@ int main(int argc, char** argv) {
   flags.define("fault-spec", "",
                "inject deterministic faults, e.g. 'nan-grad:epoch=7' or "
                "'corrupt-ckpt:epoch=5;scale-grad:epoch=6,scale=1e6'");
+  flags.define("threads", "1",
+               "execution threads for the training hot path (0 = all "
+               "hardware threads); results are bitwise-identical at any "
+               "setting");
   flags.define("metrics-out", "",
                "record telemetry into this directory (manifest.json + "
                "epochs.jsonl, one line per epoch)");
@@ -89,6 +97,7 @@ int main(int argc, char** argv) {
   cfg.resume_from = flags.get("resume");
   cfg.max_rollbacks = flags.get_int("max-rollbacks");
   cfg.fault_spec = flags.get("fault-spec");
+  cfg.num_threads = flags.get_int("threads");
   if (flags.get_bool("no-telemetry")) {
     pt::telemetry::set_enabled(false);
   } else {

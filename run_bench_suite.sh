@@ -11,6 +11,11 @@ for b in fig7_union_vs_gating_time fig12_density fig4_channel_sparsity \
   timeout 900 ./$b 2>&1
   echo
 done
+echo "===== bench: hotpath_scaling ====="
+# Exec-context thread scaling: deterministic-parallelism check plus
+# seconds/step at 1/2/4 threads (timing skipped on single-core runners).
+timeout 900 ./hotpath_scaling --out /root/repo/BENCH_hotpath_scaling.json 2>&1
+echo
 echo "===== bench: telemetry_smoke ====="
 # Instrumented quickstart: records a short run, then folds the JSONL
 # trajectory into BENCH_telemetry_smoke.json (monotone FLOPs/memory flags).

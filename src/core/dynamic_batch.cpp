@@ -8,6 +8,9 @@ namespace pt::core {
 
 BatchAdjustment DynamicBatchAdjuster::propose(graph::Network& net, Shape input,
                                               std::int64_t current_batch) const {
+  // Null exec context on purpose: batch decisions must be identical at
+  // every thread count (the §9 determinism contract), so the model here
+  // must not include the thread-scaled workspace term.
   cost::MemoryModel mem(net, input);
   BatchAdjustment adj;
   adj.new_batch = current_batch;

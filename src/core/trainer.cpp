@@ -125,6 +125,7 @@ telemetry::Json config_json(const TrainConfig& cfg) {
   j["threshold"] = telemetry::Json(static_cast<double>(cfg.threshold));
   j["fine_tune_epochs"] = telemetry::Json(cfg.fine_tune_epochs);
   j["eval_interval"] = telemetry::Json(cfg.eval_interval);
+  j["num_threads"] = telemetry::Json(cfg.num_threads);
   j["prune_min_channels"] = telemetry::Json(cfg.prune_min_channels);
   j["max_rollbacks"] = telemetry::Json(cfg.max_rollbacks);
   j["fault_spec"] = telemetry::Json(cfg.fault_spec);
@@ -176,6 +177,9 @@ void TrainConfig::validate() const {
     fail("fine_tune_epochs must be >= 0 (got " +
          std::to_string(fine_tune_epochs) + ")");
   }
+  if (num_threads < 0) {
+    fail("num_threads must be >= 0 (got " + std::to_string(num_threads) + ")");
+  }
   health.validate();
   if (max_rollbacks < 0) {
     fail("max_rollbacks must be >= 0 (got " + std::to_string(max_rollbacks) +
@@ -221,6 +225,7 @@ PruneTrainer::PruneTrainer(graph::Network& net,
                     dataset.spec().width}),
       batch_size_(cfg_.batch_size) {
   cfg_.validate();
+  ctx_ = std::make_unique<exec::ExecContext>(static_cast<int>(cfg_.num_threads));
   fault_ = robust::FaultInjector::from_string(cfg_.fault_spec, cfg_.fault_seed);
   if (cfg_.health_checks) {
     health_ = std::make_unique<robust::HealthMonitor>(cfg_.health);
@@ -259,7 +264,7 @@ double PruneTrainer::evaluate() {
     Tensor batch({take, images.shape()[1], images.shape()[2], images.shape()[3]});
     std::copy(images.data() + start * sample_len,
               images.data() + (start + take) * sample_len, batch.data());
-    Tensor out = net_->forward(batch, false);
+    Tensor out = net_->forward(*ctx_, batch, false);
     std::vector<std::int64_t> batch_labels(labels.begin() + start,
                                            labels.begin() + start + take);
     nn::SoftmaxCrossEntropy loss;
@@ -284,13 +289,13 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
   std::int64_t correct = 0, samples = 0, iteration = 0;
   while (loader_.has_next()) {
     data::Batch batch = loader_.next(batch_size_);
-    Tensor out = net_->forward(batch.images, true);
+    Tensor out = net_->forward(*ctx_, batch.images, true);
     const double l = loss.forward(out, batch.labels);
     loss_sum += l * static_cast<double>(batch.size());
     correct += loss.correct();
     samples += batch.size();
     net_->zero_grad();
-    net_->backward(loss.backward());
+    net_->backward(*ctx_, loss.backward());
     if (fault_.armed() &&
         fault_.corrupt_gradients(*net_, epoch_counter_, iteration)) {
       ++report_.faults_injected;
@@ -338,7 +343,7 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
       loader_.begin_epoch();
       data::Batch probe = loader_.next(std::min<std::int64_t>(batch_size_, 32));
       nn::SoftmaxCrossEntropy loss;
-      Tensor out = net_->forward(probe.images, false);
+      Tensor out = net_->forward(*ctx_, probe.images, false);
       const double class_loss = loss.forward(out, probe.labels);
       prune::GroupLassoRegularizer reg(*net_);
       reg.set_size_normalized(cfg_.size_normalized_penalty);
@@ -425,6 +430,10 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
         telemetry::event("prune/reconfigure", os.str());
       }
       if (rstats.changed) {
+        // The arena's buffers are sized for the pre-surgery shapes; drop
+        // them so capacity — and the high-water statistic — re-measures the
+        // pruned hot loop. No leases are live at an epoch boundary.
+        ctx_->rebuild_workspace();
         const auto adj = adjuster.propose(*net_, input_shape_, batch_size_);
         if (adj.changed) {
           if (cfg_.verbose) {
@@ -441,7 +450,7 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
 
     // Cost accounting for this epoch's *actual* model and batch size.
     cost::FlopsModel flops(*net_, input_shape_);
-    cost::MemoryModel mem(*net_, input_shape_);
+    cost::MemoryModel mem(*net_, input_shape_, ctx_.get());
     cost::CommModel comm(cfg_.comm);
     cost::DeviceModel device(cfg_.device);
     const std::int64_t samples = dataset_->train_size();
@@ -531,6 +540,21 @@ void PruneTrainer::emit_epoch_record(const EpochStats& stats,
     rec.sparsity.push_back({d.name, d.channel_density, d.weight_density});
   }
 
+  // Execution-context statistics: pool throughput and workspace sizing.
+  // A flat exec/workspace_allocations gauge across steady-state epochs is
+  // the "zero hot-path heap allocations" evidence.
+  const exec::WorkspaceStats ws = ctx_->workspace().stats();
+  telemetry::gauge("exec/threads", static_cast<double>(ctx_->num_threads()));
+  telemetry::gauge("exec/tasks_run",
+                   static_cast<double>(ctx_->pool().tasks_run()));
+  telemetry::gauge("exec/workspace_reserved_bytes",
+                   static_cast<double>(ws.bytes_reserved));
+  telemetry::gauge("exec/workspace_high_water_bytes",
+                   static_cast<double>(ws.high_water_bytes));
+  telemetry::gauge("exec/workspace_allocations",
+                   static_cast<double>(ws.heap_allocations));
+  telemetry::gauge("exec/workspace_leases", static_cast<double>(ws.leases));
+
   telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
   rec.counters = reg.counters();
   rec.gauges = reg.gauges();
@@ -601,6 +625,9 @@ void PruneTrainer::load_checkpoint_file(const std::string& path) {
   // The restored network starts with profiling off; keep instrumenting
   // when this run records telemetry (resume and rollback paths).
   if (recorder_) net_->set_profiling(true);
+  // The restored model's shapes may differ from what the arena was sized
+  // for (the checkpoint is post-reconfiguration); re-measure from scratch.
+  ctx_->rebuild_workspace();
 
   const std::vector<std::uint8_t>* section = ck.section("trainer");
   if (section == nullptr) {
@@ -771,7 +798,7 @@ TrainResult PruneTrainer::run_attempt() {
         loader_.begin_epoch();
         data::Batch probe = loader_.next(std::min<std::int64_t>(batch_size_, 32));
         nn::SoftmaxCrossEntropy loss;
-        Tensor out = net_->forward(probe.images, false);
+        Tensor out = net_->forward(*ctx_, probe.images, false);
         const double class_loss = loss.forward(out, probe.labels);
         prune::GroupLassoRegularizer reg(*net_);
         reg.set_size_normalized(cfg_.size_normalized_penalty);

@@ -26,6 +26,7 @@
 
 #include "core/dynamic_batch.h"
 #include "cost/comm.h"
+#include "exec/context.h"
 #include "cost/device.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
@@ -83,6 +84,12 @@ struct TrainConfig {
   /// computation-heavy early layers; prior work scales each group's
   /// penalty by sqrt(group size), which prioritizes model-size reduction.
   bool size_normalized_penalty = false;
+
+  /// Hot-path threads for the trainer's exec::ExecContext: 1 (default) is
+  /// fully serial, 0 auto-detects (hardware_concurrency). Any value yields
+  /// bitwise-identical training trajectories — the pool's static
+  /// partitioning guarantees it (tests/exec_test.cpp asserts this).
+  std::int64_t num_threads = 1;
 
   DynamicBatchConfig dynamic_batch;
 
@@ -224,6 +231,12 @@ class PruneTrainer {
   /// backoff, every health event. Zero-valued when recovery never engaged.
   const robust::RecoveryReport& recovery_report() const { return report_; }
 
+  /// The execution context every forward/backward of this trainer runs on
+  /// (TrainConfig::num_threads pool + workspace arena). Exposed so tests
+  /// and tools can read pool/workspace statistics.
+  exec::ExecContext& exec_context() { return *ctx_; }
+  const exec::ExecContext& exec_context() const { return *ctx_; }
+
  private:
   /// One end-to-end pass over the configured schedule; throws
   /// robust::FatalHealthError when the monitor flags a fatal event and
@@ -276,6 +289,12 @@ class PruneTrainer {
   graph::Network* net_;
   const data::SyntheticImageDataset* dataset_;
   TrainConfig cfg_;
+  /// Built from cfg_.num_threads before any network execution; the
+  /// workspace arena is rebuilt whenever the model's shapes change
+  /// (reconfiguration, checkpoint restore) so its sizing tracks the
+  /// current hot loop. unique_ptr: the context is neither copyable nor
+  /// movable (worker threads hold `this`).
+  std::unique_ptr<exec::ExecContext> ctx_;
   data::DataLoader loader_;
   Shape input_shape_;
   std::int64_t batch_size_;

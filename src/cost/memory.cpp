@@ -11,7 +11,13 @@ namespace {
 constexpr double kBytes = 4.0;  // float32
 }
 
-MemoryModel::MemoryModel(graph::Network& net, Shape input) {
+MemoryModel::MemoryModel(graph::Network& net, Shape input,
+                         const exec::ExecContext* ctx) {
+  // Peak concurrent workspace leases: the forward sample loop holds one
+  // im2col buffer per pool thread; backward holds col + dcol. Whichever is
+  // larger bounds the arena's in-use bytes.
+  const double concurrent_leases =
+      std::max(2.0, ctx != nullptr ? static_cast<double>(ctx->num_threads()) : 1.0);
   Shape batched({1, input[0], input[1], input[2]});
   const auto shapes = infer_shapes(net, batched);
   for (int id : net.topo_order()) {
@@ -31,9 +37,14 @@ MemoryModel::MemoryModel(graph::Network& net, Shape input) {
       const Shape& in = shapes[static_cast<std::size_t>(n.inputs[0])];
       ConvGeom g{conv->in_channels(), in[2], in[3], conv->kernel(), conv->stride(),
                  conv->pad()};
-      breakdown_.workspace = std::max(
-          breakdown_.workspace,
-          static_cast<double>(g.col_rows()) * g.col_cols() * kBytes);
+      const std::size_t col_floats =
+          static_cast<std::size_t>(g.col_rows() * g.col_cols());
+      breakdown_.workspace =
+          std::max(breakdown_.workspace,
+                   concurrent_leases *
+                       static_cast<double>(
+                           exec::Workspace::round_up_capacity(col_floats)) *
+                       kBytes);
     }
     if (dynamic_cast<const nn::BatchNorm2d*>(n.layer.get()) != nullptr) {
       const Shape& in = shapes[static_cast<std::size_t>(n.inputs[0])];

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "exec/context.h"
 #include "graph/network.h"
 
 namespace pt::cost {
@@ -21,7 +22,7 @@ struct MemoryBreakdown {
   double activations_per_sample = 0;  ///< stored forward outputs, bytes/sample
   double parameters = 0;              ///< weight bytes
   double optimizer_state = 0;         ///< gradient + momentum bytes
-  double workspace = 0;               ///< largest im2col buffer, bytes (batch-independent)
+  double workspace = 0;  ///< peak conv scratch bytes (exec::Workspace high water)
 
   double total(std::int64_t batch) const {
     return activations_per_sample * static_cast<double>(batch) + parameters +
@@ -31,8 +32,16 @@ struct MemoryBreakdown {
 
 class MemoryModel {
  public:
-  /// `input` is the per-sample input shape {C, H, W}.
-  MemoryModel(graph::Network& net, Shape input);
+  /// `input` is the per-sample input shape {C, H, W}. `ctx` is the
+  /// execution context the model will run on: the workspace term then
+  /// predicts ctx's exec::Workspace high-water mark *exactly* — per-conv
+  /// scratch rounded up to the arena's power-of-two size classes, times the
+  /// peak concurrent lease count (ctx->num_threads() im2col buffers in the
+  /// forward chunks, col+dcol in backward). Null models a single-threaded
+  /// context. Assumes batch >= thread count (true of any practical config);
+  /// tests/exec_test.cpp asserts model == measured.
+  MemoryModel(graph::Network& net, Shape input,
+              const exec::ExecContext* ctx = nullptr);
 
   const MemoryBreakdown& breakdown() const { return breakdown_; }
 

@@ -79,7 +79,8 @@ void Cluster::allreduce_gradients(const std::vector<double>& weights) {
   }
 }
 
-StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
+StepResult Cluster::step(exec::ExecContext& ctx, const data::Batch& batch,
+                         optim::SGD& opt) {
   telemetry::ScopedTimer step_span("dist/step");
   const int p = size();
   const std::int64_t total = batch.size();
@@ -139,10 +140,10 @@ StepResult Cluster::step(const data::Batch& batch, optim::SGD& opt) {
     graph::Network& net = replicas_[static_cast<std::size_t>(r)];
     net.zero_grad();
     nn::SoftmaxCrossEntropy loss;
-    Tensor out = net.forward(images, true);
+    Tensor out = net.forward(ctx, images, true);
     result.loss += loss.forward(out, labels) * static_cast<double>(shard);
     result.correct += loss.correct();
-    net.backward(loss.backward());
+    net.backward(ctx, loss.backward());
     if (injector_.armed()) injector_.corrupt_gradients(net, -1, step_id, r);
     weights[static_cast<std::size_t>(r)] = static_cast<double>(shard);
     result.processed += shard;

@@ -24,6 +24,7 @@
 
 #include "cost/comm.h"
 #include "data/loader.h"
+#include "exec/context.h"
 #include "graph/network.h"
 #include "optim/sgd.h"
 #include "robust/fault.h"
@@ -65,9 +66,16 @@ class Cluster {
   void set_fault_injector(robust::FaultInjector injector, FaultPolicy policy = {});
   const robust::FaultInjector& fault_injector() const { return injector_; }
 
-  /// One synchronous data-parallel training step on `batch`. Throws
-  /// std::runtime_error if *every* populated shard's replica fails.
-  StepResult step(const data::Batch& batch, optim::SGD& opt);
+  /// One synchronous data-parallel training step on `batch`, executing
+  /// every replica's forward/backward on `ctx`. Throws std::runtime_error
+  /// if *every* populated shard's replica fails.
+  StepResult step(exec::ExecContext& ctx, const data::Batch& batch,
+                  optim::SGD& opt);
+
+  /// Context-free shim: single-threaded step on ExecContext::serial().
+  StepResult step(const data::Batch& batch, optim::SGD& opt) {
+    return step(exec::ExecContext::serial(), batch, opt);
+  }
 
   /// Averages every parameter gradient across replicas, weighting each
   /// replica by `weights[i]` (shard sizes; 0 = excluded). Exposed for

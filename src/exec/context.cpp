@@ -1,0 +1,270 @@
+#include "exec/context.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pt::exec {
+
+namespace {
+
+// Depth of parallel_for nesting on this thread. Non-zero inside a worker
+// chunk (or a nested caller chunk): further parallel_for calls run inline
+// so a nested kernel can never deadlock waiting for the busy workers.
+thread_local int t_parallel_depth = 0;
+
+std::size_t pow2_class(std::size_t n) {
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn,
+    std::int64_t n, int num_chunks, int chunk) {
+  // Static partition: chunk c covers [c*n/T, (c+1)*n/T). Depends only on
+  // (n, num_chunks) — the determinism contract's whole foundation.
+  const std::int64_t begin = n * chunk / num_chunks;
+  const std::int64_t end = n * (chunk + 1) / num_chunks;
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  if (begin < end) fn(begin, end, chunk);
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::int64_t n;
+    int chunks;
+    const std::function<void(std::int64_t, std::int64_t, int)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      n = job_n_;
+      chunks = job_chunks_;
+      fn = job_fn_;
+    }
+    // Worker w owns chunk w+1 (the caller runs chunk 0); workers beyond the
+    // chunk count have nothing to do this round but must still check in.
+    const int chunk = worker_index + 1;
+    std::exception_ptr err;
+    if (chunk < chunks) {
+      ++t_parallel_depth;
+      try {
+        run_chunk(*fn, n, chunks, chunk);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      --t_parallel_depth;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (err && (first_error_chunk_ < 0 || chunk < first_error_chunk_)) {
+        first_error_ = err;
+        first_error_chunk_ = chunk;
+      }
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn) {
+  if (n <= 0) return;
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(size(), n));
+  if (chunks == 1 || t_parallel_depth > 0) {
+    // Single-threaded or nested: run every chunk inline, in chunk order.
+    // The partition is still the (n, chunks) static one, so the per-chunk
+    // work — and therefore every result bit — matches the parallel run.
+    ++t_parallel_depth;
+    try {
+      for (int c = 0; c < chunks; ++c) run_chunk(fn, n, chunks, c);
+    } catch (...) {
+      --t_parallel_depth;
+      throw;
+    }
+    --t_parallel_depth;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_n_ = n;
+    job_chunks_ = chunks;
+    job_fn_ = &fn;
+    pending_ = static_cast<int>(workers_.size());
+    first_error_ = nullptr;
+    first_error_chunk_ = -1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller contributes chunk 0 while the workers run theirs.
+  std::exception_ptr caller_err;
+  ++t_parallel_depth;
+  try {
+    run_chunk(fn, n, chunks, 0);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+  --t_parallel_depth;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+    if (caller_err && first_error_chunk_ != 0) {
+      first_error_ = caller_err;  // chunk 0 precedes any worker chunk
+    }
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+
+Workspace::Lease& Workspace::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    owner_ = other.owner_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.owner_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+void Workspace::Lease::release() {
+  if (owner_ != nullptr) {
+    owner_->give_back(data_, capacity_);
+    owner_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+}
+
+std::size_t Workspace::round_up_capacity(std::size_t n) {
+  if (n == 0) n = 1;
+  return std::size_t{1} << pow2_class(n);
+}
+
+Workspace::Lease Workspace::acquire(std::size_t n) {
+  if (n == 0) n = 1;
+  const std::size_t cls = pow2_class(n);
+  const std::size_t capacity = std::size_t{1} << cls;
+  float* data = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++leases_;
+    if (free_lists_.size() <= cls) free_lists_.resize(cls + 1);
+    auto& list = free_lists_[cls];
+    if (!list.empty()) {
+      data = list.back().release();
+      list.pop_back();
+    } else {
+      data = new float[capacity];
+      ++heap_allocations_;
+      bytes_reserved_ += capacity * sizeof(float);
+    }
+    bytes_in_use_ += capacity * sizeof(float);
+    high_water_bytes_ = std::max(high_water_bytes_, bytes_in_use_);
+  }
+  Lease lease;
+  lease.owner_ = this;
+  lease.data_ = data;
+  lease.size_ = n;
+  lease.capacity_ = capacity;
+  return lease;
+}
+
+void Workspace::give_back(float* data, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bytes_in_use_ -= capacity * sizeof(float);
+  const std::size_t cls = pow2_class(capacity);
+  if (free_lists_.size() <= cls) free_lists_.resize(cls + 1);
+  free_lists_[cls].emplace_back(data);
+}
+
+WorkspaceStats Workspace::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkspaceStats s;
+  s.bytes_reserved = bytes_reserved_;
+  s.high_water_bytes = high_water_bytes_;
+  s.heap_allocations = heap_allocations_;
+  s.leases = leases_;
+  return s;
+}
+
+void Workspace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes_in_use_ != 0) {
+    throw std::logic_error("Workspace::clear with outstanding leases");
+  }
+  free_lists_.clear();
+  bytes_reserved_ = 0;
+  high_water_bytes_ = 0;
+  heap_allocations_ = 0;
+  leases_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext
+
+ExecContext::ExecContext(int num_threads) {
+  if (num_threads < 0) {
+    throw std::invalid_argument("ExecContext: num_threads must be >= 0");
+  }
+  int threads = num_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  workspace_ = std::make_unique<Workspace>();
+}
+
+void ExecContext::rebuild_workspace() { workspace_->clear(); }
+
+ExecContext& ExecContext::serial() {
+  static ExecContext ctx(1);
+  return ctx;
+}
+
+}  // namespace pt::exec

@@ -77,7 +77,8 @@ std::vector<int> Network::topo_order() const {
   return order;
 }
 
-Tensor Network::forward(const Tensor& x, bool training) {
+Tensor Network::forward(exec::ExecContext& ctx, const Tensor& x,
+                        bool training) {
   if (output_ < 0) throw std::logic_error("network has no output node");
   outputs_.assign(nodes_.size(), Tensor());
   outputs_[0] = x;
@@ -98,7 +99,7 @@ Tensor Network::forward(const Tensor& x, bool training) {
         throw std::logic_error("unexpected input node");
       case Node::Kind::kLayer: {
         const Tensor& in = outputs_[static_cast<std::size_t>(n.inputs[0])];
-        outputs_[i] = n.layer->forward(in, training);
+        outputs_[i] = n.layer->forward(ctx, in, training);
         break;
       }
       case Node::Kind::kAdd: {
@@ -124,7 +125,7 @@ Tensor Network::forward(const Tensor& x, bool training) {
   return outputs_[static_cast<std::size_t>(output_)];
 }
 
-Tensor Network::backward(const Tensor& dy) {
+Tensor Network::backward(exec::ExecContext& ctx, const Tensor& dy) {
   if (!trained_forward_) {
     throw std::logic_error("backward requires a training-mode forward");
   }
@@ -148,7 +149,7 @@ Tensor Network::backward(const Tensor& dy) {
     prof_clock::time_point t0;
     if (profiling_) t0 = prof_clock::now();
     if (n.kind == Node::Kind::kLayer) {
-      Tensor gin = n.layer->backward(g);
+      Tensor gin = n.layer->backward(ctx, g);
       accumulate(n.inputs[0], gin);
     } else {  // kAdd
       accumulate(n.inputs[0], g);

@@ -66,12 +66,21 @@ class Network {
   void set_output(int id) { output_ = id; }
   int output() const { return output_; }
 
-  /// Runs the DAG. In training mode every layer caches its backward context.
-  Tensor forward(const Tensor& x, bool training);
+  /// Runs the DAG on `ctx` (its thread pool and workspace arena execute
+  /// every layer). In training mode every layer caches its backward context.
+  Tensor forward(exec::ExecContext& ctx, const Tensor& x, bool training);
 
-  /// Back-propagates dL/d(output); returns dL/d(input). Parameter gradients
-  /// accumulate into each layer's Param::grad.
-  Tensor backward(const Tensor& dy);
+  /// Back-propagates dL/d(output) on `ctx`; returns dL/d(input). Parameter
+  /// gradients accumulate into each layer's Param::grad.
+  Tensor backward(exec::ExecContext& ctx, const Tensor& dy);
+
+  /// Context-free shims: single-threaded execution on ExecContext::serial().
+  Tensor forward(const Tensor& x, bool training) {
+    return forward(exec::ExecContext::serial(), x, training);
+  }
+  Tensor backward(const Tensor& dy) {
+    return backward(exec::ExecContext::serial(), dy);
+  }
 
   /// All live parameters, in node order.
   std::vector<nn::Param*> params();

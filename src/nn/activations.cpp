@@ -6,14 +6,14 @@
 
 namespace pt::nn {
 
-Tensor ReLU::forward(const Tensor& x, bool training) {
+Tensor ReLU::do_forward(exec::ExecContext&, const Tensor& x, bool training) {
   Tensor y(x.shape());
   relu(x.span(), y.span());
   if (training) input_ = x;
   return y;
 }
 
-Tensor ReLU::backward(const Tensor& dy) {
+Tensor ReLU::do_backward(exec::ExecContext&, const Tensor& dy) {
   if (!input_.defined()) {
     throw std::logic_error("ReLU " + name() + ": backward without forward");
   }

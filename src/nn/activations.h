@@ -8,11 +8,14 @@ namespace pt::nn {
 /// Elementwise max(x, 0).
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::string type() const override { return "ReLU"; }
   Shape output_shape(const Shape& in) const override { return in; }
   void clear_context() override { input_ = Tensor(); }
+
+ protected:
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   Tensor input_;

@@ -15,7 +15,8 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
   running_var_ = Tensor::full({channels}, 1.f);
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+Tensor BatchNorm2d::do_forward(exec::ExecContext& ctx, const Tensor& x,
+                               bool training) {
   const Shape& s = x.shape();
   if (s.rank() != 4 || s[1] != channels_) {
     throw std::invalid_argument("BatchNorm2d " + name() + ": bad input " +
@@ -30,8 +31,8 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
     inv_std_.assign(static_cast<std::size_t>(c), 0.f);
   }
 
-#pragma omp parallel for schedule(static)
-  for (std::int64_t ch = 0; ch < c; ++ch) {
+  ctx.pool().parallel_for(c, [&](std::int64_t c0, std::int64_t c1, int) {
+  for (std::int64_t ch = c0; ch < c1; ++ch) {
     float mean, var;
     if (training) {
       double m = 0.0;
@@ -71,10 +72,11 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
     }
     if (training) inv_std_[static_cast<std::size_t>(ch)] = inv;
   }
+  });
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& dy) {
+Tensor BatchNorm2d::do_backward(exec::ExecContext& ctx, const Tensor& dy) {
   if (!xhat_.defined()) {
     throw std::logic_error("BatchNorm2d " + name() + ": backward without forward");
   }
@@ -84,8 +86,8 @@ Tensor BatchNorm2d::backward(const Tensor& dy) {
   const double count = static_cast<double>(n * hw);
   Tensor dx(s);
 
-#pragma omp parallel for schedule(static)
-  for (std::int64_t ch = 0; ch < c; ++ch) {
+  ctx.pool().parallel_for(c, [&](std::int64_t c0, std::int64_t c1, int) {
+  for (std::int64_t ch = c0; ch < c1; ++ch) {
     // Reductions: sum(dy) and sum(dy * xhat) over the channel.
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::int64_t i = 0; i < n; ++i) {
@@ -112,6 +114,7 @@ Tensor BatchNorm2d::backward(const Tensor& dy) {
       }
     }
   }
+  });
   return dx;
 }
 

@@ -18,8 +18,6 @@ class BatchNorm2d final : public Layer {
   explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
                        float eps = 1e-5f);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::vector<const Param*> params() const override { return {&gamma_, &beta_}; }
   std::vector<StateEntry> state() override {
@@ -46,6 +44,14 @@ class BatchNorm2d final : public Layer {
 
   /// Removes all channels not in `keep` (sorted, unique, non-empty).
   void shrink(const std::vector<std::int64_t>& keep);
+
+ protected:
+  /// Both passes parallelize over channels: each channel's double-precision
+  /// reductions run sequentially within one chunk, so the summation order —
+  /// and every result bit — is thread-count-independent.
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   std::int64_t channels_;

@@ -22,7 +22,8 @@ ChannelSelect::ChannelSelect(std::vector<std::int64_t> indices,
   check_indices(indices_, in_channels_, "ChannelSelect");
 }
 
-Tensor ChannelSelect::forward(const Tensor& x, bool training) {
+Tensor ChannelSelect::do_forward(exec::ExecContext&, const Tensor& x,
+                                 bool training) {
   (void)training;
   const Shape& s = x.shape();
   if (s.rank() != 4 || s[1] != in_channels_) {
@@ -42,7 +43,7 @@ Tensor ChannelSelect::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor ChannelSelect::backward(const Tensor& dy) {
+Tensor ChannelSelect::do_backward(exec::ExecContext&, const Tensor& dy) {
   const Shape& s = dy.shape();
   const std::int64_t n = s[0], hw = s[2] * s[3];
   const std::int64_t c_out = static_cast<std::int64_t>(indices_.size());
@@ -64,7 +65,8 @@ ChannelScatter::ChannelScatter(std::vector<std::int64_t> indices,
   check_indices(indices_, out_channels_, "ChannelScatter");
 }
 
-Tensor ChannelScatter::forward(const Tensor& x, bool training) {
+Tensor ChannelScatter::do_forward(exec::ExecContext&, const Tensor& x,
+                                  bool training) {
   (void)training;
   const Shape& s = x.shape();
   const std::int64_t c_in = static_cast<std::int64_t>(indices_.size());
@@ -85,7 +87,7 @@ Tensor ChannelScatter::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor ChannelScatter::backward(const Tensor& dy) {
+Tensor ChannelScatter::do_backward(exec::ExecContext&, const Tensor& dy) {
   const Shape& s = dy.shape();
   const std::int64_t n = s[0], hw = s[2] * s[3];
   const std::int64_t c_in = static_cast<std::int64_t>(indices_.size());

@@ -18,8 +18,6 @@ class ChannelSelect final : public Layer {
  public:
   explicit ChannelSelect(std::vector<std::int64_t> indices, std::int64_t in_channels);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::string type() const override { return "ChannelSelect"; }
   Shape output_shape(const Shape& in) const override {
     return {in[0], static_cast<std::int64_t>(indices_.size()), in[2], in[3]};
@@ -27,6 +25,11 @@ class ChannelSelect final : public Layer {
 
   const std::vector<std::int64_t>& indices() const { return indices_; }
   std::int64_t in_channels() const { return in_channels_; }
+
+ protected:
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   std::vector<std::int64_t> indices_;
@@ -40,8 +43,6 @@ class ChannelScatter final : public Layer {
  public:
   ChannelScatter(std::vector<std::int64_t> indices, std::int64_t out_channels);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::string type() const override { return "ChannelScatter"; }
   Shape output_shape(const Shape& in) const override {
     return {in[0], out_channels_, in[2], in[3]};
@@ -49,6 +50,11 @@ class ChannelScatter final : public Layer {
 
   const std::vector<std::int64_t>& indices() const { return indices_; }
   std::int64_t out_channels() const { return out_channels_; }
+
+ protected:
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   std::vector<std::int64_t> indices_;

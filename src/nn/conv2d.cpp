@@ -29,7 +29,8 @@ Shape Conv2d::output_shape(const Shape& in) const {
   return {in[0], out_c_, g.out_h(), g.out_w()};
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool training) {
+Tensor Conv2d::do_forward(exec::ExecContext& ctx, const Tensor& x,
+                          bool training) {
   const Shape& s = x.shape();
   if (s.rank() != 4 || s[1] != in_c_) {
     throw std::invalid_argument("Conv2d " + name() + ": bad input shape " +
@@ -44,16 +45,28 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   const std::int64_t in_sample = in_c_ * s[2] * s[3];
   const std::int64_t out_sample = out_c_ * ho * wo;
 
-#pragma omp parallel
-  {
-    std::vector<float> col(static_cast<std::size_t>(crs * hw_out));
-#pragma omp for schedule(static)
-    for (std::int64_t i = 0; i < n; ++i) {
-      im2col(g, x.data() + i * in_sample, col.data());
-      gemm_nn(out_c_, hw_out, crs, 1.f, weight_.value.data(), col.data(), 0.f,
+  // Parallel over samples: each static chunk leases one im2col buffer from
+  // the workspace arena and processes its samples serially. The nested
+  // per-sample GEMM sees a busy pool and runs inline, so every output
+  // sample is computed by the same instruction sequence at any thread
+  // count. Leases are acquired up front (not inside the chunks) so the
+  // arena mutex is out of the hot loop.
+  const int max_chunks =
+      static_cast<int>(std::min<std::int64_t>(ctx.pool().size(), n));
+  std::vector<exec::Workspace::Lease> cols;
+  cols.reserve(static_cast<std::size_t>(max_chunks));
+  for (int t = 0; t < max_chunks; ++t) {
+    cols.push_back(ctx.workspace().acquire(static_cast<std::size_t>(crs * hw_out)));
+  }
+  ctx.pool().parallel_for(n, [&](std::int64_t i0, std::int64_t i1, int chunk) {
+    float* col = cols[static_cast<std::size_t>(chunk)].data();
+    for (std::int64_t i = i0; i < i1; ++i) {
+      im2col(g, x.data() + i * in_sample, col);
+      gemm_nn(ctx, out_c_, hw_out, crs, 1.f, weight_.value.data(), col, 0.f,
               y.data() + i * out_sample);
     }
-  }
+  });
+  cols.clear();
   if (has_bias_) {
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t k = 0; k < out_c_; ++k) {
@@ -67,7 +80,7 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Conv2d::backward(const Tensor& dy) {
+Tensor Conv2d::do_backward(exec::ExecContext& ctx, const Tensor& dy) {
   if (!input_.defined()) {
     throw std::logic_error("Conv2d " + name() + ": backward without forward");
   }
@@ -82,16 +95,21 @@ Tensor Conv2d::backward(const Tensor& dy) {
   Tensor dx(s);
   // Recompute im2col per sample (cheaper than caching N column matrices).
   // Single accumulation region for dW; the batch loop stays serial in the
-  // K-GEMM accumulate to keep determinism, with parallelism inside GEMM.
-  std::vector<float> col(static_cast<std::size_t>(crs * hw_out));
-  std::vector<float> dcol(static_cast<std::size_t>(crs * hw_out));
+  // K-GEMM accumulate to keep determinism, with parallelism inside the
+  // GEMMs (disjoint row blocks — accumulation order per row is unchanged).
+  exec::Workspace::Lease col =
+      ctx.workspace().acquire(static_cast<std::size_t>(crs * hw_out));
+  exec::Workspace::Lease dcol =
+      ctx.workspace().acquire(static_cast<std::size_t>(crs * hw_out));
   for (std::int64_t i = 0; i < n; ++i) {
     im2col(g, input_.data() + i * in_sample, col.data());
     const float* dyp = dy.data() + i * out_sample;
     // dW[K, CRS] += dy[K, HW] @ col[CRS, HW]^T
-    gemm_nt(out_c_, crs, hw_out, 1.f, dyp, col.data(), 1.f, weight_.grad.data());
+    gemm_nt(ctx, out_c_, crs, hw_out, 1.f, dyp, col.data(), 1.f,
+            weight_.grad.data());
     // dcol[CRS, HW] = W[K, CRS]^T @ dy[K, HW]
-    gemm_tn(crs, hw_out, out_c_, 1.f, weight_.value.data(), dyp, 0.f, dcol.data());
+    gemm_tn(ctx, crs, hw_out, out_c_, 1.f, weight_.value.data(), dyp, 0.f,
+            dcol.data());
     col2im(g, dcol.data(), dx.data() + i * in_sample);
   }
   if (has_bias_) {

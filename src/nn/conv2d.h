@@ -21,8 +21,6 @@ class Conv2d final : public Layer {
   Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
          std::int64_t stride, std::int64_t pad, Rng& rng, bool bias = false);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override;
   std::vector<const Param*> params() const override;
   std::vector<StateEntry> state() override;
@@ -56,6 +54,15 @@ class Conv2d final : public Layer {
   /// value/grad/momentum consistently.
   void shrink(const std::vector<std::int64_t>& keep_in,
               const std::vector<std::int64_t>& keep_out);
+
+ protected:
+  /// Forward parallelizes over batch samples (one workspace lease per
+  /// chunk); backward runs a serial sample loop with pool-parallel GEMMs.
+  /// All im2col/dcol scratch is leased from ctx's Workspace — no per-call
+  /// heap allocation in steady state.
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;

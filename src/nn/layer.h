@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.h"
 #include "tensor/tensor.h"
 
 namespace pt::nn {
@@ -60,19 +61,38 @@ struct NamedParam {
 /// tensor are dropped.
 std::vector<NamedParam> group_params(const std::vector<StateEntry>& entries);
 
-/// Abstract layer. Subclasses implement forward/backward and expose their
+/// Abstract layer. Subclasses implement do_forward/do_backward (the
+/// protected virtuals of a non-virtual interface) and expose their
 /// parameters for the optimizer and the pruning machinery.
+///
+/// Execution API: the public forward/backward entry points take an
+/// exec::ExecContext& carrying the thread pool and the workspace arena the
+/// kernels run on. The context-free overloads are compatibility shims over
+/// the process-wide single-threaded exec::ExecContext::serial() — kept for
+/// tests and one-off probes; production loops thread an explicit context.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output. When `training` is true, caches the
-  /// activations backward() will need; inference mode caches nothing.
-  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  /// Computes the layer output on `ctx`. When `training` is true, caches
+  /// the activations backward() will need; inference mode caches nothing.
+  Tensor forward(exec::ExecContext& ctx, const Tensor& x, bool training) {
+    return do_forward(ctx, x, training);
+  }
 
   /// Given dL/d(output), accumulates dL/d(params) into each Param::grad and
   /// returns dL/d(input). Must be called after a training-mode forward.
-  virtual Tensor backward(const Tensor& dy) = 0;
+  Tensor backward(exec::ExecContext& ctx, const Tensor& dy) {
+    return do_backward(ctx, dy);
+  }
+
+  /// Context-free shims: single-threaded execution on ExecContext::serial().
+  Tensor forward(const Tensor& x, bool training) {
+    return do_forward(exec::ExecContext::serial(), x, training);
+  }
+  Tensor backward(const Tensor& dy) {
+    return do_backward(exec::ExecContext::serial(), dy);
+  }
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
@@ -91,6 +111,14 @@ class Layer {
   virtual std::vector<StateEntry> state();
 
  protected:
+  /// The layer's computation, dispatched by the public forward/backward
+  /// (non-virtual interface: every entry point funnels through these, so a
+  /// subclass implements the context-taking form once and the shims come
+  /// for free).
+  virtual Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                            bool training) = 0;
+  virtual Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) = 0;
+
   /// Appends the value/grad/momentum entries of one Param under `name`.
   static void append_param_state(std::vector<StateEntry>& out, Param& p,
                                  const std::string& name);

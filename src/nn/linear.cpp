@@ -17,7 +17,8 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
   bias_.init_state();
 }
 
-Tensor Linear::forward(const Tensor& x, bool training) {
+Tensor Linear::do_forward(exec::ExecContext& ctx, const Tensor& x,
+                          bool training) {
   const Shape& s = x.shape();
   if (s.rank() != 2 || s[1] != in_f_) {
     throw std::invalid_argument("Linear " + name() + ": bad input " + s.to_string());
@@ -25,7 +26,8 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   const std::int64_t n = s[0];
   Tensor y({n, out_f_});
   // y[N, out] = x[N, in] @ W[out, in]^T
-  gemm_nt(n, out_f_, in_f_, 1.f, x.data(), weight_.value.data(), 0.f, y.data());
+  gemm_nt(ctx, n, out_f_, in_f_, 1.f, x.data(), weight_.value.data(), 0.f,
+          y.data());
   if (has_bias_) {
     for (std::int64_t i = 0; i < n; ++i) {
       axpy(1.f, bias_.value.span(), {y.data() + i * out_f_,
@@ -36,13 +38,14 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Linear::backward(const Tensor& dy) {
+Tensor Linear::do_backward(exec::ExecContext& ctx, const Tensor& dy) {
   if (!input_.defined()) {
     throw std::logic_error("Linear " + name() + ": backward without forward");
   }
   const std::int64_t n = input_.shape()[0];
   // dW[out, in] += dy[N, out]^T @ x[N, in]
-  gemm_tn(out_f_, in_f_, n, 1.f, dy.data(), input_.data(), 1.f, weight_.grad.data());
+  gemm_tn(ctx, out_f_, in_f_, n, 1.f, dy.data(), input_.data(), 1.f,
+          weight_.grad.data());
   if (has_bias_) {
     for (std::int64_t i = 0; i < n; ++i) {
       axpy(1.f, {dy.data() + i * out_f_, static_cast<std::size_t>(out_f_)},
@@ -51,7 +54,8 @@ Tensor Linear::backward(const Tensor& dy) {
   }
   // dx[N, in] = dy[N, out] @ W[out, in]
   Tensor dx({n, in_f_});
-  gemm_nn(n, in_f_, out_f_, 1.f, dy.data(), weight_.value.data(), 0.f, dx.data());
+  gemm_nn(ctx, n, in_f_, out_f_, 1.f, dy.data(), weight_.value.data(), 0.f,
+          dx.data());
   return dx;
 }
 

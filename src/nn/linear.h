@@ -18,8 +18,6 @@ class Linear final : public Layer {
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
          bool bias = true);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::vector<Param*> params() override;
   std::vector<const Param*> params() const override;
   std::vector<StateEntry> state() override;
@@ -40,6 +38,13 @@ class Linear final : public Layer {
 
   /// Keeps only the given input feature columns.
   void shrink_inputs(const std::vector<std::int64_t>& keep_in);
+
+ protected:
+  /// All three GEMMs (y, dW, dx) run on ctx's pool over disjoint row
+  /// blocks; the bias loops stay serial.
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   std::int64_t in_f_, out_f_;

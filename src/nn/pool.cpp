@@ -5,7 +5,8 @@
 
 namespace pt::nn {
 
-Tensor MaxPool2d::forward(const Tensor& x, bool training) {
+Tensor MaxPool2d::do_forward(exec::ExecContext& ctx, const Tensor& x,
+                             bool training) {
   const Shape& s = x.shape();
   if (s.rank() != 4 || s[2] % window_ != 0 || s[3] % window_ != 0) {
     throw std::invalid_argument("MaxPool2d " + name() + ": bad input " +
@@ -18,8 +19,8 @@ Tensor MaxPool2d::forward(const Tensor& x, bool training) {
     in_shape_ = s;
     argmax_.assign(static_cast<std::size_t>(n * c * ho * wo), 0);
   }
-#pragma omp parallel for schedule(static)
-  for (std::int64_t nc = 0; nc < n * c; ++nc) {
+  ctx.pool().parallel_for(n * c, [&](std::int64_t nc0, std::int64_t nc1, int) {
+  for (std::int64_t nc = nc0; nc < nc1; ++nc) {
     const float* in = x.data() + nc * h * w;
     float* out = y.data() + nc * ho * wo;
     for (std::int64_t oh = 0; oh < ho; ++oh) {
@@ -43,10 +44,11 @@ Tensor MaxPool2d::forward(const Tensor& x, bool training) {
       }
     }
   }
+  });
   return y;
 }
 
-Tensor MaxPool2d::backward(const Tensor& dy) {
+Tensor MaxPool2d::do_backward(exec::ExecContext&, const Tensor& dy) {
   if (argmax_.empty()) {
     throw std::logic_error("MaxPool2d " + name() + ": backward without forward");
   }
@@ -59,7 +61,8 @@ Tensor MaxPool2d::backward(const Tensor& dy) {
   return dx;
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
+Tensor GlobalAvgPool::do_forward(exec::ExecContext&, const Tensor& x,
+                                 bool training) {
   const Shape& s = x.shape();
   if (s.rank() != 4) {
     throw std::invalid_argument("GlobalAvgPool " + name() + ": bad input " +
@@ -78,7 +81,7 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& dy) {
+Tensor GlobalAvgPool::do_backward(exec::ExecContext&, const Tensor& dy) {
   if (in_shape_.rank() != 4) {
     throw std::logic_error("GlobalAvgPool " + name() + ": backward without forward");
   }

@@ -15,8 +15,6 @@ class MaxPool2d final : public Layer {
  public:
   explicit MaxPool2d(std::int64_t window) : window_(window) {}
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::string type() const override { return "MaxPool2d"; }
   Shape output_shape(const Shape& in) const override {
     return {in[0], in[1], in[2] / window_, in[3] / window_};
@@ -24,6 +22,13 @@ class MaxPool2d final : public Layer {
   void clear_context() override { argmax_.clear(); }
 
   std::int64_t window() const { return window_; }
+
+ protected:
+  /// Forward parallelizes over (sample, channel) pairs; the argmax-scatter
+  /// backward stays serial (outputs may collide on one input index).
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   std::int64_t window_;
@@ -34,10 +39,13 @@ class MaxPool2d final : public Layer {
 /// Averages each channel's spatial map to one value: [N,C,H,W] -> [N,C].
 class GlobalAvgPool final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& dy) override;
   std::string type() const override { return "GlobalAvgPool"; }
   Shape output_shape(const Shape& in) const override { return {in[0], in[1]}; }
+
+ protected:
+  Tensor do_forward(exec::ExecContext& ctx, const Tensor& x,
+                    bool training) override;
+  Tensor do_backward(exec::ExecContext& ctx, const Tensor& dy) override;
 
  private:
   Shape in_shape_;

@@ -75,7 +75,11 @@ Json bench_summary(const std::string& run_dir, const std::string& name) {
 
 void bench_export(const std::string& run_dir, const std::string& name,
                   const std::string& out_path) {
-  const std::string text = bench_summary(run_dir, name).dump() + "\n";
+  bench_export(bench_summary(run_dir, name), out_path);
+}
+
+void bench_export(const Json& summary, const std::string& out_path) {
+  const std::string text = summary.dump() + "\n";
   atomic_write_file(out_path, text.data(), text.size());
 }
 

@@ -20,4 +20,11 @@ Json bench_summary(const std::string& run_dir, const std::string& name);
 void bench_export(const std::string& run_dir, const std::string& name,
                   const std::string& out_path);
 
+/// Writes an already-built summary object to `out_path` in the same
+/// BENCH_*.json artifact format (compact deterministic dump + trailing
+/// newline, atomic temp+rename). For bench drivers whose summary is not an
+/// epoch-record fold — e.g. bench/hotpath_scaling.cpp's thread-scaling
+/// measurements.
+void bench_export(const Json& summary, const std::string& out_path);
+
 }  // namespace pt::telemetry

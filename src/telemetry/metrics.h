@@ -17,7 +17,7 @@
 // work — so instrumented hot paths (per-layer forward/backward, the
 // cluster step) stay at production speed. When enabled, the registry is a
 // single mutex-guarded store, safe against concurrent writers (simulated
-// dist replicas, OpenMP regions).
+// dist replicas, exec pool workers).
 #pragma once
 
 #include <cstdint>

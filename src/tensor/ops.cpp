@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
-#include <vector>
 
 namespace pt {
 namespace {
@@ -14,37 +13,34 @@ namespace {
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockK = 256;
 
-}  // namespace
+// Row blocks are the parallel grain: block b covers rows
+// [b*kBlockM, min((b+1)*kBlockM, m)). The pool splits the *block* range
+// statically, so each C row is written by exactly one chunk with the same
+// serial inner loops regardless of the thread count — N-thread output is
+// bitwise-identical to 1-thread.
+std::int64_t row_blocks(std::int64_t m) { return (m + kBlockM - 1) / kBlockM; }
 
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  if (beta == 0.f) {
-    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  } else if (beta != 1.f) {
-    scale(beta, {c, static_cast<std::size_t>(m * n)});
-  }
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::int64_t p1 = std::min(p0 + kBlockK, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = c + i * n;
-        for (std::int64_t p = p0; p < p1; ++p) {
-          const float aip = alpha * a[i * k + p];
-          if (aip == 0.f) continue;
-          const float* brow = b + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-        }
+void gemm_nn_rows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a, const float* b,
+                  float* c) {
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::int64_t p1 = std::min(p0 + kBlockK, k);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float aip = alpha * a[i * k + p];
+        if (aip == 0.f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
       }
     }
   }
 }
 
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
+void gemm_nt_rows(std::int64_t i0, std::int64_t i1, std::int64_t n,
+                  std::int64_t k, float alpha, const float* a, const float* b,
+                  float beta, float* c) {
+  for (std::int64_t i = i0; i < i1; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
       const float* arow = a + i * k;
       const float* brow = b + j * k;
@@ -56,29 +52,84 @@ void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
-void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
+void gemm_tn_rows(std::int64_t i0, std::int64_t i1, std::int64_t m,
+                  std::int64_t n, std::int64_t k, float alpha, const float* a,
+                  const float* b, float* c) {
+  // A is [K, M]; accumulate rank-1 updates per K row into the owned C rows.
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float aip = alpha * arow[i];
+      if (aip == 0.f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, const float* b,
+             float beta, float* c) {
   if (beta == 0.f) {
     std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
   } else if (beta != 1.f) {
     scale(beta, {c, static_cast<std::size_t>(m * n)});
   }
-  // A is [K, M]; accumulate rank-1 updates per K row. Parallelize over M
-  // blocks so threads write disjoint C rows.
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float aip = alpha * arow[i];
-        if (aip == 0.f) continue;
-        float* crow = c + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
-    }
+  ctx.pool().parallel_for(
+      row_blocks(m), [&](std::int64_t b0, std::int64_t b1, int) {
+        for (std::int64_t blk = b0; blk < b1; ++blk) {
+          const std::int64_t i0 = blk * kBlockM;
+          gemm_nn_rows(i0, std::min(i0 + kBlockM, m), n, k, alpha, a, b, c);
+        }
+      });
+}
+
+void gemm_nt(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, const float* b,
+             float beta, float* c) {
+  ctx.pool().parallel_for(
+      row_blocks(m), [&](std::int64_t b0, std::int64_t b1, int) {
+        for (std::int64_t blk = b0; blk < b1; ++blk) {
+          const std::int64_t i0 = blk * kBlockM;
+          gemm_nt_rows(i0, std::min(i0 + kBlockM, m), n, k, alpha, a, b, beta,
+                       c);
+        }
+      });
+}
+
+void gemm_tn(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, const float* b,
+             float beta, float* c) {
+  if (beta == 0.f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.f) {
+    scale(beta, {c, static_cast<std::size_t>(m * n)});
   }
+  ctx.pool().parallel_for(
+      row_blocks(m), [&](std::int64_t b0, std::int64_t b1, int) {
+        for (std::int64_t blk = b0; blk < b1; ++blk) {
+          const std::int64_t i0 = blk * kBlockM;
+          gemm_tn_rows(i0, std::min(i0 + kBlockM, m), m, n, k, alpha, a, b, c);
+        }
+      });
+}
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  gemm_nn(exec::ExecContext::serial(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  gemm_nt(exec::ExecContext::serial(), m, n, k, alpha, a, b, beta, c);
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  gemm_tn(exec::ExecContext::serial(), m, n, k, alpha, a, b, beta, c);
 }
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {

@@ -2,26 +2,49 @@
 //
 // All kernels are plain functions over raw pointers/spans so that the layer
 // implementations can run them on sub-ranges without allocating views. GEMM
-// is a cache-blocked triple loop with OpenMP over row blocks — roughly
-// 3-6 GFLOP/s on a single modern core, which is all this repo needs.
+// is a cache-blocked triple loop; the context-taking overloads parallelize
+// over row blocks through the exec::ExecContext thread pool with a *static*
+// block partition, so N-thread results are bitwise-identical to 1-thread
+// (each C row is produced by the same serial instruction sequence either
+// way). Roughly 3-6 GFLOP/s per core, which is all this repo needs.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
+#include "exec/context.h"
 #include "tensor/tensor.h"
 
 namespace pt {
 
+// Context-taking GEMMs — the production hot path. Nested calls (a GEMM
+// issued from inside a parallel_for chunk, e.g. conv2d's per-sample
+// forward) run their blocks inline on the issuing thread.
+
 /// C[M,N] = alpha * A[M,K] @ B[K,N] + beta * C.
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c);
+void gemm_nn(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, const float* b,
+             float beta, float* c);
 
 /// C[M,N] = alpha * A[M,K] @ B[N,K]^T + beta * C.
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c);
+void gemm_nt(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, const float* b,
+             float beta, float* c);
 
 /// C[M,N] = alpha * A[K,M]^T @ B[K,N] + beta * C.
+void gemm_tn(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, const float* b,
+             float beta, float* c);
+
+// Context-free GEMMs — test-only shims kept for kernel unit tests and
+// microbenches. They delegate to the overloads above on the process-wide
+// single-threaded exec::ExecContext::serial(); production code paths must
+// pass their own context instead.
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c);
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c);
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c);
 

@@ -11,7 +11,7 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 
 // Single sink shared by every logger; guarded by one mutex so concurrent
-// callers (dist replicas, OpenMP regions) cannot interleave lines.
+// callers (dist replicas, exec pool workers) cannot interleave lines.
 std::mutex& sink_mutex() {
   static std::mutex m;
   return m;
