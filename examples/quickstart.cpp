@@ -30,11 +30,23 @@
 // --threads N runs the training hot path on an N-thread execution context
 // (0 = all hardware threads). The pool is deterministic: the numbers are
 // bitwise-identical at every thread count (see DESIGN.md §9).
+//
+// --replicas N trains on a simulated elastic data-parallel cluster
+// (DESIGN.md §10): batches shard over the live replicas, membership faults
+// (kill-replica / flaky-replica / rejoin-replica) exercise permanent
+// failure, quorum loss, and checkpointed rejoin. --min-live-fraction,
+// --suspect-threshold, and --no-rejoin tune the membership policy:
+//
+//   $ ./quickstart --replicas 4 --checkpoint-dir /tmp/pt \
+//                  --fault-spec "kill-replica:replica=2,step=50"
+//
+// `--fault-spec help` prints the full fault grammar table.
 #include <iostream>
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "models/builders.h"
+#include "robust/fault.h"
 #include "telemetry/metrics.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -52,7 +64,20 @@ int main(int argc, char** argv) {
                "(requires --checkpoint-dir)");
   flags.define("fault-spec", "",
                "inject deterministic faults, e.g. 'nan-grad:epoch=7' or "
-               "'corrupt-ckpt:epoch=5;scale-grad:epoch=6,scale=1e6'");
+               "'kill-replica:replica=2,step=50'; 'help' prints the grammar");
+  flags.define("replicas", "1",
+               "simulated elastic data-parallel replicas (>1 shards every "
+               "batch over the live membership; see DESIGN.md section 10)");
+  flags.define("min-live-fraction", "0.5",
+               "quorum: abort when live replicas fall below "
+               "ceil(fraction * replicas)");
+  flags.define("suspect-threshold", "3",
+               "consecutive missed step-acks before a replica is declared "
+               "dead (detection bookkeeping; participation stops at the "
+               "first miss)");
+  flags.define("no-rejoin", "false",
+               "treat replica death as terminal: ignore rejoin-replica "
+               "faults and schedules");
   flags.define("threads", "1",
                "execution threads for the training hot path (0 = all "
                "hardware threads); results are bitwise-identical at any "
@@ -65,6 +90,10 @@ int main(int argc, char** argv) {
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage("quickstart");
+    return 0;
+  }
+  if (flags.get("fault-spec") == "help") {
+    std::cout << pt::robust::fault_spec_help();
     return 0;
   }
   const std::int64_t epochs = flags.get_int("epochs");
@@ -98,6 +127,10 @@ int main(int argc, char** argv) {
   cfg.max_rollbacks = flags.get_int("max-rollbacks");
   cfg.fault_spec = flags.get("fault-spec");
   cfg.num_threads = flags.get_int("threads");
+  cfg.replicas = flags.get_int("replicas");
+  cfg.min_live_fraction = flags.get_double("min-live-fraction");
+  cfg.suspect_threshold = flags.get_int("suspect-threshold");
+  cfg.allow_rejoin = !flags.get_bool("no-rejoin");
   if (flags.get_bool("no-telemetry")) {
     pt::telemetry::set_enabled(false);
   } else {

@@ -16,6 +16,12 @@ echo "===== bench: hotpath_scaling ====="
 # seconds/step at 1/2/4 threads (timing skipped on single-core runners).
 timeout 900 ./hotpath_scaling --out /root/repo/BENCH_hotpath_scaling.json 2>&1
 echo
+echo "===== bench: elastic_overhead ====="
+# Elastic membership: fixed-vs-elastic step equivalence (bitwise), the
+# per-step cost of the heartbeat/re-shard machinery, and the modeled resync
+# traffic of a kill/rejoin cycle.
+timeout 900 ./elastic_overhead --out /root/repo/BENCH_elastic_overhead.json 2>&1
+echo
 echo "===== bench: telemetry_smoke ====="
 # Instrumented quickstart: records a short run, then folds the JSONL
 # trajectory into BENCH_telemetry_smoke.json (monotone FLOPs/memory flags).
@@ -27,3 +33,23 @@ rm -rf "$METRICS_DIR"
 echo
 echo "SUITE DONE"
 } > /root/repo/bench_output.txt 2>&1
+
+# Sanity gate: every BENCH_*.json carries pass/fail flags alongside its
+# numbers (bitwise determinism, monotone FLOPs/memory). A false flag means a
+# correctness property was violated while benching — fail the suite loudly
+# instead of shipping bad numbers in a green run.
+FAILED_FLAGS=0
+for artifact in /root/repo/BENCH_*.json; do
+  [ -e "$artifact" ] || continue
+  for flag in determinism_bitwise_1_vs_4 determinism_bitwise_elastic_vs_fixed \
+              flops_monotone_nonincreasing memory_monotone_nonincreasing; do
+    if grep -q "\"$flag\"[[:space:]]*:[[:space:]]*false" "$artifact"; then
+      echo "SANITY FLAG FAILED: $flag in $artifact" | tee -a /root/repo/bench_output.txt
+      FAILED_FLAGS=$((FAILED_FLAGS + 1))
+    fi
+  done
+done
+if [ "$FAILED_FLAGS" -gt 0 ]; then
+  echo "bench suite: $FAILED_FLAGS sanity flag(s) failed" | tee -a /root/repo/bench_output.txt
+  exit 1
+fi

@@ -11,6 +11,7 @@
 #include "ckpt/serialize.h"
 #include "cost/flops.h"
 #include "cost/memory.h"
+#include "dist/allreduce.h"
 #include "models/builders.h"
 #include "nn/conv2d.h"
 #include "nn/loss.h"
@@ -129,6 +130,8 @@ telemetry::Json config_json(const TrainConfig& cfg) {
   j["prune_min_channels"] = telemetry::Json(cfg.prune_min_channels);
   j["max_rollbacks"] = telemetry::Json(cfg.max_rollbacks);
   j["fault_spec"] = telemetry::Json(cfg.fault_spec);
+  j["replicas"] = telemetry::Json(cfg.replicas);
+  j["min_live_fraction"] = telemetry::Json(cfg.min_live_fraction);
   return j;
 }
 
@@ -212,6 +215,23 @@ void TrainConfig::validate() const {
       fail(std::string("fault_spec: ") + e.what());
     }
   }
+  if (replicas < 1) {
+    fail("replicas must be >= 1 (got " + std::to_string(replicas) + ")");
+  }
+  if (replicas > 1) {
+    if (!proximal_update) {
+      fail("replicas > 1 requires proximal_update (the elastic cluster "
+           "applies group lasso as a per-replica proximal hook)");
+    }
+    if (!(min_live_fraction > 0.0 && min_live_fraction <= 1.0)) {
+      fail("min_live_fraction must lie in (0, 1] (got " +
+           std::to_string(min_live_fraction) + ")");
+    }
+    if (suspect_threshold < 1) {
+      fail("suspect_threshold must be >= 1 (got " +
+           std::to_string(suspect_threshold) + ")");
+    }
+  }
 }
 
 PruneTrainer::PruneTrainer(graph::Network& net,
@@ -248,6 +268,91 @@ PruneTrainer::PruneTrainer(graph::Network& net,
   if (cfg_.record_sparsity && !monitor_) {
     monitor_ = std::make_unique<prune::SparsityMonitor>(net);
   }
+  if (cfg_.replicas > 1) rebuild_cluster();
+}
+
+void PruneTrainer::rebuild_cluster() {
+  // Carry the injector's fire-state across the rebuild so already-consumed
+  // faults don't re-arm; the rebuild itself gives every replica a fresh
+  // HEALTHY record ("the failed node was replaced at job restart").
+  robust::FaultInjector injector =
+      cluster_ ? cluster_->take_fault_injector()
+               : robust::FaultInjector::from_string(cfg_.fault_spec,
+                                                    cfg_.fault_seed);
+  ckpt::Checkpoint image = ckpt::Checkpoint::capture(*net_);
+  std::vector<graph::Network> replicas;
+  replicas.reserve(static_cast<std::size_t>(cfg_.replicas));
+  for (std::int64_t r = 0; r < cfg_.replicas; ++r) {
+    replicas.push_back(image.restore_network());
+  }
+  cost::CommSpec comm = cfg_.comm;
+  comm.gpus = static_cast<int>(cfg_.replicas);
+  dist::MembershipConfig membership;
+  membership.suspect_threshold = static_cast<int>(cfg_.suspect_threshold);
+  membership.min_live_fraction = cfg_.min_live_fraction;
+  membership.allow_rejoin = cfg_.allow_rejoin;
+  cluster_ = std::make_unique<dist::ElasticCluster>(std::move(replicas), comm,
+                                                    membership);
+  cluster_->set_fault_injector(std::move(injector));
+  cluster_fault_fires_seen_ = cluster_->fault_injector().total_fires();
+  if (!cfg_.checkpoint_dir.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path latest = fs::path(cfg_.checkpoint_dir) / "ckpt-latest.bin";
+    if (fs::exists(latest)) cluster_->set_resync_checkpoint(latest.string());
+  }
+}
+
+void PruneTrainer::sync_net_from_cluster() {
+  int src = -1;
+  for (int r = 0; r < cluster_->size(); ++r) {
+    const dist::MemberStatus& m = cluster_->member(r);
+    if (m.state == dist::ReplicaState::kHealthy && !m.failed) {
+      src = r;
+      break;
+    }
+  }
+  if (src < 0) return;  // below quorum; the step already threw
+  graph::Network& rep = cluster_->replica(src);
+  std::vector<nn::StateEntry> from = rep.state();
+  std::vector<nn::StateEntry> to = net_->state();
+  bool copied = from.size() == to.size();
+  if (copied) {
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      if (from[i].name != to[i].name ||
+          from[i].tensor->numel() != to[i].tensor->numel()) {
+        copied = false;
+        break;
+      }
+      std::copy(from[i].tensor->data(),
+                from[i].tensor->data() + from[i].tensor->numel(),
+                to[i].tensor->data());
+    }
+  }
+  if (!copied) {
+    // Topology drifted (should not happen — surgery is applied to both
+    // sides in lockstep); rebuild the reference model outright.
+    *net_ = ckpt::Checkpoint::capture(rep).restore_network();
+    if (recorder_) net_->set_profiling(true);
+    ctx_->rebuild_workspace();
+  }
+}
+
+void PruneTrainer::reconfigure_cluster_replicas() {
+  if (!cluster_) return;
+  for (int r = 0; r < cluster_->size(); ++r) {
+    const dist::MemberStatus& m = cluster_->member(r);
+    // Live members are bit-identical to *net_ pre-surgery, so the same
+    // deterministic surgery lands them on the same topology. A freshly
+    // resynced rejoiner (still REJOINING until the next poll) is equally
+    // current. Failed replicas stay stale until a rejoin resync.
+    const bool current =
+        (m.state == dist::ReplicaState::kHealthy && !m.failed) ||
+        m.state == dist::ReplicaState::kRejoining;
+    if (!current) continue;
+    prune::Reconfigurer reconfigurer(cluster_->replica(r), cfg_.threshold,
+                                     cfg_.prune_min_channels);
+    reconfigurer.reconfigure();
+  }
 }
 
 double PruneTrainer::evaluate() {
@@ -275,6 +380,10 @@ double PruneTrainer::evaluate() {
 }
 
 void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
+  if (cluster_) {
+    train_epoch_dist(stats, lambda, lr);
+    return;
+  }
   telemetry::ScopedTimer span("sgd");
   prune::GroupLassoRegularizer reg(*net_);
   reg.set_size_normalized(cfg_.size_normalized_penalty);
@@ -307,6 +416,63 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
   }
   stats.train_loss = loss_sum / static_cast<double>(samples);
   stats.train_acc = static_cast<double>(correct) / static_cast<double>(samples);
+  stats.lasso_loss = reg.loss();
+}
+
+void PruneTrainer::train_epoch_dist(EpochStats& stats, float lambda, float lr) {
+  telemetry::ScopedTimer span("sgd");
+  optim::SGD opt(lr, cfg_.momentum, cfg_.weight_decay);
+  // The proximal group-soft-threshold runs per replica after its optimizer
+  // step. The regularizer is built fresh inside the hook: a rejoin may
+  // replace a replica's Network mid-epoch, and a cached view would dangle.
+  dist::ElasticCluster::PostUpdateHook hook;
+  if (lambda > 0.f) {
+    const float kappa = lr * lambda;
+    hook = [this, kappa](graph::Network& net) {
+      prune::GroupLassoRegularizer reg(net);
+      reg.set_size_normalized(cfg_.size_normalized_penalty);
+      reg.apply_proximal(kappa);
+    };
+  }
+
+  loader_.begin_epoch();
+  double loss_sum = 0;
+  std::int64_t correct = 0, samples = 0;
+  try {
+    while (loader_.has_next()) {
+      data::Batch batch = loader_.next(batch_size_);
+      const dist::ElasticStepResult r = cluster_->step(*ctx_, batch, opt, hook);
+      loss_sum += r.loss * static_cast<double>(r.processed);
+      correct += r.correct;
+      samples += r.processed;
+      stats.comm_bytes_per_gpu += r.comm_bytes_per_gpu;
+      stats.comm_time_modeled += r.comm_time_modeled;
+    }
+  } catch (const dist::ReplicaDivergence& e) {
+    // Structured guardian pathway: with recovery enabled the rollback loop
+    // rebuilds the cluster from the last good checkpoint; without it the
+    // divergence propagates as-is.
+    robust::HealthEvent ev = e.to_health_event(epoch_counter_);
+    report_.events.push_back(ev);
+    log_error("guardian: " + ev.describe());
+    if (cfg_.max_rollbacks > 0) throw robust::FatalHealthError(std::move(ev));
+    throw;
+  }
+  stats.train_loss = loss_sum / static_cast<double>(samples);
+  stats.train_acc = static_cast<double>(correct) / static_cast<double>(samples);
+
+  for (const dist::MembershipTransition& t : cluster_->drain_transitions()) {
+    log_warn("cluster: " + t.describe());
+  }
+  const std::int64_t fires = cluster_->fault_injector().total_fires();
+  report_.faults_injected += fires - cluster_fault_fires_seen_;
+  cluster_fault_fires_seen_ = fires;
+
+  // Everything downstream of the epoch (health checks, evaluation, cost
+  // models, checkpoints) reads *net_; bring it up to date.
+  sync_net_from_cluster();
+  prune::GroupLassoRegularizer reg(*net_);
+  reg.set_size_normalized(cfg_.size_normalized_penalty);
   stats.lasso_loss = reg.loss();
 }
 
@@ -429,6 +595,7 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
            << ", blocks removed " << rstats.blocks_removed;
         telemetry::event("prune/reconfigure", os.str());
       }
+      reconfigure_cluster_replicas();
       if (rstats.changed) {
         // The arena's buffers are sized for the pre-surgery shapes; drop
         // them so capacity — and the high-water statistic — re-measures the
@@ -464,8 +631,13 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
     stats.epoch_bn_traffic =
         mem.bn_traffic_per_sample() * static_cast<double>(samples);
     stats.memory_bytes = mem.training_bytes(batch_size_);
-    stats.comm_bytes_per_gpu = comm.bytes_per_epoch(model_bytes, iters);
-    stats.comm_time_modeled = comm.time_per_epoch(model_bytes, iters);
+    if (!cluster_) {
+      // The elastic path accumulated per-step comm cost at the live ring
+      // size already; the static model would overwrite it with full-ring
+      // numbers.
+      stats.comm_bytes_per_gpu = comm.bytes_per_epoch(model_bytes, iters);
+      stats.comm_time_modeled = comm.time_per_epoch(model_bytes, iters);
+    }
     stats.gpu_time_modeled =
         device.training_time(*net_, input_shape_, batch_size_) *
         static_cast<double>(iters);
@@ -617,6 +789,8 @@ void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase
       fault_.corrupt_checkpoint_files({numbered, latest}, epoch_counter_)) {
     ++report_.faults_injected;
   }
+  // Rejoining replicas resync their topology from the freshest save.
+  if (cluster_) cluster_->set_resync_checkpoint(latest);
 }
 
 void PruneTrainer::load_checkpoint_file(const std::string& path) {
@@ -672,35 +846,52 @@ void PruneTrainer::load_checkpoint_file(const std::string& path) {
 
 TrainResult PruneTrainer::run() {
   telemetry::ScopedTimer run_span("train");
-  if (cfg_.max_rollbacks <= 0) return run_attempt();
+  try {
+    if (cfg_.max_rollbacks <= 0) return run_attempt();
 
-  robust::RecoveryConfig rc;
-  rc.max_rollbacks = cfg_.max_rollbacks;
-  rc.lr_cut = cfg_.rollback_lr_cut;
-  rc.backoff_base = cfg_.rollback_backoff;
-  rc.backoff_cap = cfg_.rollback_backoff_cap;
-  rc.skip_offending_reconfig = cfg_.rollback_skip_reconfig;
-  robust::RecoveryPolicy policy(rc);
+    robust::RecoveryConfig rc;
+    rc.max_rollbacks = cfg_.max_rollbacks;
+    rc.lr_cut = cfg_.rollback_lr_cut;
+    rc.backoff_base = cfg_.rollback_backoff;
+    rc.backoff_cap = cfg_.rollback_backoff_cap;
+    rc.skip_offending_reconfig = cfg_.rollback_skip_reconfig;
+    robust::RecoveryPolicy policy(rc);
 
-  for (;;) {
-    try {
-      return run_attempt();
-    } catch (const robust::FatalHealthError& err) {
-      const robust::RecoveryPolicy::Decision decision =
-          policy.on_fatal(err.event());
-      if (decision.action == robust::RecoveryPolicy::Decision::Action::kAbort) {
-        report_.aborted = true;
-        save_diagnostic_checkpoint();
-        log_error("guardian: rollback budget (" +
-                  std::to_string(cfg_.max_rollbacks) +
-                  ") exhausted; aborting with diagnostic checkpoint");
-        throw robust::TrainingAborted("training aborted after " +
-                                          std::to_string(policy.rollbacks()) +
-                                          " rollbacks: " + err.event().describe(),
-                                      report_);
+    for (;;) {
+      try {
+        return run_attempt();
+      } catch (const robust::FatalHealthError& err) {
+        const robust::RecoveryPolicy::Decision decision =
+            policy.on_fatal(err.event());
+        if (decision.action ==
+            robust::RecoveryPolicy::Decision::Action::kAbort) {
+          report_.aborted = true;
+          save_diagnostic_checkpoint();
+          log_error("guardian: rollback budget (" +
+                    std::to_string(cfg_.max_rollbacks) +
+                    ") exhausted; aborting with diagnostic checkpoint");
+          throw robust::TrainingAborted(
+              "training aborted after " + std::to_string(policy.rollbacks()) +
+                  " rollbacks: " + err.event().describe(),
+              report_);
+        }
+        rollback(decision, err.event());
       }
-      rollback(decision, err.event());
     }
+  } catch (const dist::ClusterDegraded& err) {
+    // Quorum loss is not a rollback-recoverable fault: restoring a
+    // checkpoint cannot revive dead workers. Checkpoint-and-abort so the
+    // operator gets the model plus a serialized guardian report instead of
+    // a crash or a silent small-batch run.
+    robust::HealthEvent ev = err.event();
+    if (ev.epoch < 0) ev.epoch = epoch_counter_;
+    report_.events.push_back(ev);
+    report_.aborted = true;
+    save_diagnostic_checkpoint();
+    log_error("guardian: " + ev.describe() +
+              "; aborting with diagnostic checkpoint");
+    throw robust::TrainingAborted("training aborted: " + ev.describe(),
+                                  report_);
   }
 }
 
@@ -721,6 +912,9 @@ void PruneTrainer::rollback(const robust::RecoveryPolicy::Decision& decision,
   // resume_* bookkeeping — the retry re-enters the schedule exactly as a
   // crash-resume would, just in-process.
   load_checkpoint_file(path);
+  // The retry runs on a fresh cluster built from the restored model; the
+  // injector's fire-state survives so consumed faults stay consumed.
+  if (cluster_) rebuild_cluster();
   recovery_lr_scale_ = decision.lr_scale;
   skip_reconfig_until_ = decision.skip_reconfig ? cause.epoch : -1;
   ++report_.rollbacks;
@@ -822,6 +1016,7 @@ TrainResult PruneTrainer::run_attempt() {
                                          cfg_.prune_min_channels);
         const auto rstats = reconfigurer.reconfigure();
         result.layers_removed += rstats.convs_removed;
+        reconfigure_cluster_replicas();
       }
       break;
     }
@@ -842,6 +1037,7 @@ TrainResult PruneTrainer::run_attempt() {
                                      cfg_.prune_min_channels);
     const auto rstats = reconfigurer.reconfigure();
     result.layers_removed += rstats.convs_removed;
+    reconfigure_cluster_replicas();
   }
 
   // Optional fine-tuning on the pruned architecture: extra epochs without

@@ -26,6 +26,7 @@
 
 #include "core/dynamic_batch.h"
 #include "cost/comm.h"
+#include "dist/elastic.h"
 #include "exec/context.h"
 #include "cost/device.h"
 #include "data/loader.h"
@@ -153,6 +154,26 @@ struct TrainConfig {
   std::string fault_spec;
   std::uint64_t fault_seed = 0x5eedf0a1ULL;
 
+  // --- Elastic data-parallel training (src/dist) ---
+
+  /// > 1 trains on a simulated elastic cluster of this many in-process
+  /// replicas (dist::ElasticCluster): batches shard over the live set,
+  /// gradients allreduce deterministically, and membership faults
+  /// (kill/flaky/rejoin-replica in fault_spec) exercise permanent failure
+  /// and checkpointed rejoin. 1 (the default) is plain single-device
+  /// training. Requires proximal_update: the group-lasso step runs as a
+  /// per-replica post-update hook.
+  std::int64_t replicas = 1;
+  /// Quorum: a step needs >= ceil(min_live_fraction * replicas) live
+  /// members, else the run checkpoints-and-aborts via the guardian
+  /// (robust::TrainingAborted carrying a kQuorumLoss event).
+  double min_live_fraction = 0.5;
+  /// Consecutive missed step-acks before a replica is declared DEAD
+  /// (detection bookkeeping; participation stops at the first miss).
+  std::int64_t suspect_threshold = 3;
+  /// Allow DEAD replicas to rejoin (rejoin-replica faults / schedules).
+  bool allow_rejoin = true;
+
   // --- Telemetry (src/telemetry) ---
 
   /// Run-record directory. Empty (the default) leaves telemetry untouched.
@@ -259,7 +280,29 @@ class PruneTrainer {
   void ensure_initial_checkpoint(const TrainResult& result, float lambda);
   /// One full pass over the training set at the current batch size; fills
   /// loss/acc into `stats`. `lambda` == 0 disables regularization.
+  /// Dispatches to train_epoch_dist when an elastic cluster is attached.
   void train_epoch(EpochStats& stats, float lambda, float lr);
+  /// The cfg_.replicas > 1 epoch: shards every batch over the cluster's
+  /// live set, accumulates modeled comm cost at the live ring size, syncs
+  /// *net_ from a live replica at the end, and converts ReplicaDivergence
+  /// into the guardian pathway. ClusterDegraded propagates to run().
+  void train_epoch_dist(EpochStats& stats, float lambda, float lr);
+
+  /// (Re)creates the elastic cluster as cfg_.replicas bit-exact clones of
+  /// *net_ with fresh membership (all HEALTHY) — construction, resume, and
+  /// rollback all land here; a mid-run reconfiguration must NOT (it would
+  /// resurrect the dead — the surgery is applied in place instead). An
+  /// existing injector is carried over with its fire-state intact.
+  void rebuild_cluster();
+  /// Copies the trained state from the first live replica back into *net_
+  /// (evaluation, health checks, checkpoints, and cost models all read
+  /// *net_).
+  void sync_net_from_cluster();
+  /// Applies the same reconfiguration surgery just performed on *net_ to
+  /// every replica whose state is current (live members and freshly
+  /// resynced rejoiners); stale (failed) replicas keep their old topology
+  /// until a rejoin resync replays the new one.
+  void reconfigure_cluster_replicas();
 
   /// Appends one epochs.jsonl line: the epoch's stats, the reconfiguration
   /// outcome, per-layer FLOPs + measured times, sparsity densities, and a
@@ -313,6 +356,13 @@ class PruneTrainer {
   std::int64_t resume_epoch_ = 0;    ///< epochs already completed in that phase
   float resume_lambda_ = -1.f;       ///< calibrated lambda at save time
   TrainResult resume_result_;        ///< partial stats accumulated pre-crash
+
+  /// Simulated elastic cluster; null when cfg_.replicas <= 1. The trainer
+  /// keeps its own fault_ for checkpoint-corruption faults; the cluster's
+  /// injector (same spec + seed, independent fire counters) handles the
+  /// replica and gradient kinds.
+  std::unique_ptr<dist::ElasticCluster> cluster_;
+  std::int64_t cluster_fault_fires_seen_ = 0;  ///< for report_.faults_injected
 
   // Guardian state (src/robust).
   robust::FaultInjector fault_;                   ///< disarmed when no spec

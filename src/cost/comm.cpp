@@ -5,21 +5,36 @@
 namespace pt::cost {
 
 double CommModel::ring_bytes_per_update(double model_bytes) const {
-  const double p = static_cast<double>(spec_.gpus);
+  return ring_bytes_per_update(model_bytes, spec_.gpus);
+}
+
+double CommModel::ring_bytes_per_update(double model_bytes, int members) const {
+  const double p = static_cast<double>(members);
   if (p <= 1) return 0.0;
   return 2.0 * (p - 1.0) / p * model_bytes;
 }
 
 double CommModel::ring_time_per_update(double model_bytes) const {
-  const double p = static_cast<double>(spec_.gpus);
+  return ring_time_per_update(model_bytes, spec_.gpus);
+}
+
+double CommModel::ring_time_per_update(double model_bytes, int members) const {
+  const double p = static_cast<double>(members);
   if (p <= 1) return 0.0;
-  // 2*(P-1) pipeline steps, each transferring a 1/P chunk.
+  // 2*(P-1) pipeline steps, each transferring a 1/P chunk. At P=2 this is
+  // the honest degenerate ring: 2 steps of a half-model chunk, i.e. one
+  // full exchange — not a free lunch, not a 4-GPU ring either.
   const double steps = 2.0 * (p - 1.0);
   return steps * (spec_.latency + model_bytes / p / spec_.link_bandwidth);
 }
 
 double CommModel::hierarchical_time_per_update(double model_bytes) const {
-  const int p = spec_.gpus;
+  return hierarchical_time_per_update(model_bytes, spec_.gpus);
+}
+
+double CommModel::hierarchical_time_per_update(double model_bytes,
+                                               int members) const {
+  const int p = members;
   if (p <= 1) return 0.0;
   const int g = std::max(1, std::min(spec_.hierarchy_group, p));
   const int groups = (p + g - 1) / g;

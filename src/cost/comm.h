@@ -34,6 +34,16 @@ class CommModel {
   /// inter-group ring over group leaders + intra-group broadcast.
   double hierarchical_time_per_update(double model_bytes) const;
 
+  /// Degenerate-ring-aware overloads for elastic membership: cost over an
+  /// explicit live-member count instead of spec().gpus. Honest about the
+  /// edges — 1 member moves zero bytes in zero time (nothing to reduce),
+  /// 2 members degenerate to a single send/recv exchange (2 pipeline
+  /// steps of a half-model chunk each), and the hierarchical variant
+  /// clamps its group size to the live count.
+  double ring_bytes_per_update(double model_bytes, int members) const;
+  double ring_time_per_update(double model_bytes, int members) const;
+  double hierarchical_time_per_update(double model_bytes, int members) const;
+
   /// Per-epoch cost given updates/epoch.
   double bytes_per_epoch(double model_bytes, std::int64_t updates) const {
     return ring_bytes_per_update(model_bytes) * static_cast<double>(updates);

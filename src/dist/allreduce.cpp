@@ -1,0 +1,83 @@
+#include "dist/allreduce.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/metrics.h"
+
+namespace pt::dist {
+
+namespace {
+
+std::string divergence_message(int replica, std::size_t param_count,
+                               std::size_t expected_count) {
+  std::ostringstream os;
+  os << "allreduce: replica " << replica << " diverged: " << param_count
+     << " params, group has " << expected_count;
+  return os.str();
+}
+
+}  // namespace
+
+ReplicaDivergence::ReplicaDivergence(int replica, std::size_t param_count,
+                                     std::size_t expected_count)
+    : std::logic_error(divergence_message(replica, param_count,
+                                          expected_count)),
+      replica_(replica),
+      param_count_(param_count),
+      expected_count_(expected_count) {}
+
+robust::HealthEvent ReplicaDivergence::to_health_event(
+    std::int64_t epoch) const {
+  return {robust::EventType::kReplicaDivergence, robust::Severity::kFatal,
+          epoch, static_cast<double>(replica_), what()};
+}
+
+void allreduce_gradients(const std::vector<graph::Network*>& nets,
+                         const std::vector<double>& weights,
+                         const std::vector<int>& ranks) {
+  if (weights.size() != nets.size()) {
+    throw std::invalid_argument("allreduce: weight count mismatch");
+  }
+  if (nets.empty()) return;
+  double total_weight = 0;
+  for (double w : weights) total_weight += w;
+  if (total_weight <= 0) return;
+
+  std::vector<std::vector<nn::Param*>> params;
+  params.reserve(nets.size());
+  for (graph::Network* n : nets) params.push_back(n->params());
+  const std::size_t np = params[0].size();
+  for (std::size_t i = 1; i < params.size(); ++i) {
+    if (params[i].size() == np) continue;
+    const int rank = ranks.empty() ? static_cast<int>(i) : ranks.at(i);
+    ReplicaDivergence err(rank, params[i].size(), np);
+    if (telemetry::enabled()) {
+      telemetry::event("health/replica-divergence", err.what());
+    }
+    throw err;
+  }
+
+  // Reduce: weighted average into nets[0]'s gradient buffers, then
+  // broadcast. Deterministic summation order (replica index order) keeps
+  // replicas bit-identical across the run. Zero-weight replicas (failed or
+  // empty shards) contribute nothing but still receive the broadcast.
+  for (std::size_t i = 0; i < np; ++i) {
+    nn::Param* root = params[0][i];
+    const std::int64_t n = root->grad.numel();
+    for (std::int64_t q = 0; q < n; ++q) {
+      double acc = 0;
+      for (std::size_t r = 0; r < nets.size(); ++r) {
+        if (weights[r] == 0) continue;
+        acc += weights[r] * params[r][i]->grad.data()[q];
+      }
+      root->grad.data()[q] = static_cast<float>(acc / total_weight);
+    }
+    for (std::size_t r = 1; r < nets.size(); ++r) {
+      std::copy(root->grad.data(), root->grad.data() + n,
+                params[r][i]->grad.data());
+    }
+  }
+}
+
+}  // namespace pt::dist

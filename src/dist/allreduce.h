@@ -1,0 +1,54 @@
+// Shared weighted gradient allreduce for the simulated clusters.
+//
+// Both dist::Cluster (fixed membership) and dist::ElasticCluster (elastic
+// membership) average gradients the same way: weighted sum in replica-index
+// order into the first network's buffers, then broadcast — deterministic
+// summation order keeps every receiving replica bit-identical. The only
+// structural failure mode is a diverged parameter table (a replica whose
+// topology no longer matches the group, e.g. a stale-shape rejoiner that
+// skipped its resync fence); that is reported as ReplicaDivergence naming
+// the offending replica, not a bare logic_error.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+#include "robust/health.h"
+
+namespace pt::dist {
+
+/// A replica's parameter table does not match the group's: carries the
+/// replica rank and both param counts so the operator can tell *which*
+/// worker drifted, and converts to a structured HealthEvent for the
+/// guardian pathway.
+class ReplicaDivergence : public std::logic_error {
+ public:
+  ReplicaDivergence(int replica, std::size_t param_count,
+                    std::size_t expected_count);
+
+  int replica() const { return replica_; }
+  std::size_t param_count() const { return param_count_; }
+  std::size_t expected_count() const { return expected_count_; }
+
+  /// Fatal kReplicaDivergence event (caller stamps the epoch).
+  robust::HealthEvent to_health_event(std::int64_t epoch = -1) const;
+
+ private:
+  int replica_;
+  std::size_t param_count_;
+  std::size_t expected_count_;
+};
+
+/// Averages every parameter gradient across `nets`, weighting net i by
+/// `weights[i]` (0 = excluded from the reduction but still receives the
+/// broadcast). `ranks` maps index -> replica rank for error reporting and
+/// may be empty (identity). Throws ReplicaDivergence when a net's param
+/// table size differs from nets[0]'s; a zero total weight is a no-op.
+void allreduce_gradients(const std::vector<graph::Network*>& nets,
+                         const std::vector<double>& weights,
+                         const std::vector<int>& ranks = {});
+
+}  // namespace pt::dist

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "dist/allreduce.h"
 #include "nn/loss.h"
 #include "telemetry/metrics.h"
 #include "tensor/ops.h"
@@ -42,41 +43,11 @@ double Cluster::update_bytes() const {
 }
 
 void Cluster::allreduce_gradients(const std::vector<double>& weights) {
-  if (weights.size() != replicas_.size()) {
-    throw std::invalid_argument("allreduce: weight count mismatch");
-  }
-  double total_weight = 0;
-  for (double w : weights) total_weight += w;
-  if (total_weight <= 0) return;
-
-  std::vector<std::vector<nn::Param*>> params;
-  params.reserve(replicas_.size());
-  for (auto& r : replicas_) params.push_back(r.params());
-  const std::size_t np = params[0].size();
-  for (const auto& p : params) {
-    if (p.size() != np) throw std::logic_error("allreduce: replica divergence");
-  }
-
-  // Reduce: weighted average into replica 0's gradient buffers, then
-  // broadcast. Deterministic summation order (replica index order) keeps
-  // replicas bit-identical across the run. Zero-weight replicas (failed or
-  // empty shards) contribute nothing but still receive the broadcast.
-  for (std::size_t i = 0; i < np; ++i) {
-    nn::Param* root = params[0][i];
-    const std::int64_t n = root->grad.numel();
-    for (std::int64_t q = 0; q < n; ++q) {
-      double acc = 0;
-      for (std::size_t r = 0; r < replicas_.size(); ++r) {
-        if (weights[r] == 0) continue;
-        acc += weights[r] * params[r][i]->grad.data()[q];
-      }
-      root->grad.data()[q] = static_cast<float>(acc / total_weight);
-    }
-    for (std::size_t r = 1; r < replicas_.size(); ++r) {
-      std::copy(root->grad.data(), root->grad.data() + n,
-                params[r][i]->grad.data());
-    }
-  }
+  std::vector<graph::Network*> nets;
+  nets.reserve(replicas_.size());
+  for (auto& r : replicas_) nets.push_back(&r);
+  // Shared helper throws ReplicaDivergence naming the offending replica.
+  dist::allreduce_gradients(nets, weights);
 }
 
 StepResult Cluster::step(exec::ExecContext& ctx, const data::Batch& batch,

@@ -1,0 +1,270 @@
+#include "dist/elastic.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "ckpt/checkpoint.h"
+#include "dist/allreduce.h"
+#include "nn/loss.h"
+#include "telemetry/metrics.h"
+
+namespace pt::dist {
+
+namespace {
+
+/// True when both networks expose the same state-dict surface (entry
+/// names, roles, and shapes) — the precondition for a bitwise state copy.
+bool same_topology(graph::Network& a, graph::Network& b) {
+  std::vector<nn::StateEntry> sa = a.state();
+  std::vector<nn::StateEntry> sb = b.state();
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].name != sb[i].name || sa[i].role != sb[i].role) return false;
+    if (sa[i].tensor->shape() != sb[i].tensor->shape()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ElasticCluster::ElasticCluster(std::vector<graph::Network> replicas,
+                               cost::CommSpec comm,
+                               MembershipConfig membership)
+    : replicas_(std::move(replicas)),
+      comm_(comm),
+      table_(static_cast<int>(replicas_.size()), membership) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("elastic cluster needs >= 1 replica");
+  }
+  if (static_cast<int>(replicas_.size()) != comm_.spec().gpus) {
+    throw std::invalid_argument("comm spec GPU count must match replica count");
+  }
+}
+
+int ElasticCluster::live_count() const {
+  int live = 0;
+  for (int r = 0; r < size(); ++r) {
+    const MemberStatus& m = table_.member(r);
+    if (m.state == ReplicaState::kHealthy && !m.failed) ++live;
+  }
+  return live;
+}
+
+void ElasticCluster::set_fault_injector(robust::FaultInjector injector) {
+  injector_ = std::move(injector);
+}
+
+robust::FaultInjector ElasticCluster::take_fault_injector() {
+  robust::FaultInjector out = std::move(injector_);
+  injector_ = {};
+  return out;
+}
+
+void ElasticCluster::schedule_departure(int replica, std::int64_t step) {
+  table_.schedule_departure(replica, step);
+}
+
+void ElasticCluster::schedule_rejoin(int replica, std::int64_t step) {
+  table_.schedule_rejoin(replica, step);
+}
+
+void ElasticCluster::set_resync_checkpoint(std::string path) {
+  resync_ckpt_path_ = std::move(path);
+}
+
+double ElasticCluster::update_bytes() const {
+  const double model_bytes =
+      static_cast<double>(replicas_.front().num_params()) * 4.0;
+  return comm_.ring_bytes_per_update(model_bytes, std::max(1, live_count()));
+}
+
+std::vector<MembershipTransition> ElasticCluster::drain_transitions() {
+  std::vector<MembershipTransition> out;
+  out.swap(transitions_);
+  return out;
+}
+
+std::vector<robust::HealthEvent> ElasticCluster::drain_health_events() {
+  std::vector<robust::HealthEvent> out;
+  out.swap(health_events_);
+  return out;
+}
+
+std::int64_t ElasticCluster::resync_rejoiner(int r, int root) {
+  graph::Network& survivor = replicas_[static_cast<std::size_t>(root)];
+  graph::Network& joiner = replicas_[static_cast<std::size_t>(r)];
+
+  // Phase 1 — topology replay. Prefer the last CRC-valid checkpoint (the
+  // replica "restarts from disk"); a missing/corrupt file, or shapes gone
+  // stale because a reconfiguration happened after the save, fall back to
+  // cloning the structure from a survivor via the same state-dict capture.
+  bool replayed = false;
+  if (!resync_ckpt_path_.empty()) {
+    try {
+      joiner = ckpt::Checkpoint::load(resync_ckpt_path_).restore_network();
+      replayed = same_topology(joiner, survivor);
+    } catch (const std::exception&) {
+      replayed = false;
+    }
+  }
+  if (!replayed) {
+    joiner = ckpt::Checkpoint::capture(survivor).restore_network();
+  }
+
+  // Phase 2 — fenced state broadcast: every persistent tensor (params,
+  // momentum, BN buffers) plus current gradients, copied bit-exactly from
+  // the survivor so the joiner's first synced step matches the group.
+  std::vector<nn::StateEntry> src = survivor.state();
+  std::vector<nn::StateEntry> dst = joiner.state();
+  if (src.size() != dst.size()) {
+    throw std::logic_error("rejoin resync: state-dict size mismatch");
+  }
+  std::int64_t bytes = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i].name != dst[i].name ||
+        src[i].tensor->numel() != dst[i].tensor->numel()) {
+      throw std::logic_error("rejoin resync: state entry mismatch at '" +
+                             src[i].name + "'");
+    }
+    std::copy(src[i].tensor->data(),
+              src[i].tensor->data() + src[i].tensor->numel(),
+              dst[i].tensor->data());
+    bytes += src[i].tensor->numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+ElasticStepResult ElasticCluster::step(exec::ExecContext& ctx,
+                                       const data::Batch& batch,
+                                       optim::SGD& opt,
+                                       const PostUpdateHook& post_update) {
+  telemetry::ScopedTimer step_span("dist/elastic_step");
+  const std::int64_t total = batch.size();
+  if (total <= 0) throw std::invalid_argument("empty mini-batch");
+  const Shape& s = batch.images.shape();
+  const std::int64_t sample_len = s[1] * s[2] * s[3];
+  const std::int64_t step_id = step_counter_++;
+
+  // Heartbeat round: latch permanent failures, advance the state machine,
+  // promote rejoiners synced last step.
+  table_.poll(step_id, injector_.armed() ? &injector_ : nullptr);
+  for (const MembershipTransition& t : table_.drain_transitions()) {
+    transitions_.push_back(t);
+    if (telemetry::enabled()) telemetry::event("dist/membership", t.describe());
+  }
+
+  const std::vector<int>& participants = table_.participants();
+  const int quorum = table_.quorum_threshold();
+  if (participants.empty() || static_cast<int>(participants.size()) < quorum) {
+    std::ostringstream os;
+    os << "step " << step_id << ": " << participants.size() << " live of "
+       << size() << " replicas, quorum requires >= " << quorum
+       << " (min_live_fraction = " << table_.config().min_live_fraction << ")";
+    robust::HealthEvent ev{robust::EventType::kQuorumLoss,
+                           robust::Severity::kFatal, -1,
+                           static_cast<double>(participants.size()), os.str()};
+    health_events_.push_back(ev);
+    if (telemetry::enabled()) {
+      telemetry::event("health/quorum-loss", ev.describe());
+    }
+    throw ClusterDegraded(std::move(ev));
+  }
+
+  ElasticStepResult result;
+  result.live_replicas = static_cast<int>(participants.size());
+
+  // Deterministic re-sharding: contiguous chunks over the participants in
+  // rank order. The layout depends only on the participant set — batches
+  // smaller than the live count leave trailing shards empty (zero weight,
+  // no compute), same as the fixed cluster.
+  const std::int64_t n = static_cast<std::int64_t>(participants.size());
+  std::vector<double> weights(participants.size(), 0.0);
+  std::int64_t offset = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int r = participants[static_cast<std::size_t>(i)];
+    const std::int64_t shard = total / n + (i < total % n ? 1 : 0);
+    if (shard == 0) continue;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    Tensor images({shard, s[1], s[2], s[3]});
+    std::copy(batch.images.data() + offset * sample_len,
+              batch.images.data() + (offset + shard) * sample_len,
+              images.data());
+    std::vector<std::int64_t> labels(batch.labels.begin() + offset,
+                                     batch.labels.begin() + offset + shard);
+    offset += shard;
+
+    graph::Network& net = replicas_[static_cast<std::size_t>(r)];
+    net.zero_grad();
+    nn::SoftmaxCrossEntropy loss;
+    Tensor out = net.forward(ctx, images, true);
+    result.loss += loss.forward(out, labels) * static_cast<double>(shard);
+    result.correct += loss.correct();
+    net.backward(ctx, loss.backward());
+    if (injector_.armed()) {
+      injector_.corrupt_gradients(net, -1, step_id, r);
+    }
+    weights[static_cast<std::size_t>(i)] = static_cast<double>(shard);
+    result.processed += shard;
+
+    // Straggler accounting: measured wall time plus any injected delay
+    // feeds the per-replica EWMA (bookkeeping only — never numerics).
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const double delay =
+        injector_.armed() ? injector_.replica_delay(r, step_id) : 0.0;
+    result.fault_wait_seconds += delay;
+    table_.record_step_time(r, wall + delay);
+  }
+  result.loss /= static_cast<double>(result.processed);
+
+  // Allreduce + update over participants only: dead replicas receive
+  // nothing and go stale (that staleness is what rejoin repairs).
+  std::vector<graph::Network*> nets;
+  nets.reserve(participants.size());
+  for (int r : participants) {
+    nets.push_back(&replicas_[static_cast<std::size_t>(r)]);
+  }
+  allreduce_gradients(nets, weights, participants);
+  for (int r : participants) {
+    graph::Network& net = replicas_[static_cast<std::size_t>(r)];
+    opt.step(net.params());
+    if (post_update) post_update(net);
+  }
+
+  // Fenced rejoin: replicas that entered REJOINING this step resync from
+  // the post-update state of the first participant; their first *synced*
+  // step is the next one.
+  for (int r : table_.rejoining()) {
+    const std::int64_t bytes = resync_rejoiner(r, participants.front());
+    result.resync_bytes += bytes;
+    resync_bytes_total_ += bytes;
+  }
+
+  const double model_bytes =
+      static_cast<double>(nets.front()->num_params()) * 4.0;
+  result.comm_bytes_per_gpu =
+      comm_.ring_bytes_per_update(model_bytes, result.live_replicas);
+  result.comm_time_modeled =
+      comm_.hierarchical_time_per_update(model_bytes, result.live_replicas);
+  result.step_time_modeled =
+      table_.max_ewma(participants) + result.comm_time_modeled;
+
+  if (telemetry::enabled()) {
+    telemetry::count("dist/steps");
+    telemetry::count("dist/allreduce_bytes", result.comm_bytes_per_gpu);
+    telemetry::gauge("dist/live_replicas",
+                     static_cast<double>(result.live_replicas));
+    if (result.resync_bytes > 0) {
+      telemetry::count("dist/resync_bytes",
+                       static_cast<double>(result.resync_bytes));
+    }
+  }
+  return result;
+}
+
+}  // namespace pt::dist

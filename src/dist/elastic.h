@@ -1,0 +1,172 @@
+// Elastic data-parallel cluster (ISSUE 5 tentpole): dist::Cluster's
+// synchronous step semantics plus real membership — permanent replica
+// failure, quorum policy, deterministic re-sharding over the live set, and
+// checkpointed rejoin.
+//
+// Differences from the fixed-membership Cluster:
+//
+//  * A MembershipTable heartbeat round runs before every step. Replicas
+//    whose permanent-failure latch is set (kill-replica / flaky-replica
+//    faults, or a statically scheduled departure) stop acking and are
+//    excluded from compute, allreduce, broadcast, *and* the optimizer
+//    step — a dead replica's model goes stale, which is precisely what
+//    makes rejoin a real protocol rather than a no-op. (Cluster's
+//    drop/delay faults are transient: there the victim still receives the
+//    broadcast and stays bit-identical. Kill is the permanent cousin.)
+//
+//  * Re-sharding is deterministic: the global batch is split into
+//    contiguous chunks over the participants in replica-rank order
+//    (participant i takes total/n + (i < total%n) samples). The layout
+//    depends only on the participant set, so a given membership schedule
+//    always yields bitwise-identical shards — the same contract pt::exec
+//    makes for intra-step parallelism (membership.h spells it out).
+//
+//  * Quorum: fewer than ceil(min_live_fraction * size) participants
+//    raises ClusterDegraded carrying a fatal kQuorumLoss HealthEvent, so
+//    the guardian (PR 2) can checkpoint-and-abort instead of silently
+//    training on a sliver of the batch.
+//
+//  * Checkpointed rejoin: a DEAD replica revived by a rejoin-replica
+//    fault (or schedule_rejoin) spends one fenced step REJOINING — it
+//    first replays topology from the last CRC-valid checkpoint
+//    (set_resync_checkpoint, the PR 1 state-dict file; a missing, corrupt,
+//    or stale-shape checkpoint falls back to cloning the structure from a
+//    survivor), then receives a full state broadcast (params + momentum +
+//    BN buffers) from the first participant at the end of the step. Its
+//    first synced step is therefore bit-identical to the survivors'.
+//    Resynced bytes are accounted (resync_bytes_total, telemetry counter
+//    dist/resync_bytes).
+//
+//  * Straggler accounting: measured per-participant step time (wall clock
+//    + injected delay) feeds a per-replica EWMA; the modeled synchronous
+//    step time is max live EWMA + modeled allreduce time at the live ring
+//    size (cost::CommModel's member-count overloads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cost/comm.h"
+#include "data/loader.h"
+#include "dist/membership.h"
+#include "exec/context.h"
+#include "graph/network.h"
+#include "optim/sgd.h"
+#include "robust/fault.h"
+#include "robust/health.h"
+
+namespace pt::dist {
+
+struct ElasticStepResult {
+  double loss = 0;                ///< mean loss over *processed* samples
+  std::int64_t correct = 0;       ///< correct predictions among processed
+  std::int64_t processed = 0;     ///< samples actually trained this step
+  int live_replicas = 0;          ///< participants this step
+  double comm_bytes_per_gpu = 0;  ///< ring bytes at the live ring size
+  double comm_time_modeled = 0;   ///< modeled allreduce time, live ring
+  double step_time_modeled = 0;   ///< max live EWMA + comm_time_modeled
+  double fault_wait_seconds = 0;  ///< injected straggler delay this step
+  std::int64_t resync_bytes = 0;  ///< state bytes broadcast to rejoiners
+};
+
+/// Raised by ElasticCluster::step when the live set falls below quorum;
+/// carries the fatal kQuorumLoss event for the guardian. The epoch field
+/// is -1 (the cluster counts steps, not epochs) — the trainer stamps it.
+class ClusterDegraded : public std::runtime_error {
+ public:
+  explicit ClusterDegraded(robust::HealthEvent event)
+      : std::runtime_error(event.describe()), event_(std::move(event)) {}
+  const robust::HealthEvent& event() const { return event_; }
+  robust::HealthEvent& event() { return event_; }
+
+ private:
+  robust::HealthEvent event_;
+};
+
+class ElasticCluster {
+ public:
+  /// Applied to every participant after its optimizer step (the trainer
+  /// hangs the group-lasso proximal update here so dead replicas stay
+  /// untouched).
+  using PostUpdateHook = std::function<void(graph::Network&)>;
+
+  /// Takes ownership of `replicas` (structurally identical, identically
+  /// initialized). `comm.gpus` must match the replica count.
+  ElasticCluster(std::vector<graph::Network> replicas, cost::CommSpec comm,
+                 MembershipConfig membership = {});
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  graph::Network& replica(int i) {
+    return replicas_[static_cast<std::size_t>(i)];
+  }
+  const MembershipTable& membership() const { return table_; }
+  const MemberStatus& member(int r) const { return table_.member(r); }
+  /// Replicas currently able to ack (HEALTHY), per the last poll; before
+  /// the first step this is the full size.
+  int live_count() const;
+
+  /// Attaches a fault injector (by value; pass {} to disarm). Membership
+  /// kinds (kill/flaky/rejoin) are consulted by the heartbeat poll;
+  /// gradient kinds corrupt the matching participant after backward;
+  /// delay-replica charges modeled straggler time into the EWMA.
+  void set_fault_injector(robust::FaultInjector injector);
+  const robust::FaultInjector& fault_injector() const { return injector_; }
+  /// Removes and returns the injector with its fire-state intact — used
+  /// when the trainer rebuilds the cluster (resume / rollback) without
+  /// re-arming already-consumed faults.
+  robust::FaultInjector take_fault_injector();
+
+  /// Statically scripts a departure / rejoin (membership.h). The
+  /// injector-free twin of kill-replica / rejoin-replica faults.
+  void schedule_departure(int replica, std::int64_t step);
+  void schedule_rejoin(int replica, std::int64_t step);
+
+  /// Path of the last known-good checkpoint; rejoiners replay their
+  /// topology from it before the state broadcast ("" = survivor clone).
+  void set_resync_checkpoint(std::string path);
+
+  /// One synchronous elastic step: heartbeat poll, quorum check, shard
+  /// over participants, forward/backward, weighted allreduce, optimizer
+  /// step + hook on participants only, then fenced rejoiner resync.
+  /// Throws ClusterDegraded below quorum (or with zero participants) and
+  /// ReplicaDivergence if a participant's param table drifted.
+  ElasticStepResult step(exec::ExecContext& ctx, const data::Batch& batch,
+                         optim::SGD& opt,
+                         const PostUpdateHook& post_update = {});
+
+  /// Context-free shim: single-threaded step on ExecContext::serial().
+  ElasticStepResult step(const data::Batch& batch, optim::SGD& opt,
+                         const PostUpdateHook& post_update = {}) {
+    return step(exec::ExecContext::serial(), batch, opt, post_update);
+  }
+
+  /// Membership edges since the last call, in occurrence order.
+  std::vector<MembershipTransition> drain_transitions();
+  /// Health events (quorum loss) raised since the last call.
+  std::vector<robust::HealthEvent> drain_health_events();
+
+  std::int64_t resync_bytes_total() const { return resync_bytes_total_; }
+  std::int64_t steps() const { return step_counter_; }
+  /// Gradient bytes per update per worker at the current live ring size.
+  double update_bytes() const;
+  const cost::CommModel& comm() const { return comm_; }
+
+ private:
+  /// Replays topology + state onto rejoiner `r` from checkpoint or the
+  /// survivor at rank `root`, then counts the fenced state broadcast.
+  std::int64_t resync_rejoiner(int r, int root);
+
+  std::vector<graph::Network> replicas_;
+  cost::CommModel comm_;
+  MembershipTable table_;
+  robust::FaultInjector injector_;
+  std::string resync_ckpt_path_;
+  std::vector<MembershipTransition> transitions_;
+  std::vector<robust::HealthEvent> health_events_;
+  std::int64_t resync_bytes_total_ = 0;
+  std::int64_t step_counter_ = 0;  ///< global step index for fault matching
+};
+
+}  // namespace pt::dist

@@ -19,8 +19,48 @@ std::string to_string(FaultSpec::Kind kind) {
     case FaultSpec::Kind::kDelayReplica: return "delay-replica";
     case FaultSpec::Kind::kTruncateCkpt: return "truncate-ckpt";
     case FaultSpec::Kind::kCorruptCkpt: return "corrupt-ckpt";
+    case FaultSpec::Kind::kKillReplica: return "kill-replica";
+    case FaultSpec::Kind::kFlakyReplica: return "flaky-replica";
+    case FaultSpec::Kind::kRejoinReplica: return "rejoin-replica";
   }
   return "?";
+}
+
+std::string fault_spec_help() {
+  return
+      "fault spec grammar:  <kind>[:key=value[,key=value...]][;<kind>:...]\n"
+      "\n"
+      "  kind            semantics                                 keys\n"
+      "  --------------  ----------------------------------------  ------------------------\n"
+      "  nan-grad        set one gradient element to quiet NaN     epoch,step,replica,count\n"
+      "  bitflip-grad    flip one random bit of one grad element   epoch,step,replica,count\n"
+      "  scale-grad      multiply every gradient by `scale`        epoch,step,replica,count,scale\n"
+      "  drop-replica    replica fails the step (timeout+retry)    step,replica,count\n"
+      "  delay-replica   replica straggles `delay` modeled secs    step,replica,count,delay\n"
+      "  kill-replica    permanent death: misses every heartbeat   step,replica,count\n"
+      "  flaky-replica   dies with probability `prob` per step     step,replica,count,prob\n"
+      "  rejoin-replica  revive a dead replica at matching step    step,replica,count\n"
+      "  truncate-ckpt   truncate checkpoint files to half size    epoch,count\n"
+      "  corrupt-ckpt    flip one random byte of checkpoint files  epoch,count\n"
+      "\n"
+      "  keys (wildcards when omitted):\n"
+      "    epoch=<N>    fire only at global epoch N\n"
+      "    step=<N>     fire only at step/iteration N\n"
+      "    replica=<N>  fire only for replica N\n"
+      "    count=<N>    max firings; 0 = unlimited        (default 1)\n"
+      "    scale=<X>    scale-grad multiplier             (default 1e4)\n"
+      "    delay=<X>    delay-replica modeled seconds     (default 5)\n"
+      "    prob=<X>     flaky-replica death probability   (default 0.05)\n"
+      "\n"
+      "  examples:\n"
+      "    nan-grad:epoch=7\n"
+      "    kill-replica:replica=2,step=50\n"
+      "    flaky-replica:prob=0.2,count=0\n"
+      "    kill-replica:replica=1,step=10;rejoin-replica:replica=1,step=40\n"
+      "\n"
+      "  Determinism: matching is pure arithmetic on (epoch, step, replica,\n"
+      "  firings so far); random choices draw from a pt::Rng seeded at\n"
+      "  construction, so equal spec + seed => bitwise-equal faults.\n";
 }
 
 namespace {
@@ -29,7 +69,8 @@ FaultSpec::Kind parse_kind(const std::string& token) {
   using Kind = FaultSpec::Kind;
   for (Kind k : {Kind::kNanGrad, Kind::kBitflipGrad, Kind::kScaleGrad,
                  Kind::kDropReplica, Kind::kDelayReplica, Kind::kTruncateCkpt,
-                 Kind::kCorruptCkpt}) {
+                 Kind::kCorruptCkpt, Kind::kKillReplica, Kind::kFlakyReplica,
+                 Kind::kRejoinReplica}) {
     if (token == to_string(k)) return k;
   }
   throw std::invalid_argument("fault spec: unknown kind '" + token + "'");
@@ -87,6 +128,8 @@ std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
           spec.scale = std::stod(value);
         } else if (key == "delay") {
           spec.delay_seconds = std::stod(value);
+        } else if (key == "prob") {
+          spec.prob = std::stod(value);
         } else {
           throw std::invalid_argument("fault spec: unknown key '" + key + "'");
         }
@@ -98,6 +141,11 @@ std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
     }
     if (spec.count < 0) {
       throw std::invalid_argument("fault spec: count must be >= 0");
+    }
+    if (spec.kind == FaultSpec::Kind::kFlakyReplica &&
+        !(spec.prob >= 0.0 && spec.prob <= 1.0)) {
+      throw std::invalid_argument(
+          "fault spec: flaky-replica prob must lie in [0, 1]");
     }
     specs.push_back(spec);
   }
@@ -184,6 +232,40 @@ double FaultInjector::replica_delay(int replica, std::int64_t step) {
     return a.spec.delay_seconds;
   }
   return 0.0;
+}
+
+bool FaultInjector::kill_replica(int replica, std::int64_t step) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kKillReplica) continue;
+    if (!matches(a, -1, step, replica)) continue;
+    ++a.fires;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::flaky_replica(int replica, std::int64_t step) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kFlakyReplica) continue;
+    if (!matches(a, -1, step, replica)) continue;
+    // Draw even when the replica survives so the RNG stream depends only
+    // on the (deterministic) query sequence, not on earlier outcomes.
+    const bool dies = rng_.uniform() < a.spec.prob;
+    if (!dies) continue;
+    ++a.fires;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::rejoin_replica(int replica, std::int64_t step) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kRejoinReplica) continue;
+    if (!matches(a, -1, step, replica)) continue;
+    ++a.fires;
+    return true;
+  }
+  return false;
 }
 
 bool FaultInjector::corrupt_checkpoint_files(

@@ -12,6 +12,7 @@
 //
 //   kinds: nan-grad | bitflip-grad | scale-grad
 //          drop-replica | delay-replica
+//          kill-replica | flaky-replica | rejoin-replica
 //          truncate-ckpt | corrupt-ckpt
 //   keys:  epoch=<N>    fire only at global epoch N         (-1 = any)
 //          step=<N>     fire only at step/iteration N       (-1 = any)
@@ -19,12 +20,24 @@
 //          count=<N>    maximum firings, 0 = unlimited      (default 1)
 //          scale=<X>    gradient multiplier for scale-grad  (default 1e4)
 //          delay=<X>    modeled straggler seconds           (default 5)
+//          prob=<X>     per-step death probability, flaky-replica (default 0.05)
+//
+// (`fault_spec_help()` renders the full grammar as a table; DESIGN.md §7
+// carries the same table.)
 //
 // Example: "nan-grad:epoch=3" poisons one gradient element at the first
 // iteration of epoch 3, exactly once. Determinism: matching is pure
 // arithmetic on (epoch, step, replica, firings so far); the only random
-// choices (which element, which bit) come from a pt::Rng seeded at
-// construction, so equal spec + seed => bitwise-equal faults.
+// choices (which element, which bit, whether a flaky replica dies) come
+// from a pt::Rng seeded at construction, so equal spec + seed =>
+// bitwise-equal faults.
+//
+// The elastic-membership kinds (ISSUE 5) model *permanent* replica
+// failure, distinct from the transient drop/delay pair: kill-replica makes
+// a replica miss every heartbeat from the matching step onward,
+// flaky-replica kills it with probability `prob` per queried step, and
+// rejoin-replica revives a dead replica at the matching step (the
+// membership layer then runs the checkpointed-rejoin protocol).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +58,9 @@ struct FaultSpec {
     kDelayReplica = 4, ///< replica straggles `delay_seconds` (modeled)
     kTruncateCkpt = 5, ///< truncate a checkpoint file to half its size
     kCorruptCkpt = 6,  ///< flip one random byte of a checkpoint file
+    kKillReplica = 7,  ///< permanent death: misses every heartbeat onward
+    kFlakyReplica = 8, ///< dies with probability `prob` per queried step
+    kRejoinReplica = 9,///< revive a dead replica at the matching step
   };
 
   Kind kind = Kind::kNanGrad;
@@ -54,6 +70,7 @@ struct FaultSpec {
   std::int64_t count = 1;       ///< max firings; 0 = unlimited
   double scale = 1e4;           ///< kScaleGrad multiplier
   double delay_seconds = 5.0;   ///< kDelayReplica modeled stall
+  double prob = 0.05;           ///< kFlakyReplica per-step death probability
 };
 
 std::string to_string(FaultSpec::Kind kind);
@@ -61,6 +78,11 @@ std::string to_string(FaultSpec::Kind kind);
 /// Parses the spec grammar above. Throws std::invalid_argument with the
 /// offending token on malformed input. "" yields an empty list.
 std::vector<FaultSpec> parse_fault_specs(const std::string& text);
+
+/// The full spec grammar rendered as one human-readable table (every kind
+/// with its semantics and keys). Printed by `quickstart --fault-spec help`;
+/// DESIGN.md §7 carries the same table.
+std::string fault_spec_help();
 
 class FaultInjector {
  public:
@@ -90,6 +112,22 @@ class FaultInjector {
   /// Modeled straggler seconds for (replica, step); 0 when no delay fault
   /// fires. Consumes one firing per positive answer.
   double replica_delay(int replica, std::int64_t step);
+
+  /// True when a kKillReplica fault fires for (replica, step): the replica
+  /// dies permanently. The membership layer latches the answer — the
+  /// injector consumes one firing and is never asked about that replica
+  /// again.
+  bool kill_replica(int replica, std::int64_t step);
+
+  /// True when a kFlakyReplica fault decides (replica, step) dies: each
+  /// matching spec draws one Bernoulli(prob) variate from the seeded RNG.
+  /// Deterministic given seed + query order (the membership layer queries
+  /// replicas in rank order every step). Consumes one firing per death.
+  bool flaky_replica(int replica, std::int64_t step);
+
+  /// True when a kRejoinReplica fault fires for (replica, step): a dead
+  /// replica should begin the rejoin protocol. Consumes one firing.
+  bool rejoin_replica(int replica, std::int64_t step);
 
   /// Applies a matching checkpoint fault to every path in `paths` (they
   /// are one logical save: the numbered file plus ckpt-latest.bin).

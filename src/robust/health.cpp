@@ -32,6 +32,8 @@ std::string to_string(EventType type) {
     case EventType::kNonFiniteParam: return "non-finite-param";
     case EventType::kNonFiniteBnStats: return "non-finite-bn-stats";
     case EventType::kPruningCollapse: return "pruning-collapse";
+    case EventType::kQuorumLoss: return "quorum-loss";
+    case EventType::kReplicaDivergence: return "replica-divergence";
   }
   return "?";
 }

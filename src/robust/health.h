@@ -34,6 +34,8 @@ enum class EventType : std::uint8_t {
   kNonFiniteParam = 3,   ///< a parameter value holds NaN/Inf
   kNonFiniteBnStats = 4, ///< BN running mean/var holds NaN/Inf
   kPruningCollapse = 5,  ///< a conv is about to lose all channels
+  kQuorumLoss = 6,       ///< live replicas fell below min_live_fraction
+  kReplicaDivergence = 7,///< a replica's parameter table diverged
 };
 
 enum class Severity : std::uint8_t { kWarning = 0, kFatal = 1 };

@@ -245,6 +245,55 @@ TEST(CommModel, PerEpochScalesWithUpdates) {
                    8 * cm.hierarchical_time_per_update(1e6));
 }
 
+TEST(CommModel, MemberCountOverloadsHandleDegenerateRings) {
+  CommSpec spec;
+  spec.gpus = 4;
+  spec.link_bandwidth = 1e9;
+  spec.latency = 1e-6;
+  CommModel cm(spec);
+
+  // A "ring" of one exchanges nothing — no bytes, no time.
+  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.ring_time_per_update(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.hierarchical_time_per_update(1e6, 1), 0.0);
+
+  // Two members is an honest full exchange (2*(P-1)/P = 1x model bytes,
+  // two pipeline steps of a half-model chunk) — not a free lunch and not a
+  // 4-GPU ring either.
+  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(1e6, 2), 1e6);
+  EXPECT_DOUBLE_EQ(cm.ring_time_per_update(1e6, 2),
+                   2.0 * (spec.latency + 1e6 / 2.0 / spec.link_bandwidth));
+
+  // Passing the spec's own GPU count reproduces the classic overloads.
+  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(1e6, 4),
+                   cm.ring_bytes_per_update(1e6));
+  EXPECT_DOUBLE_EQ(cm.ring_time_per_update(1e6, 4),
+                   cm.ring_time_per_update(1e6));
+  EXPECT_DOUBLE_EQ(cm.hierarchical_time_per_update(1e6, 4),
+                   cm.hierarchical_time_per_update(1e6));
+
+  // Fewer live members than the configured ring must cost less.
+  EXPECT_LT(cm.ring_bytes_per_update(1e6, 3), cm.ring_bytes_per_update(1e6, 4));
+  EXPECT_LT(cm.ring_time_per_update(1e6, 2), cm.ring_time_per_update(1e6, 4));
+}
+
+TEST(CommModel, HierarchicalClampsGroupToLiveMembers) {
+  CommSpec spec;
+  spec.gpus = 16;
+  spec.hierarchy_group = 8;
+  spec.link_bandwidth = 10e9;
+  spec.latency = 10e-6;
+  CommModel cm(spec);
+  // With only 3 live members the intra-group ring runs at 3, not 8: the
+  // modeled time must match a flat spec of that size, and shrink further
+  // as membership shrinks.
+  EXPECT_GT(cm.hierarchical_time_per_update(1e6, 3), 0.0);
+  EXPECT_LT(cm.hierarchical_time_per_update(1e6, 3),
+            cm.hierarchical_time_per_update(1e6, 16));
+  EXPECT_LT(cm.hierarchical_time_per_update(1e6, 2),
+            cm.hierarchical_time_per_update(1e6, 3));
+}
+
 TEST(DeviceSpecs, PresetsAreOrdered) {
   EXPECT_GT(DeviceSpec::v100().mem_bandwidth, DeviceSpec::gtx_1080ti().mem_bandwidth);
   EXPECT_GT(DeviceSpec::v100().peak_flops, DeviceSpec::cpu().peak_flops);

@@ -1,13 +1,28 @@
 // Data-parallel cluster tests: the defining property (synchronous data
 // parallelism == single-device training on the full batch, for BN-free
 // models), replica consistency, allreduce arithmetic, and comm accounting.
+//
+// The elastic half (ISSUE 5) adds the membership state machine, the bitwise
+// determinism contract (injected kill == statically scheduled departure),
+// kill-before/after-reconfiguration consistency, quorum-loss abort into the
+// guardian, and checkpointed rejoin with a stale topology.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "core/trainer.h"
+#include "dist/allreduce.h"
 #include "dist/cluster.h"
+#include "dist/elastic.h"
+#include "dist/membership.h"
 #include "models/builders.h"
 #include "robust/fault.h"
+#include "robust/recovery.h"
 #include "prune/reconfigure.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -389,6 +404,620 @@ TEST(Cluster, ReconfigurationKeepsReplicasConsistent) {
       ASSERT_EQ(p0[i]->value.data()[q], p1[i]->value.data()[q]);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership (ISSUE 5): state machine, determinism contract, quorum,
+// reconfiguration under churn, and checkpointed rejoin.
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory (pid-suffixed so the plain and .asan
+/// binaries never collide under a concurrent ctest run).
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path p = fs::temp_directory_path() /
+                     ("pt_dist_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p;
+}
+
+ElasticCluster make_elastic(int replicas, std::uint64_t seed = 42,
+                            MembershipConfig mc = {}) {
+  std::vector<graph::Network> nets;
+  for (int i = 0; i < replicas; ++i) nets.push_back(make_bnfree_net(seed));
+  return ElasticCluster(std::move(nets), spec_for(replicas), mc);
+}
+
+void expect_params_bitwise_equal(graph::Network& a, graph::Network& b) {
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel());
+    for (std::int64_t q = 0; q < pa[i]->value.numel(); ++q) {
+      ASSERT_EQ(pa[i]->value.data()[q], pb[i]->value.data()[q]);
+    }
+  }
+}
+
+/// Zeroes one stage-variable channel group (writers and readers alike, as
+/// group lasso would) so Reconfigurer has real surgery to perform.
+void zero_stage_group(graph::Network& net) {
+  const auto& blk = net.info.blocks[0];
+  auto& stem = net.layer_as<nn::Conv2d>(net.info.first_conv);
+  auto& c1 = net.layer_as<nn::Conv2d>(blk.path_convs[0]);
+  auto& c2 = net.layer_as<nn::Conv2d>(blk.path_convs[1]);
+  const std::int64_t len0 = stem.in_channels() * 9;
+  for (std::int64_t q = 0; q < len0; ++q) stem.weight().value.data()[q] = 0.f;
+  const std::int64_t rs = 9;
+  for (std::int64_t k = 0; k < c1.out_channels(); ++k) {
+    for (std::int64_t q = 0; q < rs; ++q) {
+      c1.weight().value.data()[(k * c1.in_channels()) * rs + q] = 0.f;
+    }
+  }
+  const std::int64_t len2 = c2.in_channels() * rs;
+  for (std::int64_t q = 0; q < len2; ++q) c2.weight().value.data()[q] = 0.f;
+  const auto& blk1 = net.info.blocks[1];
+  auto& n1 = net.layer_as<nn::Conv2d>(blk1.path_convs[0]);
+  for (std::int64_t k = 0; k < n1.out_channels(); ++k) {
+    for (std::int64_t q = 0; q < rs; ++q) {
+      n1.weight().value.data()[(k * n1.in_channels()) * rs + q] = 0.f;
+    }
+  }
+  auto& sc = net.layer_as<nn::Conv2d>(blk1.shortcut_conv);
+  for (std::int64_t k = 0; k < sc.out_channels(); ++k) {
+    sc.weight().value.data()[k * sc.in_channels()] = 0.f;
+  }
+}
+
+models::ModelConfig small_resnet_cfg() {
+  models::ModelConfig mc;
+  mc.image_h = 8;
+  mc.image_w = 8;
+  mc.classes = 4;
+  mc.width_mult = 0.5f;
+  return mc;
+}
+
+data::Batch make_resnet_batch(std::uint64_t seed) {
+  Rng rng(seed);
+  data::Batch b;
+  b.images = Tensor::randn({8, 3, 8, 8}, rng);
+  for (int i = 0; i < 8; ++i) b.labels.push_back(i % 4);
+  return b;
+}
+
+TEST(Membership, StateMachineFollowsHeartbeatProtocol) {
+  MembershipConfig mc;
+  mc.suspect_threshold = 2;
+  MembershipTable table(4, mc);
+  table.schedule_departure(2, 1);
+
+  table.poll(0, nullptr);
+  EXPECT_EQ(table.participants(), (std::vector<int>{0, 1, 2, 3}));
+
+  // First missed ack: out of the step immediately (the latch decides
+  // participation), state only SUSPECT.
+  table.poll(1, nullptr);
+  EXPECT_EQ(table.participants(), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(table.member(2).state, ReplicaState::kSuspect);
+  EXPECT_TRUE(table.member(2).failed);
+  EXPECT_EQ(table.member(2).failed_since, 1);
+
+  // Second consecutive miss reaches suspect_threshold: declared DEAD.
+  table.poll(2, nullptr);
+  EXPECT_EQ(table.member(2).state, ReplicaState::kDead);
+  EXPECT_EQ(table.member(2).missed_acks, 2);
+
+  auto edges = table.drain_transitions();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].describe(), "replica 2: healthy -> suspect at step 1");
+  EXPECT_EQ(edges[1].describe(), "replica 2: suspect -> dead at step 2");
+
+  // Rejoin: fenced for exactly one step, then a full participant again.
+  table.schedule_rejoin(2, 4);
+  table.poll(3, nullptr);
+  EXPECT_EQ(table.member(2).state, ReplicaState::kDead);
+  table.poll(4, nullptr);
+  EXPECT_EQ(table.member(2).state, ReplicaState::kRejoining);
+  EXPECT_EQ(table.rejoining(), (std::vector<int>{2}));
+  EXPECT_EQ(table.participants(), (std::vector<int>{0, 1, 3}));
+  table.poll(5, nullptr);
+  EXPECT_EQ(table.member(2).state, ReplicaState::kHealthy);
+  EXPECT_EQ(table.member(2).rejoined_at, 5);
+  EXPECT_EQ(table.participants(), (std::vector<int>{0, 1, 2, 3}));
+
+  edges = table.drain_transitions();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].describe(), "replica 2: dead -> rejoining at step 4");
+  EXPECT_EQ(edges[1].describe(), "replica 2: rejoining -> healthy at step 5");
+}
+
+TEST(Membership, RejoinCanBeDisabled) {
+  MembershipConfig mc;
+  mc.suspect_threshold = 1;
+  mc.allow_rejoin = false;
+  MembershipTable table(2, mc);
+  table.schedule_departure(1, 0);
+  table.schedule_rejoin(1, 2);
+  for (std::int64_t s = 0; s < 4; ++s) table.poll(s, nullptr);
+  EXPECT_EQ(table.member(1).state, ReplicaState::kDead);
+  EXPECT_EQ(table.participants(), (std::vector<int>{0}));
+}
+
+TEST(Membership, QuorumThresholdAndValidation) {
+  MembershipConfig mc;
+  mc.min_live_fraction = 0.5;
+  EXPECT_EQ(MembershipTable(4, mc).quorum_threshold(), 2);
+  mc.min_live_fraction = 0.51;
+  EXPECT_EQ(MembershipTable(4, mc).quorum_threshold(), 3);
+  mc.min_live_fraction = 1.0;
+  EXPECT_EQ(MembershipTable(3, mc).quorum_threshold(), 3);
+
+  MembershipConfig bad;
+  bad.suspect_threshold = 0;
+  EXPECT_THROW(MembershipTable(2, bad), std::invalid_argument);
+  bad = {};
+  bad.min_live_fraction = 0.0;
+  EXPECT_THROW(MembershipTable(2, bad), std::invalid_argument);
+  bad = {};
+  bad.min_live_fraction = 1.5;
+  EXPECT_THROW(MembershipTable(2, bad), std::invalid_argument);
+  bad = {};
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(MembershipTable(2, bad), std::invalid_argument);
+  EXPECT_THROW(MembershipTable(0, MembershipConfig{}), std::invalid_argument);
+}
+
+TEST(Membership, EwmaTracksStragglerEstimates) {
+  MembershipConfig mc;
+  mc.ewma_alpha = 0.2;
+  MembershipTable table(2, mc);
+  table.record_step_time(0, 1.0);  // first sample taken verbatim
+  EXPECT_DOUBLE_EQ(table.member(0).ewma_step_seconds, 1.0);
+  table.record_step_time(0, 2.0);
+  EXPECT_DOUBLE_EQ(table.member(0).ewma_step_seconds, 0.2 * 2.0 + 0.8 * 1.0);
+  EXPECT_DOUBLE_EQ(table.max_ewma({0, 1}), 1.2);
+  EXPECT_DOUBLE_EQ(table.max_ewma({1}), 0.0);
+}
+
+TEST(ElasticCluster, AllHealthyMatchesFixedClusterBitwise) {
+  // With nobody failing, the elastic step is the fixed cluster's step:
+  // same shards, same allreduce order, same update — bit for bit.
+  Cluster fixed = make_cluster(3, 42);
+  ElasticCluster elastic = make_elastic(3, 42);
+  optim::SGD opt_a(0.05f, 0.9f);
+  optim::SGD opt_b(0.05f, 0.9f);
+  for (int step = 0; step < 4; ++step) {
+    data::Batch batch = make_batch(9 + step, 40 + step);
+    const auto ra = fixed.step(batch, opt_a);
+    const auto rb = elastic.step(batch, opt_b);
+    EXPECT_DOUBLE_EQ(ra.loss, rb.loss);
+    EXPECT_EQ(ra.correct, rb.correct);
+    EXPECT_EQ(rb.live_replicas, 3);
+  }
+  for (int r = 0; r < 3; ++r) {
+    expect_params_bitwise_equal(fixed.replica(r), elastic.replica(r));
+  }
+}
+
+TEST(ElasticCluster, InjectedKillAtStepNMatchesStaticScheduleBitwise) {
+  // The acceptance test for the determinism contract: a run where replica 2
+  // is killed by an injected fault at step 5 (detection machinery and all)
+  // is bitwise identical to a run whose membership schedule had that
+  // departure fixed from step 0.
+  ElasticCluster injected = make_elastic(4, 42);
+  injected.set_fault_injector(
+      robust::FaultInjector::from_string("kill-replica:replica=2,step=5", 99));
+  ElasticCluster scheduled = make_elastic(4, 42);
+  scheduled.schedule_departure(2, 5);
+
+  optim::SGD opt_a(0.05f, 0.9f);
+  optim::SGD opt_b(0.05f, 0.9f);
+  for (int step = 0; step < 10; ++step) {
+    data::Batch batch = make_batch(13, 300 + step);  // uneven shards too
+    const auto ra = injected.step(batch, opt_a);
+    const auto rb = scheduled.step(batch, opt_b);
+    EXPECT_EQ(ra.live_replicas, rb.live_replicas);
+    EXPECT_EQ(ra.processed, rb.processed);
+    EXPECT_DOUBLE_EQ(ra.loss, rb.loss);
+  }
+  EXPECT_TRUE(injected.member(2).failed);
+  EXPECT_EQ(injected.member(2).failed_since, 5);
+  EXPECT_EQ(scheduled.member(2).failed_since, 5);
+  EXPECT_EQ(injected.member(2).state, ReplicaState::kDead);
+  for (int r = 0; r < 4; ++r) {
+    expect_params_bitwise_equal(injected.replica(r), scheduled.replica(r));
+  }
+  // The survivors also agree with each other (same broadcast).
+  expect_params_bitwise_equal(injected.replica(0), injected.replica(1));
+  expect_params_bitwise_equal(injected.replica(0), injected.replica(3));
+}
+
+TEST(ElasticCluster, FlakyFaultsAreDeterministicGivenSeed) {
+  MembershipConfig mc;
+  mc.min_live_fraction = 0.25;
+  auto build = [&]() {
+    ElasticCluster c = make_elastic(4, 42, mc);
+    c.set_fault_injector(robust::FaultInjector::from_string(
+        "flaky-replica:prob=0.3,count=0", 7));
+    return c;
+  };
+  ElasticCluster a = build();
+  ElasticCluster b = build();
+  optim::SGD opt_a(0.05f, 0.9f);
+  optim::SGD opt_b(0.05f, 0.9f);
+  bool degraded_a = false;
+  bool degraded_b = false;
+  for (int step = 0; step < 8; ++step) {
+    data::Batch batch = make_batch(12, 700 + step);
+    if (!degraded_a) {
+      try {
+        a.step(batch, opt_a);
+      } catch (const ClusterDegraded&) {
+        degraded_a = true;
+      }
+    }
+    if (!degraded_b) {
+      try {
+        b.step(batch, opt_b);
+      } catch (const ClusterDegraded&) {
+        degraded_b = true;
+      }
+    }
+    ASSERT_EQ(degraded_a, degraded_b);  // same seed, same fate, same step
+  }
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.member(r).failed, b.member(r).failed);
+    EXPECT_EQ(a.member(r).failed_since, b.member(r).failed_since);
+    EXPECT_EQ(a.member(r).state, b.member(r).state);
+    expect_params_bitwise_equal(a.replica(r), b.replica(r));
+  }
+}
+
+TEST(ElasticCluster, QuorumLossRaisesClusterDegraded) {
+  MembershipConfig mc;
+  mc.min_live_fraction = 0.75;  // quorum = 3 of 4
+  ElasticCluster cluster = make_elastic(4, 42, mc);
+  cluster.schedule_departure(1, 1);
+  cluster.schedule_departure(2, 1);
+  optim::SGD opt(0.05f, 0.9f);
+  cluster.step(make_batch(8, 1), opt);  // 4 live: fine
+  try {
+    cluster.step(make_batch(8, 2), opt);
+    FAIL() << "expected ClusterDegraded";
+  } catch (const ClusterDegraded& e) {
+    EXPECT_EQ(e.event().type, robust::EventType::kQuorumLoss);
+    EXPECT_EQ(e.event().severity, robust::Severity::kFatal);
+    EXPECT_DOUBLE_EQ(e.event().value, 2.0);  // live count at the loss
+    EXPECT_NE(std::string(e.what()).find("quorum"), std::string::npos);
+  }
+  const auto events = cluster.drain_health_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, robust::EventType::kQuorumLoss);
+}
+
+TEST(ElasticCluster, EveryReplicaDeadIsDegradedEvenAtMinimalQuorum) {
+  MembershipConfig mc;
+  mc.min_live_fraction = 0.25;  // quorum = 1 — but zero participants is
+                                // always degraded
+  ElasticCluster cluster = make_elastic(2, 42, mc);
+  cluster.schedule_departure(0, 1);
+  cluster.schedule_departure(1, 1);
+  optim::SGD opt(0.05f, 0.9f);
+  cluster.step(make_batch(6, 1), opt);
+  EXPECT_THROW(cluster.step(make_batch(6, 2), opt), ClusterDegraded);
+}
+
+TEST(ElasticCluster, DegenerateRingChargesNoComm) {
+  ElasticCluster cluster = make_elastic(2, 42);  // quorum = 1 of 2
+  cluster.schedule_departure(1, 1);
+  optim::SGD opt(0.05f, 0.9f);
+  cluster.step(make_batch(6, 1), opt);
+  const auto r = cluster.step(make_batch(6, 2), opt);
+  EXPECT_EQ(r.live_replicas, 1);
+  EXPECT_DOUBLE_EQ(r.comm_bytes_per_gpu, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_time_modeled, 0.0);
+  EXPECT_DOUBLE_EQ(cluster.update_bytes(), 0.0);
+  EXPECT_TRUE(std::isfinite(r.loss));
+}
+
+TEST(ElasticCluster, StragglerDelayFeedsModeledStepTime) {
+  ElasticCluster cluster = make_elastic(2, 42);
+  cluster.set_fault_injector(robust::FaultInjector::from_string(
+      "delay-replica:replica=1,delay=3.5,count=0", 5));
+  optim::SGD opt(0.05f, 0.9f);
+  const auto r = cluster.step(make_batch(8, 9), opt);
+  EXPECT_DOUBLE_EQ(r.fault_wait_seconds, 3.5);
+  EXPECT_GT(cluster.member(1).ewma_step_seconds, 3.5);
+  EXPECT_GE(r.step_time_modeled, 3.5 + r.comm_time_modeled);
+  // Straggler accounting is bookkeeping, never numerics: both replicas
+  // still agree bitwise.
+  expect_params_bitwise_equal(cluster.replica(0), cluster.replica(1));
+}
+
+TEST(ElasticCluster, RejoinerReplaysTopologyFromCheckpointAndSyncsBitwise) {
+  const fs::path dir = scratch_dir("rejoin");
+  MembershipConfig mc;
+  mc.suspect_threshold = 1;  // dead on the first missed ack
+  mc.min_live_fraction = 0.25;
+  ElasticCluster cluster = make_elastic(3, 42, mc);
+  const std::string ckpt_path = (dir / "ckpt-latest.bin").string();
+  ckpt::Checkpoint::capture(cluster.replica(0)).save(ckpt_path);
+  cluster.set_resync_checkpoint(ckpt_path);
+  cluster.schedule_departure(1, 2);
+  cluster.schedule_rejoin(1, 3);
+
+  optim::SGD opt(0.05f, 0.9f);
+  for (int step = 0; step < 3; ++step) {
+    cluster.step(make_batch(9, 900 + step), opt);
+  }
+  EXPECT_EQ(cluster.member(1).state, ReplicaState::kDead);
+
+  // Step 3: the rejoiner is fenced (2 participants) and resynced at the end.
+  const auto fence = cluster.step(make_batch(9, 903), opt);
+  EXPECT_EQ(fence.live_replicas, 2);
+  EXPECT_GT(fence.resync_bytes, 0);
+  EXPECT_EQ(cluster.member(1).state, ReplicaState::kRejoining);
+  EXPECT_EQ(cluster.resync_bytes_total(), fence.resync_bytes);
+
+  // Step 4: first synced step — a full participant, bitwise identical.
+  const auto synced = cluster.step(make_batch(9, 904), opt);
+  EXPECT_EQ(synced.live_replicas, 3);
+  EXPECT_EQ(cluster.member(1).rejoined_at, 4);
+  expect_params_bitwise_equal(cluster.replica(0), cluster.replica(1));
+  expect_params_bitwise_equal(cluster.replica(0), cluster.replica(2));
+
+  const auto edges = cluster.drain_transitions();
+  ASSERT_GE(edges.size(), 4u);
+  EXPECT_EQ(edges.back().describe(), "replica 1: rejoining -> healthy at step 4");
+  fs::remove_all(dir);
+}
+
+TEST(ElasticCluster, KillStraddlingReconfigurationKeepsSurvivorsConsistent) {
+  // One replica dies before the reconfiguration boundary, another after it;
+  // the survivors must agree bitwise throughout, and the pre-boundary
+  // corpse keeps its stale (unpruned) topology.
+  models::ModelConfig mcfg = small_resnet_cfg();
+  std::vector<graph::Network> nets;
+  for (int i = 0; i < 4; ++i) nets.push_back(models::build_resnet_basic(8, mcfg));
+  MembershipConfig mc;
+  mc.min_live_fraction = 0.25;
+  ElasticCluster cluster(std::move(nets), spec_for(4), mc);
+  cluster.schedule_departure(3, 1);  // dies before the reconfiguration
+  cluster.schedule_departure(1, 4);  // dies after it
+
+  optim::SGD opt(0.05f, 0.9f);
+  auto run_step = [&](int step) {
+    return cluster.step(make_resnet_batch(500 + static_cast<std::uint64_t>(step)),
+                        opt);
+  };
+  run_step(0);
+  run_step(1);  // replica 3 latches out here
+
+  // Reconfiguration boundary: identical surgery on every live replica; the
+  // dead replica 3 is skipped exactly as the trainer skips it.
+  for (int r : {0, 1, 2}) {
+    graph::Network& net = cluster.replica(r);
+    zero_stage_group(net);
+    prune::Reconfigurer rec(net, 1e-4f);
+    EXPECT_TRUE(rec.reconfigure().changed);
+  }
+  EXPECT_GT(cluster.replica(3).num_params(), cluster.replica(0).num_params());
+  EXPECT_EQ(cluster.replica(0).num_params(), cluster.replica(2).num_params());
+
+  run_step(2);
+  run_step(3);
+  run_step(4);  // replica 1 latches out here, post-reconfiguration
+  const auto last = run_step(5);
+  EXPECT_EQ(last.live_replicas, 2);
+  EXPECT_TRUE(std::isfinite(last.loss));
+  EXPECT_EQ(cluster.member(1).failed_since, 4);
+  expect_params_bitwise_equal(cluster.replica(0), cluster.replica(2));
+}
+
+TEST(ElasticCluster, RejoinWithStaleTopologyFallsBackToSurvivorClone) {
+  // The checkpoint on disk predates a reconfiguration, so its shapes are
+  // stale; the rejoiner must detect that during topology replay and clone
+  // the survivor's structure instead, ending bitwise-synced.
+  const fs::path dir = scratch_dir("stale");
+  models::ModelConfig mcfg = small_resnet_cfg();
+  std::vector<graph::Network> nets;
+  for (int i = 0; i < 3; ++i) nets.push_back(models::build_resnet_basic(8, mcfg));
+  MembershipConfig mc;
+  mc.suspect_threshold = 2;
+  mc.min_live_fraction = 0.25;
+  ElasticCluster cluster(std::move(nets), spec_for(3), mc);
+
+  // Pre-reconfiguration checkpoint — will be stale by rejoin time.
+  const std::string ckpt_path = (dir / "ckpt-latest.bin").string();
+  ckpt::Checkpoint::capture(cluster.replica(0)).save(ckpt_path);
+  cluster.set_resync_checkpoint(ckpt_path);
+  cluster.schedule_departure(2, 1);
+
+  optim::SGD opt(0.05f, 0.9f);
+  for (int step = 0; step < 3; ++step) {
+    cluster.step(make_resnet_batch(600 + static_cast<std::uint64_t>(step)), opt);
+  }
+  EXPECT_EQ(cluster.member(2).state, ReplicaState::kDead);
+
+  // Reconfigure the live replicas while 2 is dead.
+  for (int r : {0, 1}) {
+    graph::Network& net = cluster.replica(r);
+    zero_stage_group(net);
+    prune::Reconfigurer rec(net, 1e-4f);
+    EXPECT_TRUE(rec.reconfigure().changed);
+  }
+  EXPECT_GT(cluster.replica(2).num_params(), cluster.replica(0).num_params());
+
+  cluster.schedule_rejoin(2, 4);
+  cluster.step(make_resnet_batch(603), opt);               // step 3: 2 live
+  const auto fence = cluster.step(make_resnet_batch(604), opt);  // fence
+  EXPECT_GT(fence.resync_bytes, 0);
+  const auto synced = cluster.step(make_resnet_batch(605), opt);
+  EXPECT_EQ(synced.live_replicas, 3);
+  EXPECT_EQ(cluster.replica(2).num_params(), cluster.replica(0).num_params());
+  expect_params_bitwise_equal(cluster.replica(0), cluster.replica(2));
+  expect_params_bitwise_equal(cluster.replica(0), cluster.replica(1));
+  fs::remove_all(dir);
+}
+
+TEST(AllreduceDivergence, NamesTheOffendingReplica) {
+  graph::Network a = make_bnfree_net(1);
+  // A structurally different replica: its parameter table cannot match.
+  graph::Network b;
+  {
+    Rng rng(3);
+    const int input = b.add_input();
+    auto gap = std::make_shared<nn::GlobalAvgPool>();
+    const int n1 = b.add_layer(gap, input);
+    auto fc = std::make_shared<nn::Linear>(2, 3, rng);
+    b.set_output(b.add_layer(fc, n1));
+  }
+  std::vector<graph::Network*> nets{&a, &b};
+  try {
+    allreduce_gradients(nets, {1.0, 1.0});
+    FAIL() << "expected ReplicaDivergence";
+  } catch (const ReplicaDivergence& e) {
+    EXPECT_EQ(e.replica(), 1);
+    EXPECT_EQ(e.param_count(), b.params().size());
+    EXPECT_EQ(e.expected_count(), a.params().size());
+    EXPECT_NE(std::string(e.what()).find("replica 1"), std::string::npos);
+    const auto ev = e.to_health_event(7);
+    EXPECT_EQ(ev.type, robust::EventType::kReplicaDivergence);
+    EXPECT_EQ(ev.severity, robust::Severity::kFatal);
+    EXPECT_EQ(ev.epoch, 7);
+  }
+  // With an explicit rank map the true cluster rank is reported, not the
+  // dense index into the participant list.
+  try {
+    allreduce_gradients(nets, {1.0, 1.0}, {0, 3});
+    FAIL() << "expected ReplicaDivergence";
+  } catch (const ReplicaDivergence& e) {
+    EXPECT_EQ(e.replica(), 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trainer-level elastic runs.
+
+data::SyntheticSpec elastic_data() {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.classes = 8;
+  spec.channels = 3;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 256;
+  spec.test_samples = 128;
+  spec.noise = 0.8f;
+  spec.max_shift = 2;
+  spec.seed = 5;
+  return spec;
+}
+
+graph::Network elastic_net() {
+  models::ModelConfig mc;
+  mc.image_h = 8;
+  mc.image_w = 8;
+  mc.classes = 8;
+  mc.width_mult = 0.5f;
+  mc.seed = 21;
+  return models::build_resnet_basic(8, mc);
+}
+
+core::TrainConfig elastic_cfg(const std::string& dir) {
+  core::TrainConfig cfg;
+  cfg.policy = core::PrunePolicy::kPruneTrain;
+  cfg.epochs = 4;
+  cfg.batch_size = 64;
+  cfg.base_lr = 0.1f;
+  cfg.weight_decay = 1e-4f;
+  cfg.lr_milestones = {3};
+  cfg.lasso_ratio = 0.3f;
+  cfg.lasso_boost = 2000.f;  // proxy time compression; prunes by epoch 2
+  cfg.reconfig_interval = 2;
+  cfg.eval_interval = 2;
+  cfg.checkpoint_dir = dir;
+  cfg.max_rollbacks = 2;
+  cfg.replicas = 2;
+  return cfg;
+}
+
+TEST(ElasticTrainer, ValidatesElasticFields) {
+  core::TrainConfig cfg;
+  cfg.replicas = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.replicas = 2;
+  cfg.min_live_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.replicas = 2;
+  cfg.suspect_threshold = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.replicas = 2;
+  cfg.proximal_update = false;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.replicas = 2;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ElasticTrainer, SurvivesPermanentKillMidRun) {
+  auto data = data::SyntheticImageDataset(elastic_data());
+  const fs::path dir = scratch_dir("kill");
+  graph::Network net = elastic_net();
+  core::TrainConfig cfg = elastic_cfg(dir.string());
+  cfg.fault_spec = "kill-replica:replica=1,step=3";
+  core::PruneTrainer trainer(net, data, cfg);
+  const auto result = trainer.run();
+
+  // The run completes on the surviving replica (quorum = 1 of 2), through
+  // reconfigurations, with the fault accounted and no abort.
+  EXPECT_EQ(result.epochs.size(), 4u);
+  EXPECT_TRUE(std::isfinite(result.epochs.back().train_loss));
+  EXPECT_TRUE(std::isfinite(result.final_test_acc));
+  EXPECT_FALSE(trainer.recovery_report().aborted);
+  EXPECT_GE(trainer.recovery_report().faults_injected, 1);
+  fs::remove_all(dir);
+}
+
+TEST(ElasticTrainer, QuorumLossUnderFlakyAbortsWithDiagnosticCheckpoint) {
+  auto data = data::SyntheticImageDataset(elastic_data());
+  const fs::path dir = scratch_dir("quorum");
+  graph::Network net = elastic_net();
+  core::TrainConfig cfg = elastic_cfg(dir.string());
+  cfg.replicas = 4;
+  cfg.min_live_fraction = 0.75;
+  cfg.fault_spec = "flaky-replica:prob=1,count=0";  // everyone dies at once
+  core::PruneTrainer trainer(net, data, cfg);
+  try {
+    trainer.run();
+    FAIL() << "expected robust::TrainingAborted";
+  } catch (const robust::TrainingAborted& e) {
+    EXPECT_TRUE(e.report().aborted);
+    bool saw_quorum_loss = false;
+    for (const auto& ev : e.report().events) {
+      if (ev.type == robust::EventType::kQuorumLoss) {
+        saw_quorum_loss = true;
+        EXPECT_GE(ev.epoch, 0);  // stamped by the trainer, not -1
+      }
+    }
+    EXPECT_TRUE(saw_quorum_loss);
+  }
+
+  // A serialized guardian report rides in the diagnostic checkpoint.
+  ckpt::Checkpoint ck =
+      ckpt::Checkpoint::load((dir / "ckpt-diagnostic.bin").string());
+  const std::vector<std::uint8_t>* section = ck.section("guardian");
+  ASSERT_NE(section, nullptr);
+  const auto report = robust::deserialize_report(*section);
+  EXPECT_TRUE(report.aborted);
+  ASSERT_FALSE(report.events.empty());
+  fs::remove_all(dir);
 }
 
 }  // namespace

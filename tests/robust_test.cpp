@@ -126,6 +126,72 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+TEST(FaultSpec, ParsesElasticMembershipKinds) {
+  const auto specs = robust::parse_fault_specs(
+      "kill-replica:replica=2,step=50;flaky-replica:prob=0.25,count=0;"
+      "rejoin-replica:replica=2,step=80");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].kind, robust::FaultSpec::Kind::kKillReplica);
+  EXPECT_EQ(specs[0].replica, 2);
+  EXPECT_EQ(specs[0].step, 50);
+  EXPECT_EQ(specs[1].kind, robust::FaultSpec::Kind::kFlakyReplica);
+  EXPECT_DOUBLE_EQ(specs[1].prob, 0.25);
+  EXPECT_EQ(specs[1].count, 0);
+  EXPECT_EQ(specs[2].kind, robust::FaultSpec::Kind::kRejoinReplica);
+
+  // prob is a probability, and only meaningful as one.
+  EXPECT_THROW(robust::parse_fault_specs("flaky-replica:prob=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(robust::parse_fault_specs("flaky-replica:prob=-0.1"),
+               std::invalid_argument);
+}
+
+TEST(FaultSpec, KillAndFlakyQueriesAreDeterministic) {
+  // Kill fires exactly at its (replica, step) coordinate.
+  auto kill = robust::FaultInjector::from_string(
+      "kill-replica:replica=1,step=3", 11);
+  EXPECT_FALSE(kill.kill_replica(1, 2));
+  EXPECT_FALSE(kill.kill_replica(0, 3));
+  EXPECT_TRUE(kill.kill_replica(1, 3));
+  EXPECT_EQ(kill.total_fires(), 1);
+
+  // Flaky draws the same Bernoulli stream for the same (spec, seed) and
+  // query sequence — two injectors agree query for query.
+  auto a = robust::FaultInjector::from_string("flaky-replica:prob=0.5,count=0",
+                                              21);
+  auto b = robust::FaultInjector::from_string("flaky-replica:prob=0.5,count=0",
+                                              21);
+  int deaths = 0;
+  for (std::int64_t step = 0; step < 64; ++step) {
+    for (int r = 0; r < 4; ++r) {
+      const bool da = a.flaky_replica(r, step);
+      ASSERT_EQ(da, b.flaky_replica(r, step));
+      if (da) ++deaths;
+    }
+  }
+  EXPECT_GT(deaths, 0);  // prob=0.5 over 256 draws cannot stay silent
+
+  // Rejoin mirrors kill: exact coordinate, once.
+  auto rejoin = robust::FaultInjector::from_string(
+      "rejoin-replica:replica=1,step=9", 11);
+  EXPECT_FALSE(rejoin.rejoin_replica(1, 8));
+  EXPECT_TRUE(rejoin.rejoin_replica(1, 9));
+}
+
+TEST(FaultSpec, HelpTextDocumentsEveryKindAndKey) {
+  const std::string help = robust::fault_spec_help();
+  for (const char* kind :
+       {"nan-grad", "bitflip-grad", "scale-grad", "drop-replica",
+        "delay-replica", "kill-replica", "flaky-replica", "rejoin-replica",
+        "truncate-ckpt", "corrupt-ckpt"}) {
+    EXPECT_NE(help.find(kind), std::string::npos) << kind;
+  }
+  for (const char* key : {"epoch", "step", "replica", "count", "scale",
+                          "delay", "prob"}) {
+    EXPECT_NE(help.find(key), std::string::npos) << key;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // FaultInjector matrix: every gradient mode does what it advertises, and
 // injection is deterministic in (spec, seed).
