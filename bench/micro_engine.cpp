@@ -24,7 +24,8 @@ void BM_GemmNN(benchmark::State& state) {
   Tensor b = Tensor::randn({n, n}, rng);
   Tensor c({n, n});
   for (auto _ : state) {
-    gemm_nn(n, n, n, 1.f, a.data(), b.data(), 0.f, c.data());
+    gemm_nn(exec::ExecContext::serial(), n, n, n, 1.f, a.data(), b.data(), 0.f,
+            c.data());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);

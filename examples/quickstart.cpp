@@ -41,11 +41,23 @@
 //                  --fault-spec "kill-replica:replica=2,step=50"
 //
 // `--fault-spec help` prints the full fault grammar table.
+//
+// --strategy <name> swaps the sparsifier (group_lasso, dsd, dst,
+// channel_prop — see DESIGN.md §11); the repeatable --strategy-param k=v
+// tunes it, e.g.:
+//
+//   $ ./quickstart --strategy dst --strategy-param threshold_lr=0.05 \
+//                  --strategy-param beta=10
+//
+// `--strategy help` prints the registry table of strategies and knobs.
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "models/builders.h"
+#include "prune/strategy.h"
 #include "robust/fault.h"
 #include "telemetry/metrics.h"
 #include "util/cli.h"
@@ -65,6 +77,12 @@ int main(int argc, char** argv) {
   flags.define("fault-spec", "",
                "inject deterministic faults, e.g. 'nan-grad:epoch=7' or "
                "'kill-replica:replica=2,step=50'; 'help' prints the grammar");
+  flags.define("strategy", "group_lasso",
+               "sparsification strategy (group_lasso, dsd, dst, "
+               "channel_prop); 'help' prints the registry table");
+  flags.define_list("strategy-param",
+                    "strategy parameter as key=value, e.g. "
+                    "--strategy-param sparsity=0.4 (see --strategy help)");
   flags.define("replicas", "1",
                "simulated elastic data-parallel replicas (>1 shards every "
                "batch over the live membership; see DESIGN.md section 10)");
@@ -96,6 +114,10 @@ int main(int argc, char** argv) {
     std::cout << pt::robust::fault_spec_help();
     return 0;
   }
+  if (flags.get("strategy") == "help") {
+    std::cout << pt::prune::StrategyRegistry::global().help();
+    return 0;
+  }
   const std::int64_t epochs = flags.get_int("epochs");
 
   // 1. A synthetic CIFAR-10 stand-in (class templates + noise + shifts).
@@ -118,8 +140,21 @@ int main(int argc, char** argv) {
   cfg.base_lr = 0.1f;
   cfg.lr_milestones = {epochs / 2, 3 * epochs / 4};
   cfg.policy = pt::core::PrunePolicy::kPruneTrain;
-  cfg.lasso_ratio = static_cast<float>(flags.get_double("ratio"));
-  cfg.lasso_boost = 150.f;  // proxy-scale time compression (see DESIGN.md)
+  cfg.strategy = flags.get("strategy");
+  for (const std::string& kv : flags.get_list("strategy-param")) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::cerr << "--strategy-param expects key=value (got '" << kv << "')\n";
+      return 1;
+    }
+    cfg.strategy_params[kv.substr(0, eq)] = kv.substr(eq + 1);
+  }
+  if (cfg.strategy == "group_lasso") {
+    // The legacy lasso knobs only mean something to group lasso; setting
+    // them alongside another strategy is a validation error.
+    cfg.lasso_ratio = static_cast<float>(flags.get_double("ratio"));
+    cfg.lasso_boost = 150.f;  // proxy-scale time compression (see DESIGN.md)
+  }
   cfg.reconfig_interval = std::max<std::int64_t>(2, epochs / 6);
   cfg.eval_interval = 4;
   cfg.checkpoint_dir = flags.get("checkpoint-dir");
@@ -138,10 +173,16 @@ int main(int argc, char** argv) {
     cfg.run_name = "quickstart";
   }
 
-  pt::core::PruneTrainer trainer(net, dataset, cfg);
+  std::unique_ptr<pt::core::PruneTrainer> trainer;
+  try {
+    trainer = std::make_unique<pt::core::PruneTrainer>(net, dataset, cfg);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n(see --strategy help)\n";
+    return 1;
+  }
   pt::core::TrainResult result;
   try {
-    result = trainer.run();
+    result = trainer->run();
   } catch (const pt::robust::TrainingAborted& e) {
     const auto& report = e.report();
     std::cerr << "training aborted by the guardian: " << e.what() << "\n"
@@ -180,7 +221,7 @@ int main(int argc, char** argv) {
             << "  conv layers removed: " << result.layers_removed << "\n"
             << "  final test accuracy: " << pt::fmt(result.final_test_acc, 3)
             << "\n";
-  const auto& report = trainer.recovery_report();
+  const auto& report = trainer->recovery_report();
   if (report.faults_injected > 0 || report.rollbacks > 0 ||
       !report.events.empty()) {
     std::cout << "  guardian: " << report.faults_injected

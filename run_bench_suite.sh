@@ -22,6 +22,13 @@ echo "===== bench: elastic_overhead ====="
 # traffic of a kill/rejoin cycle.
 timeout 900 ./elastic_overhead --out /root/repo/BENCH_elastic_overhead.json 2>&1
 echo
+echo "===== bench: strategy_ablation ====="
+# Sparsifier zoo: every registered prune::Strategy on the same proxy
+# protocol — loss proxy, FLOPs trajectory, sec/epoch, and the bitwise
+# checkpoint-resume flag for serialized strategy state.
+timeout 900 ./strategy_ablation --quick \
+  --out /root/repo/BENCH_strategy_ablation.json 2>&1
+echo
 echo "===== bench: telemetry_smoke ====="
 # Instrumented quickstart: records a short run, then folds the JSONL
 # trajectory into BENCH_telemetry_smoke.json (monotone FLOPs/memory flags).
@@ -42,7 +49,8 @@ FAILED_FLAGS=0
 for artifact in /root/repo/BENCH_*.json; do
   [ -e "$artifact" ] || continue
   for flag in determinism_bitwise_1_vs_4 determinism_bitwise_elastic_vs_fixed \
-              flops_monotone_nonincreasing memory_monotone_nonincreasing; do
+              flops_monotone_nonincreasing memory_monotone_nonincreasing \
+              strategy_resume_bitwise; do
     if grep -q "\"$flag\"[[:space:]]*:[[:space:]]*false" "$artifact"; then
       echo "SANITY FLAG FAILED: $flag in $artifact" | tee -a /root/repo/bench_output.txt
       FAILED_FLAGS=$((FAILED_FLAGS + 1))

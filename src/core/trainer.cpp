@@ -17,8 +17,8 @@
 #include "nn/loss.h"
 #include "optim/lr_schedule.h"
 #include "optim/sgd.h"
-#include "prune/group_lasso.h"
 #include "prune/reconfigure.h"
+#include "prune/strategy.h"
 #include "telemetry/metrics.h"
 #include "util/logging.h"
 
@@ -115,6 +115,12 @@ TrainResult get_result(ckpt::ByteReader& r) {
 telemetry::Json config_json(const TrainConfig& cfg) {
   telemetry::Json j = telemetry::Json::object();
   j["policy"] = telemetry::Json(to_string(cfg.policy));
+  j["strategy"] = telemetry::Json(cfg.strategy);
+  telemetry::Json params = telemetry::Json::object();
+  for (const auto& [key, value] : cfg.strategy_params) {
+    params[key] = telemetry::Json(value);
+  }
+  j["strategy_params"] = params;
   j["epochs"] = telemetry::Json(cfg.epochs);
   j["batch_size"] = telemetry::Json(cfg.batch_size);
   j["base_lr"] = telemetry::Json(static_cast<double>(cfg.base_lr));
@@ -133,6 +139,15 @@ telemetry::Json config_json(const TrainConfig& cfg) {
   j["replicas"] = telemetry::Json(cfg.replicas);
   j["min_live_fraction"] = telemetry::Json(cfg.min_live_fraction);
   return j;
+}
+
+// Round-trips a float through text exactly (9 significant digits), for
+// mirroring legacy config fields into strategy parameter strings.
+std::string float_param(float v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
 }
 
 }  // namespace
@@ -215,11 +230,35 @@ void TrainConfig::validate() const {
       fail(std::string("fault_spec: ") + e.what());
     }
   }
+  // Strategy: the name must be registered and the parameters must resolve
+  // (unknown keys, unparsable values, and legacy-field contradictions all
+  // fail here rather than mid-training).
+  try {
+    (void)prune::StrategyRegistry::global().create(strategy,
+                                                   resolved_strategy_params());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(e.what()).rfind("TrainConfig:", 0) ==
+                                        0
+                                    ? e.what()
+                                    : "TrainConfig: " + std::string(e.what()));
+  }
+  if (strategy != "group_lasso" &&
+      (policy == PrunePolicy::kSSL || policy == PrunePolicy::kOneShot)) {
+    fail("policy " + to_string(policy) +
+         " is a group-lasso training protocol; it requires strategy "
+         "\"group_lasso\" (got \"" + strategy + "\")");
+  }
+  if (strategy == "dsd" && fine_tune_epochs > 0) {
+    fail("fine_tune_epochs contradicts strategy \"dsd\": DSD already ends "
+         "with a dense retraining window — drop the legacy flag or use "
+         "strategy_params[\"sparse_end\"] to shape it");
+  }
   if (replicas < 1) {
     fail("replicas must be >= 1 (got " + std::to_string(replicas) + ")");
   }
   if (replicas > 1) {
-    if (!proximal_update) {
+    if (strategy == "group_lasso" &&
+        !prune::strategy_param_bool(resolved_strategy_params(), "proximal")) {
       fail("replicas > 1 requires proximal_update (the elastic cluster "
            "applies group lasso as a per-replica proximal hook)");
     }
@@ -234,6 +273,85 @@ void TrainConfig::validate() const {
   }
 }
 
+std::map<std::string, std::string> TrainConfig::resolved_strategy_params()
+    const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("TrainConfig: " + what);
+  };
+  std::map<std::string, std::string> p = strategy_params;
+  const TrainConfig defaults;
+  if (strategy == "group_lasso") {
+    // Back-compat: the legacy lasso fields flow in as defaults. When a
+    // legacy field was explicitly moved off its default AND the parameter
+    // is also set, the two must agree — silently preferring either side
+    // would make old and new spellings diverge.
+    const auto contradiction = [&](const char* legacy_name,
+                                   const std::string& legacy_value,
+                                   const char* key, const std::string& given) {
+      fail(std::string(legacy_name) + "=" + legacy_value +
+           " contradicts strategy_params[\"" + key + "\"]=" + given +
+           " — set only one (the " + legacy_name +
+           " field is the deprecated spelling)");
+    };
+    const auto mirror_float = [&](const char* key, float legacy,
+                                  float default_value,
+                                  const char* legacy_name) {
+      auto it = p.find(key);
+      if (it == p.end()) {
+        p[key] = float_param(legacy);
+        return;
+      }
+      if (legacy == default_value) return;  // only the param was set
+      float given = 0.f;
+      try {
+        given = std::stof(it->second);
+      } catch (const std::exception&) {
+        return;  // the registry's create() reports the parse error
+      }
+      if (given != legacy) {
+        contradiction(legacy_name, float_param(legacy), key, it->second);
+      }
+    };
+    const auto mirror_bool = [&](const char* key, bool legacy,
+                                 bool default_value, const char* legacy_name) {
+      auto it = p.find(key);
+      if (it == p.end()) {
+        p[key] = legacy ? "true" : "false";
+        return;
+      }
+      if (legacy == default_value) return;
+      const bool given =
+          it->second == "true" || it->second == "1" || it->second == "yes";
+      if (given != legacy) {
+        contradiction(legacy_name, legacy ? "true" : "false", key, it->second);
+      }
+    };
+    mirror_float("ratio", lasso_ratio, defaults.lasso_ratio, "lasso_ratio");
+    mirror_float("boost", lasso_boost, defaults.lasso_boost, "lasso_boost");
+    mirror_bool("proximal", proximal_update, defaults.proximal_update,
+                "proximal_update");
+    mirror_bool("size_normalized", size_normalized_penalty,
+                defaults.size_normalized_penalty, "size_normalized_penalty");
+  } else {
+    // The legacy lasso knobs mean nothing to other strategies; letting
+    // them sit silently set is exactly the contradictory-combination trap
+    // the deprecation errors exist for.
+    const auto reject = [&](const char* legacy_name, bool changed) {
+      if (changed) {
+        fail(std::string(legacy_name) +
+             " is group-lasso-specific and is not read by strategy \"" +
+             strategy + "\" — clear it (use strategy_params for \"" + strategy +
+             "\"'s own knobs)");
+      }
+    };
+    reject("lasso_ratio", lasso_ratio != defaults.lasso_ratio);
+    reject("lasso_boost", lasso_boost != defaults.lasso_boost);
+    reject("size_normalized_penalty",
+           size_normalized_penalty != defaults.size_normalized_penalty);
+  }
+  return p;
+}
+
 PruneTrainer::PruneTrainer(graph::Network& net,
                            const data::SyntheticImageDataset& dataset,
                            TrainConfig cfg)
@@ -245,6 +363,8 @@ PruneTrainer::PruneTrainer(graph::Network& net,
                     dataset.spec().width}),
       batch_size_(cfg_.batch_size) {
   cfg_.validate();
+  strategy_ = prune::StrategyRegistry::global().create(
+      cfg_.strategy, cfg_.resolved_strategy_params());
   ctx_ = std::make_unique<exec::ExecContext>(static_cast<int>(cfg_.num_threads));
   fault_ = robust::FaultInjector::from_string(cfg_.fault_spec, cfg_.fault_seed);
   if (cfg_.health_checks) {
@@ -337,7 +457,7 @@ void PruneTrainer::sync_net_from_cluster() {
   }
 }
 
-void PruneTrainer::reconfigure_cluster_replicas() {
+void PruneTrainer::reconfigure_cluster_replicas(float threshold) {
   if (!cluster_) return;
   for (int r = 0; r < cluster_->size(); ++r) {
     const dist::MemberStatus& m = cluster_->member(r);
@@ -349,7 +469,7 @@ void PruneTrainer::reconfigure_cluster_replicas() {
         (m.state == dist::ReplicaState::kHealthy && !m.failed) ||
         m.state == dist::ReplicaState::kRejoining;
     if (!current) continue;
-    prune::Reconfigurer reconfigurer(cluster_->replica(r), cfg_.threshold,
+    prune::Reconfigurer reconfigurer(cluster_->replica(r), threshold,
                                      cfg_.prune_min_channels);
     reconfigurer.reconfigure();
   }
@@ -379,16 +499,20 @@ double PruneTrainer::evaluate() {
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 
-void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
+void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr,
+                               bool sparsify) {
   if (cluster_) {
-    train_epoch_dist(stats, lambda, lr);
+    train_epoch_dist(stats, lambda, lr, sparsify);
     return;
   }
   telemetry::ScopedTimer span("sgd");
-  prune::GroupLassoRegularizer reg(*net_);
-  reg.set_size_normalized(cfg_.size_normalized_penalty);
   optim::SGD opt(lr, cfg_.momentum, cfg_.weight_decay);
   nn::SoftmaxCrossEntropy loss;
+  prune::StepInfo info;
+  info.epoch = epoch_counter_;
+  info.lr = lr;
+  info.lambda = lambda;
+  info.sparsify = sparsify;
   // The topology is fixed within an epoch (reconfiguration happens only at
   // epoch boundaries), so the named parameter view is built once here
   // rather than per iteration.
@@ -409,31 +533,40 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr) {
         fault_.corrupt_gradients(*net_, epoch_counter_, iteration)) {
       ++report_.faults_injected;
     }
-    if (lambda > 0.f && !cfg_.proximal_update) reg.add_gradients(lambda);
+    strategy_->accumulate_gradients(*net_, info);
     opt.step(named);
-    if (lambda > 0.f && cfg_.proximal_update) reg.apply_proximal(lr * lambda);
+    strategy_->post_step_update(*net_, info);
+    strategy_->post_step(*net_, info);
     ++iteration;
   }
   stats.train_loss = loss_sum / static_cast<double>(samples);
   stats.train_acc = static_cast<double>(correct) / static_cast<double>(samples);
-  stats.lasso_loss = reg.loss();
+  stats.lasso_loss = strategy_->regularization_loss(*net_);
 }
 
-void PruneTrainer::train_epoch_dist(EpochStats& stats, float lambda, float lr) {
+void PruneTrainer::train_epoch_dist(EpochStats& stats, float lambda, float lr,
+                                    bool sparsify) {
   telemetry::ScopedTimer span("sgd");
   optim::SGD opt(lr, cfg_.momentum, cfg_.weight_decay);
-  // The proximal group-soft-threshold runs per replica after its optimizer
-  // step. The regularizer is built fresh inside the hook: a rejoin may
-  // replace a replica's Network mid-epoch, and a cached view would dangle.
-  dist::ElasticCluster::PostUpdateHook hook;
-  if (lambda > 0.f) {
-    const float kappa = lr * lambda;
-    hook = [this, kappa](graph::Network& net) {
-      prune::GroupLassoRegularizer reg(net);
-      reg.set_size_normalized(cfg_.size_normalized_penalty);
-      reg.apply_proximal(kappa);
-    };
-  }
+  prune::StepInfo info;
+  info.epoch = epoch_counter_;
+  info.lr = lr;
+  info.lambda = lambda;
+  info.sparsify = sparsify;
+  // Per-replica hooks run after each replica's optimizer step, in replica
+  // order on the stepping thread. Strategy *state* must advance exactly
+  // once per optimizer step (replicas hold bit-identical weights after the
+  // all-reduce), so post_step_update fires only for the first participant;
+  // the weight-mutating post_step runs for every replica so they stay
+  // bit-identical. The strategy reads each replica's Network fresh — a
+  // rejoin may replace a replica's Network mid-epoch, and a cached view
+  // would dangle.
+  prune::Strategy* strat = strategy_.get();
+  dist::ElasticCluster::PostUpdateHook hook =
+      [strat, info](graph::Network& net, bool first) {
+        if (first) strat->post_step_update(net, info);
+        strat->post_step(net, info);
+      };
 
   loader_.begin_epoch();
   double loss_sum = 0;
@@ -471,14 +604,11 @@ void PruneTrainer::train_epoch_dist(EpochStats& stats, float lambda, float lr) {
   // Everything downstream of the epoch (health checks, evaluation, cost
   // models, checkpoints) reads *net_; bring it up to date.
   sync_net_from_cluster();
-  prune::GroupLassoRegularizer reg(*net_);
-  reg.set_size_normalized(cfg_.size_normalized_penalty);
-  stats.lasso_loss = reg.loss();
+  stats.lasso_loss = strategy_->regularization_loss(*net_);
 }
 
-void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
-                             bool regularize, bool reconfig,
-                             std::int64_t one_shot_at, float& lambda) {
+void PruneTrainer::run_phase(TrainResult& result, const PhaseSpec& spec,
+                             float& lambda) {
   // Resume bookkeeping: phases completed before the checkpoint are skipped
   // wholesale; the checkpointed phase re-enters at its first unfinished
   // epoch. The restored model/optimizer/RNG state makes the remaining
@@ -496,39 +626,54 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
   optim::MultiStepLR schedule(cfg_.lr_milestones, cfg_.lr_gamma);
   DynamicBatchAdjuster adjuster(cfg_.dynamic_batch);
 
-  for (std::int64_t e = start; e < epochs; ++e) {
+  for (std::int64_t e = start; e < spec.epochs; ++e) {
     Timer wall;
     telemetry::ScopedTimer epoch_span("epoch");
     EpochStats stats;
     stats.epoch = epoch_counter_;
     telemetry::ReconfigRecord reconfig_rec;
 
+    const float lr = cfg_.base_lr * lr_scale_ * recovery_lr_scale_ *
+                     static_cast<float>(schedule.multiplier_at(e));
+
+    prune::EpochInfo einfo;
+    einfo.global_epoch = epoch_counter_;
+    einfo.epoch_in_phase = e;
+    einfo.phase_epochs = spec.epochs;
+    einfo.sparsify = spec.sparsify;
+    einfo.periodic_reconfig = spec.periodic_reconfig;
+    einfo.one_shot_at = spec.one_shot_at;
+    einfo.reconfig_interval = cfg_.reconfig_interval;
+    einfo.threshold = cfg_.threshold;
+    einfo.min_channels = cfg_.prune_min_channels;
+    einfo.lr = lr;
+    strategy_->on_epoch_begin(*net_, einfo);
+
     // Eq. 3: calibrate lambda at the first regularized iteration using the
-    // initial classification loss and lasso sum.
-    if (regularize && lambda < 0.f) {
+    // initial classification loss and lasso sum. Only strategies that opt
+    // in (group lasso) consume lambda; the probe batch draws from the
+    // shared shuffle RNG, so skipping it for other strategies keeps their
+    // data order undisturbed.
+    if (spec.sparsify && lambda < 0.f && strategy_->wants_lambda_calibration()) {
       loader_.begin_epoch();
       data::Batch probe = loader_.next(std::min<std::int64_t>(batch_size_, 32));
       nn::SoftmaxCrossEntropy loss;
       Tensor out = net_->forward(*ctx_, probe.images, false);
       const double class_loss = loss.forward(out, probe.labels);
-      prune::GroupLassoRegularizer reg(*net_);
-      reg.set_size_normalized(cfg_.size_normalized_penalty);
-      lambda = prune::calibrate_lambda(cfg_.lasso_ratio, class_loss, reg.loss()) *
-               cfg_.lasso_boost;
+      lambda = strategy_->calibrate(class_loss,
+                                    strategy_->regularization_loss(*net_));
       result.lambda = lambda;
       if (cfg_.verbose) {
         std::ostringstream os;
-        os << to_string(cfg_.policy) << ": calibrated lambda=" << lambda
-           << " (ratio " << cfg_.lasso_ratio << ")";
+        os << to_string(cfg_.policy) << ": calibrated lambda=" << lambda;
         log_info(os.str());
       }
     }
 
-    const float lr = cfg_.base_lr * lr_scale_ * recovery_lr_scale_ *
-                     static_cast<float>(schedule.multiplier_at(e));
     stats.lr = lr;
     stats.batch_size = batch_size_;
-    train_epoch(stats, regularize ? lambda : 0.f, lr);
+    train_epoch(stats, (spec.sparsify && lambda > 0.f) ? lambda : 0.f, lr,
+                spec.sparsify);
     if (monitor_) monitor_->record(epoch_counter_);
 
     // Guardian: health-check the epoch *before* anything downstream (the
@@ -553,24 +698,24 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
       }
     }
 
-    // Periodic (or one-shot) prune + reconfigure at epoch boundaries.
-    // After a rollback with skip_offending_reconfig, reconfigurations in
-    // the replayed window up to the fault epoch are suppressed.
+    // Prune + reconfigure at epoch boundaries, on the strategy's cadence
+    // (the default implementation reproduces the paper's periodic /
+    // one-shot schedule). After a rollback with skip_offending_reconfig,
+    // reconfigurations in the replayed window up to the fault epoch are
+    // suppressed.
     const bool suppressed = epoch_counter_ <= skip_reconfig_until_;
-    const bool periodic_hit =
-        reconfig && cfg_.reconfig_interval > 0 &&
-        (e + 1) % cfg_.reconfig_interval == 0;
-    const bool one_shot_hit = one_shot_at >= 0 && (e + 1) == one_shot_at;
-    if ((periodic_hit || one_shot_hit) && !suppressed) {
+    const prune::ReconfigDecision decision =
+        strategy_->propose_reconfigure(einfo);
+    if (decision.reconfigure && !suppressed) {
       if (health_) {
         const std::vector<robust::HealthEvent> events =
-            health_->check_prune(epoch_counter_, *net_, cfg_.threshold);
+            health_->check_prune(epoch_counter_, *net_, decision.threshold);
         for (const robust::HealthEvent& ev : events) {
           report_.events.push_back(ev);
           log_warn("guardian: " + ev.describe());
         }
       }
-      prune::Reconfigurer reconfigurer(*net_, cfg_.threshold,
+      prune::Reconfigurer reconfigurer(*net_, decision.threshold,
                                        cfg_.prune_min_channels);
       prune::ReconfigStats rstats;
       {
@@ -595,8 +740,11 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
            << ", blocks removed " << rstats.blocks_removed;
         telemetry::event("prune/reconfigure", os.str());
       }
-      reconfigure_cluster_replicas();
+      reconfigure_cluster_replicas(decision.threshold);
       if (rstats.changed) {
+        // Surgery may have dropped channels the strategy tracks by index;
+        // give it a chance to rebuild (masks, thresholds, saliency).
+        strategy_->on_reconfigured(*net_);
         // The arena's buffers are sized for the pre-surgery shapes; drop
         // them so capacity — and the high-water statistic — re-measures the
         // pruned hot loop. No leases are live at an epoch boundary.
@@ -647,7 +795,7 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
     }
     stats.channels_alive = channels;
     stats.conv_layers = models::count_conv_layers(*net_);
-    if (cfg_.eval_interval <= 1 || e == epochs - 1 ||
+    if (cfg_.eval_interval <= 1 || e == spec.epochs - 1 ||
         epoch_counter_ % cfg_.eval_interval == 0) {
       last_test_acc_ = evaluate();
     }
@@ -682,6 +830,7 @@ void PruneTrainer::run_phase(TrainResult& result, std::int64_t epochs,
 void PruneTrainer::emit_epoch_record(const EpochStats& stats,
                                      const telemetry::ReconfigRecord& reconfig) {
   telemetry::EpochRecord rec;
+  rec.strategy = cfg_.strategy;
   rec.epoch = stats.epoch;
   rec.batch_size = stats.batch_size;
   rec.lr = stats.lr;
@@ -727,6 +876,12 @@ void PruneTrainer::emit_epoch_record(const EpochStats& stats,
                    static_cast<double>(ws.heap_allocations));
   telemetry::gauge("exec/workspace_leases", static_cast<double>(ws.leases));
 
+  // Strategy-specific observables (threshold means, mask fractions, ...)
+  // land in the same gauge namespace as everything else.
+  for (const auto& [key, value] : strategy_->metrics()) {
+    telemetry::gauge("strategy/" + key, value);
+  }
+
   telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
   rec.counters = reg.counters();
   rec.gauges = reg.gauges();
@@ -761,6 +916,22 @@ void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase
   w.put<std::uint8_t>(rng.has_cached_normal ? 1 : 0);
   put_result(w, result);
   ck.set_section("trainer", w.take());
+
+  // Strategy state rides as its own opaque section so rollback/resume
+  // replays the sparsifier bitwise (masks, trainable thresholds, saliency
+  // EWMAs). The strategy name is stored for a mismatch check on load.
+  {
+    ckpt::ByteWriter sw;
+    sw.put_string(cfg_.strategy);
+    const std::vector<prune::StrategyStateItem> items = strategy_->state();
+    sw.put<std::uint64_t>(items.size());
+    for (const prune::StrategyStateItem& item : items) {
+      sw.put_string(item.name);
+      sw.put_vector(item.f32);
+      sw.put_vector(item.i64);
+    }
+    ck.set_section("strategy", sw.take());
+  }
 
   if (monitor_) {
     ckpt::ByteWriter m;
@@ -825,6 +996,28 @@ void PruneTrainer::load_checkpoint_file(const std::string& path) {
   loader_.set_rng_state(rng);
   resume_result_ = get_result(r);
   resuming_ = true;
+
+  // Strategy state: absent in pre-strategy checkpoints (the sparsifier then
+  // starts fresh, which is exactly what those checkpoints' runs did).
+  if (const std::vector<std::uint8_t>* strat = ck.section("strategy")) {
+    ckpt::ByteReader sr(*strat);
+    const std::string saved_name = sr.get_string();
+    if (saved_name != cfg_.strategy) {
+      throw std::runtime_error("checkpoint " + path +
+                               " was written by strategy '" + saved_name +
+                               "' but this run uses '" + cfg_.strategy + "'");
+    }
+    const auto n_items = sr.get<std::uint64_t>();
+    std::vector<prune::StrategyStateItem> items;
+    for (std::uint64_t i = 0; i < n_items; ++i) {
+      prune::StrategyStateItem item;
+      item.name = sr.get_string();
+      item.f32 = sr.get_vector<float>();
+      item.i64 = sr.get_vector<std::int64_t>();
+      items.push_back(std::move(item));
+    }
+    strategy_->load_state(items);
+  }
 
   if (cfg_.record_sparsity) {
     monitor_ = std::make_unique<prune::SparsityMonitor>(*net_);
@@ -975,11 +1168,11 @@ TrainResult PruneTrainer::run_attempt() {
   switch (cfg_.policy) {
     case PrunePolicy::kDense:
       ensure_initial_checkpoint(result, lambda);
-      run_phase(result, cfg_.epochs, false, false, -1, lambda);
+      run_phase(result, {cfg_.epochs, false, false, -1}, lambda);
       break;
     case PrunePolicy::kPruneTrain:
       ensure_initial_checkpoint(result, lambda);
-      run_phase(result, cfg_.epochs, true, true, -1, lambda);
+      run_phase(result, {cfg_.epochs, true, true, -1}, lambda);
       break;
     case PrunePolicy::kSSL: {
       // Calibrate lambda from the *random-init* losses (Eq. 3), exactly as
@@ -994,10 +1187,8 @@ TrainResult PruneTrainer::run_attempt() {
         nn::SoftmaxCrossEntropy loss;
         Tensor out = net_->forward(*ctx_, probe.images, false);
         const double class_loss = loss.forward(out, probe.labels);
-        prune::GroupLassoRegularizer reg(*net_);
-        reg.set_size_normalized(cfg_.size_normalized_penalty);
-        lambda = prune::calibrate_lambda(cfg_.lasso_ratio, class_loss, reg.loss()) *
-                 cfg_.lasso_boost;
+        lambda = strategy_->calibrate(class_loss,
+                                      strategy_->regularization_loss(*net_));
         result.lambda = lambda;
         net_->clear_context();
       }
@@ -1006,23 +1197,24 @@ TrainResult PruneTrainer::run_attempt() {
       // trained model would be degenerate (converged loss => lambda ~ 0).
       ensure_initial_checkpoint(result, lambda);
       // Phase 1: dense pre-training (counts toward training cost).
-      run_phase(result, cfg_.epochs, false, false, -1, lambda);
+      run_phase(result, {cfg_.epochs, false, false, -1}, lambda);
       // Phase 2: sparsify on the dense architecture; prune only at the end.
       // Skip the end-of-phase prune when resuming past it (a later-phase
       // checkpoint already reflects it).
-      run_phase(result, cfg_.epochs, true, false, -1, lambda);
+      run_phase(result, {cfg_.epochs, true, false, -1}, lambda);
       if (!(resuming_ && resume_phase_ > 1)) {
         prune::Reconfigurer reconfigurer(*net_, cfg_.threshold,
                                          cfg_.prune_min_channels);
         const auto rstats = reconfigurer.reconfigure();
         result.layers_removed += rstats.convs_removed;
-        reconfigure_cluster_replicas();
+        reconfigure_cluster_replicas(cfg_.threshold);
+        if (rstats.changed) strategy_->on_reconfigured(*net_);
       }
       break;
     }
     case PrunePolicy::kOneShot:
       ensure_initial_checkpoint(result, lambda);
-      run_phase(result, cfg_.epochs, true, false, cfg_.one_shot_epoch, lambda);
+      run_phase(result, {cfg_.epochs, true, false, cfg_.one_shot_epoch}, lambda);
       break;
   }
 
@@ -1037,7 +1229,8 @@ TrainResult PruneTrainer::run_attempt() {
                                      cfg_.prune_min_channels);
     const auto rstats = reconfigurer.reconfigure();
     result.layers_removed += rstats.convs_removed;
-    reconfigure_cluster_replicas();
+    reconfigure_cluster_replicas(cfg_.threshold);
+    if (rstats.changed) strategy_->on_reconfigured(*net_);
   }
 
   // Optional fine-tuning on the pruned architecture: extra epochs without
@@ -1051,7 +1244,7 @@ TrainResult PruneTrainer::run_attempt() {
       lr_scale_ *= static_cast<float>(schedule.multiplier_at(cfg_.epochs));
     }
     float no_lambda = 0.f;
-    run_phase(result, cfg_.fine_tune_epochs, false, false, -1, no_lambda);
+    run_phase(result, {cfg_.fine_tune_epochs, false, false, -1}, no_lambda);
     lr_scale_ = saved_scale;
   }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "data/synthetic.h"
 #include "graph/network.h"
 #include "prune/sparsity_monitor.h"
+#include "prune/strategy.h"
 #include "robust/fault.h"
 #include "robust/health.h"
 #include "robust/recovery.h"
@@ -54,6 +56,19 @@ struct TrainConfig {
   double lr_gamma = 0.1;
 
   PrunePolicy policy = PrunePolicy::kPruneTrain;
+
+  /// Sparsification strategy, by prune::StrategyRegistry name. The default
+  /// reproduces the pre-strategy trainer bitwise; the zoo adds "dsd",
+  /// "dst", and "channel_prop" (src/prune/strategy_zoo.h).
+  std::string strategy = "group_lasso";
+  /// Per-strategy parameters (string key/value; see `--strategy help` or
+  /// StrategyRegistry::help() for each strategy's keys and defaults).
+  /// For group_lasso the legacy fields below (lasso_ratio, lasso_boost,
+  /// proximal_update, size_normalized_penalty) are mirrored in as defaults;
+  /// setting both a legacy field and its parameter to different values is
+  /// a validation error.
+  std::map<std::string, std::string> strategy_params;
+
   float lasso_ratio = 0.2f;           ///< Eq. 3 target penalty ratio
   /// Proxy-scale time compression. Eq. 3's lambda is implicitly matched to
   /// the paper's training horizon (~70k optimizer steps: group-norm decay
@@ -189,6 +204,14 @@ struct TrainConfig {
   /// field combination cannot produce a valid run. Called by PruneTrainer's
   /// constructor, so a bad config fails fast rather than mid-training.
   void validate() const;
+
+  /// The strategy_params map with the group-lasso legacy fields mirrored
+  /// in as defaults (back-compat: configs that only set lasso_ratio /
+  /// lasso_boost / proximal_update / size_normalized_penalty keep
+  /// working). Throws std::invalid_argument when a legacy field and its
+  /// parameter contradict each other, or when a legacy lasso field is set
+  /// alongside a non-lasso strategy.
+  std::map<std::string, std::string> resolved_strategy_params() const;
 };
 
 struct EpochStats {
@@ -279,14 +302,16 @@ class PruneTrainer {
   /// first epoch runs (a fault in epoch 0 must have somewhere to go).
   void ensure_initial_checkpoint(const TrainResult& result, float lambda);
   /// One full pass over the training set at the current batch size; fills
-  /// loss/acc into `stats`. `lambda` == 0 disables regularization.
+  /// loss/acc into `stats`. `lambda` == 0 disables the calibrated penalty;
+  /// `sparsify` is the phase flag handed to the strategy's step hooks.
   /// Dispatches to train_epoch_dist when an elastic cluster is attached.
-  void train_epoch(EpochStats& stats, float lambda, float lr);
+  void train_epoch(EpochStats& stats, float lambda, float lr, bool sparsify);
   /// The cfg_.replicas > 1 epoch: shards every batch over the cluster's
   /// live set, accumulates modeled comm cost at the live ring size, syncs
   /// *net_ from a live replica at the end, and converts ReplicaDivergence
   /// into the guardian pathway. ClusterDegraded propagates to run().
-  void train_epoch_dist(EpochStats& stats, float lambda, float lr);
+  void train_epoch_dist(EpochStats& stats, float lambda, float lr,
+                        bool sparsify);
 
   /// (Re)creates the elastic cluster as cfg_.replicas bit-exact clones of
   /// *net_ with fresh membership (all HEALTHY) — construction, resume, and
@@ -302,7 +327,7 @@ class PruneTrainer {
   /// every replica whose state is current (live members and freshly
   /// resynced rejoiners); stale (failed) replicas keep their old topology
   /// until a rejoin resync replays the new one.
-  void reconfigure_cluster_replicas();
+  void reconfigure_cluster_replicas(float threshold);
 
   /// Appends one epochs.jsonl line: the epoch's stats, the reconfiguration
   /// outcome, per-layer FLOPs + measured times, sparsity densities, and a
@@ -311,11 +336,20 @@ class PruneTrainer {
   void emit_epoch_record(const EpochStats& stats,
                          const telemetry::ReconfigRecord& reconfig);
 
-  /// One training phase of `epochs` epochs with the given policy behavior.
-  /// `regularize` turns the lasso term on; `reconfig` enables periodic
-  /// reconfiguration; `one_shot_at` >= 0 reconfigures exactly once.
-  void run_phase(TrainResult& result, std::int64_t epochs, bool regularize,
-                 bool reconfig, std::int64_t one_shot_at, float& lambda);
+  /// What one training phase does, as data instead of positional booleans.
+  /// The policy schedules in run_attempt compose phases from these;
+  /// everything else (cadence, thresholds) is the strategy's call.
+  struct PhaseSpec {
+    std::int64_t epochs = 0;
+    bool sparsify = false;          ///< strategy hooks active this phase
+    bool periodic_reconfig = false; ///< periodic reconfiguration allowed
+    std::int64_t one_shot_at = -1;  ///< reconfigure once after this epoch
+  };
+
+  /// One training phase: per-epoch strategy hooks, lambda calibration,
+  /// health checks, strategy-proposed reconfiguration, cost accounting,
+  /// and checkpoints.
+  void run_phase(TrainResult& result, const PhaseSpec& spec, float& lambda);
 
   /// Writes ckpt-epoch-<N>.bin + ckpt-latest.bin into cfg_.checkpoint_dir:
   /// the reconfigured model (via ckpt::Checkpoint::capture) plus a "trainer"
@@ -339,6 +373,10 @@ class PruneTrainer {
   /// movable (worker threads hold `this`).
   std::unique_ptr<exec::ExecContext> ctx_;
   data::DataLoader loader_;
+  /// The configured sparsification strategy (never null). Constructed from
+  /// the registry before any resume load so checkpointed strategy state
+  /// lands in the right object.
+  std::unique_ptr<prune::Strategy> strategy_;
   Shape input_shape_;
   std::int64_t batch_size_;
   float lr_scale_ = 1.f;  ///< cumulative dynamic-batch LR scaling

@@ -230,10 +230,12 @@ ElasticStepResult ElasticCluster::step(exec::ExecContext& ctx,
     nets.push_back(&replicas_[static_cast<std::size_t>(r)]);
   }
   allreduce_gradients(nets, weights, participants);
+  bool first_participant = true;
   for (int r : participants) {
     graph::Network& net = replicas_[static_cast<std::size_t>(r)];
     opt.step(net.params());
-    if (post_update) post_update(net);
+    if (post_update) post_update(net, first_participant);
+    first_participant = false;
   }
 
   // Fenced rejoin: replicas that entered REJOINING this step resync from

@@ -88,9 +88,11 @@ class ClusterDegraded : public std::runtime_error {
 class ElasticCluster {
  public:
   /// Applied to every participant after its optimizer step (the trainer
-  /// hangs the group-lasso proximal update here so dead replicas stay
-  /// untouched).
-  using PostUpdateHook = std::function<void(graph::Network&)>;
+  /// hangs the prune strategy's per-replica weight hook here so dead
+  /// replicas stay untouched). `first` is true only for the first
+  /// participant of the step — strategy *state* updates must run once per
+  /// step, while per-replica weight mutations run for every participant.
+  using PostUpdateHook = std::function<void(graph::Network&, bool first)>;
 
   /// Takes ownership of `replicas` (structurally identical, identically
   /// initialized). `comm.gpus` must match the replica count.

@@ -48,6 +48,7 @@ Json EpochRecord::to_json() const {
   Json j = Json::object();
   j["schema"] = Json(kEpochSchema);
   j["schema_version"] = Json(kSchemaVersion);
+  j["strategy"] = Json(strategy);
   j["epoch"] = Json(epoch);
   j["batch_size"] = Json(batch_size);
   j["lr"] = Json(lr);
@@ -121,6 +122,8 @@ EpochRecord EpochRecord::from_json(const Json& j) {
                              std::to_string(kSchemaVersion) + ")");
   }
   EpochRecord r;
+  // Additive field: absent in records written before the strategy API.
+  if (const Json* s = j.find("strategy")) r.strategy = s->as_string();
   r.epoch = j.at("epoch").as_int();
   r.batch_size = j.at("batch_size").as_int();
   r.lr = j.at("lr").as_number();

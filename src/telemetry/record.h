@@ -69,6 +69,10 @@ struct ReconfigRecord {
 
 /// One epochs.jsonl line.
 struct EpochRecord {
+  // Which prune::Strategy produced the epoch ("" in records written before
+  // the strategy field existed).
+  std::string strategy;
+
   // core::EpochStats mirror (kept as plain fields so pt_telemetry does not
   // depend on pt_core — the dependency points the other way).
   std::int64_t epoch = 0;

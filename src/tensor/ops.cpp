@@ -117,21 +117,6 @@ void gemm_tn(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
       });
 }
 
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  gemm_nn(exec::ExecContext::serial(), m, n, k, alpha, a, b, beta, c);
-}
-
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  gemm_nt(exec::ExecContext::serial(), m, n, k, alpha, a, b, beta, c);
-}
-
-void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  gemm_tn(exec::ExecContext::serial(), m, n, k, alpha, a, b, beta, c);
-}
-
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
   const std::size_t n = x.size();

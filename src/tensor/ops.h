@@ -36,17 +36,8 @@ void gemm_tn(exec::ExecContext& ctx, std::int64_t m, std::int64_t n,
              std::int64_t k, float alpha, const float* a, const float* b,
              float beta, float* c);
 
-// Context-free GEMMs — test-only shims kept for kernel unit tests and
-// microbenches. They delegate to the overloads above on the process-wide
-// single-threaded exec::ExecContext::serial(); production code paths must
-// pass their own context instead.
-
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c);
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c);
-void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c);
+// There are no context-free GEMM overloads: every caller passes an
+// exec::ExecContext (single-threaded callers use ExecContext::serial()).
 
 /// y += alpha * x (sizes must match).
 void axpy(float alpha, std::span<const float> x, std::span<float> y);

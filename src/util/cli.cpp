@@ -7,7 +7,11 @@ namespace pt {
 
 void CliFlags::define(const std::string& name, const std::string& default_value,
                       const std::string& help) {
-  flags_[name] = Flag{default_value, help};
+  flags_[name] = Flag{default_value, help, false, {}};
+}
+
+void CliFlags::define_list(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{"", help, true, {}};
 }
 
 void CliFlags::parse(int argc, const char* const* argv) {
@@ -36,17 +40,27 @@ void CliFlags::parse(int argc, const char* const* argv) {
       // is not itself a flag.
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         value = argv[++i];
+      } else if (it->second.is_list) {
+        throw std::invalid_argument("flag --" + name + " needs a value");
       } else {
         value = "true";
       }
     }
-    it->second.value = value;
+    if (it->second.is_list) {
+      it->second.values.push_back(value);
+    } else {
+      it->second.value = value;
+    }
   }
 }
 
 std::string CliFlags::get(const std::string& name) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) throw std::invalid_argument("undefined flag: --" + name);
+  if (it->second.is_list) {
+    throw std::invalid_argument("flag --" + name +
+                                " is repeatable; use get_list");
+  }
   return it->second.value;
 }
 
@@ -61,12 +75,25 @@ bool CliFlags::get_bool(const std::string& name) const {
   return v == "true" || v == "1" || v == "yes";
 }
 
+std::vector<std::string> CliFlags::get_list(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("undefined flag: --" + name);
+  if (!it->second.is_list) {
+    throw std::invalid_argument("flag --" + name + " is not repeatable");
+  }
+  return it->second.values;
+}
+
 std::string CliFlags::usage(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [flags]\n";
   for (const auto& [name, flag] : flags_) {
-    os << "  --" << name << " (default: " << flag.value << ")  " << flag.help
-       << "\n";
+    if (flag.is_list) {
+      os << "  --" << name << " (repeatable)  " << flag.help << "\n";
+    } else {
+      os << "  --" << name << " (default: " << flag.value << ")  " << flag.help
+         << "\n";
+    }
   }
   return os.str();
 }

@@ -1,12 +1,14 @@
 // Tiny command-line flag parser shared by the bench/example executables.
 //
-// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
-// flags raise, so typos in experiment scripts fail loudly.
+// Supports `--name value`, `--name=value`, boolean `--name`, and repeatable
+// list flags (`--param a=1 --param b=2` accumulates). Unknown flags raise,
+// so typos in experiment scripts fail loudly.
 #pragma once
 
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace pt {
 
@@ -16,6 +18,10 @@ class CliFlags {
   void define(const std::string& name, const std::string& default_value,
               const std::string& help);
 
+  /// Declares a repeatable flag: every `--name value` occurrence appends to
+  /// the list read back with `get_list`. Defaults to empty.
+  void define_list(const std::string& name, const std::string& help);
+
   /// Parses argv. Throws std::invalid_argument on unknown flags or missing
   /// values. `--help` sets `help_requested()`.
   void parse(int argc, const char* const* argv);
@@ -24,6 +30,8 @@ class CliFlags {
   double get_double(const std::string& name) const;
   long get_int(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+  /// All occurrences of a `define_list` flag, in argv order.
+  std::vector<std::string> get_list(const std::string& name) const;
 
   bool help_requested() const { return help_requested_; }
   /// Renders a usage string listing all defined flags.
@@ -33,6 +41,8 @@ class CliFlags {
   struct Flag {
     std::string value;
     std::string help;
+    bool is_list = false;
+    std::vector<std::string> values;
   };
   std::map<std::string, Flag> flags_;
   bool help_requested_ = false;

@@ -3,10 +3,17 @@
 // surgery with exact function preservation, dead-branch (layer) removal,
 // channel gating, sparsity monitoring, and snapshots.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <map>
+#include <string>
 
+#include "core/trainer.h"
 #include "cost/flops.h"
+#include "data/synthetic.h"
 #include "models/builders.h"
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
@@ -19,6 +26,8 @@
 #include "prune/reconfigure.h"
 #include "prune/snapshot.h"
 #include "prune/sparsity_monitor.h"
+#include "prune/strategy.h"
+#include "prune/strategy_zoo.h"
 
 namespace pt::prune {
 namespace {
@@ -532,6 +541,272 @@ TEST(Snapshot, SizeMismatchThrows) {
   snap.values.push_back(0.f);
   EXPECT_THROW(load_state(net, snap), std::invalid_argument);
 }
+
+// ---------------------------------------------------------------------------
+// Strategy registry: names, creation, parameter validation, help table.
+
+TEST(StrategyRegistry, RegistersTheBuiltinZoo) {
+  const auto names = StrategyRegistry::global().names();
+  for (const char* expected : {"group_lasso", "dsd", "dst", "channel_prop"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(StrategyRegistry, UnknownStrategyOrParamThrows) {
+  EXPECT_THROW(StrategyRegistry::global().create("no_such_strategy"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      StrategyRegistry::global().create("dsd", {{"bogus_knob", "1"}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      StrategyRegistry::global().create("group_lasso", {{"ratio", "1.5"}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      StrategyRegistry::global().create("dst", {{"init", "not-a-number"}}),
+      std::invalid_argument);
+}
+
+TEST(StrategyRegistry, HelpListsEveryStrategyAndParam) {
+  const std::string help = StrategyRegistry::global().help();
+  for (const char* token : {"group_lasso", "dsd", "dst", "channel_prop",
+                            "sparsity", "threshold_lr", "prune_fraction"}) {
+    EXPECT_NE(help.find(token), std::string::npos) << token;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy conformance suite: every registered strategy must compose with
+// mid-phase checkpoint resume, guardian rollback-replay, and the
+// deterministic thread pool — all bitwise — and must respect the
+// prune_min_channels floor.
+
+namespace fs = std::filesystem;
+
+fs::path strategy_scratch_dir(const std::string& tag) {
+  const fs::path p = fs::temp_directory_path() /
+                     ("pt_strategy_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p;
+}
+
+data::SyntheticSpec conformance_data() {
+  data::SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.classes = 8;
+  spec.channels = 3;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_samples = 256;
+  spec.test_samples = 128;
+  spec.noise = 0.8f;
+  spec.max_shift = 2;
+  spec.seed = 5;
+  return spec;
+}
+
+graph::Network conformance_net() {
+  models::ModelConfig mc;
+  mc.image_h = 8;
+  mc.image_w = 8;
+  mc.classes = 8;
+  mc.width_mult = 0.5f;
+  mc.seed = 21;
+  return models::build_resnet_basic(8, mc);
+}
+
+/// Parameters aggressive enough that every strategy visibly acts within
+/// the 6 proxy epochs the conformance runs use.
+std::map<std::string, std::string> aggressive_params(const std::string& name) {
+  if (name == "group_lasso") return {{"ratio", "0.3"}, {"boost", "2000"}};
+  if (name == "dsd") {
+    return {{"sparsity", "0.5"}, {"sparse_begin", "0.2"}, {"sparse_end", "0.8"}};
+  }
+  if (name == "dst") {
+    return {{"alpha", "2"}, {"threshold_lr", "0.1"}, {"beta", "1"},
+            {"init", "0.05"}};
+  }
+  if (name == "channel_prop") {
+    return {{"decay", "0.5"}, {"prune_fraction", "0.5"}, {"warmup", "1"}};
+  }
+  return {};
+}
+
+core::TrainConfig conformance_cfg(const std::string& strategy) {
+  core::TrainConfig cfg;
+  cfg.policy = core::PrunePolicy::kPruneTrain;
+  cfg.strategy = strategy;
+  cfg.strategy_params = aggressive_params(strategy);
+  cfg.epochs = 6;
+  cfg.batch_size = 64;
+  cfg.base_lr = 0.1f;
+  cfg.weight_decay = 1e-4f;
+  cfg.lr_milestones = {3, 5};
+  cfg.reconfig_interval = 2;
+  cfg.eval_interval = 2;
+  return cfg;
+}
+
+void expect_params_bitwise(graph::Network& a, graph::Network& b) {
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel()) << "param " << i;
+    for (std::int64_t q = 0; q < pa[i]->value.numel(); ++q) {
+      ASSERT_EQ(pa[i]->value.data()[q], pb[i]->value.data()[q])
+          << "param " << i << "[" << q << "]";
+    }
+  }
+}
+
+class StrategyConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StrategyConformanceTest, CheckpointResumeBitwise) {
+  const std::string name = GetParam();
+  auto data = data::SyntheticImageDataset(conformance_data());
+  const fs::path dir = strategy_scratch_dir("resume_" + name);
+
+  core::TrainConfig cfg = conformance_cfg(name);
+  cfg.checkpoint_dir = dir.string();
+  graph::Network full_net = conformance_net();
+  core::PruneTrainer full(full_net, data, cfg);
+  const core::TrainResult r_full = full.run();
+
+  // Resume mid-phase, from the end-of-epoch-3 checkpoint, into a freshly
+  // built dense network. The strategy's serialized state (masks,
+  // thresholds, saliency) must land in the new trainer and replay the
+  // remaining epochs bitwise.
+  core::TrainConfig rcfg = conformance_cfg(name);
+  rcfg.resume_from = (dir / "ckpt-epoch-3.bin").string();
+  graph::Network res_net = conformance_net();
+  core::PruneTrainer resumed(res_net, data, rcfg);
+  const core::TrainResult r_res = resumed.run();
+
+  ASSERT_EQ(r_res.epochs.size(), r_full.epochs.size());
+  EXPECT_DOUBLE_EQ(r_res.epochs.back().train_loss,
+                   r_full.epochs.back().train_loss);
+  EXPECT_DOUBLE_EQ(r_res.epochs.back().lasso_loss,
+                   r_full.epochs.back().lasso_loss);
+  EXPECT_DOUBLE_EQ(r_res.final_test_acc, r_full.final_test_acc);
+  EXPECT_EQ(r_res.final_channels, r_full.final_channels);
+  expect_params_bitwise(full_net, res_net);
+  fs::remove_all(dir);
+}
+
+TEST_P(StrategyConformanceTest, ResumeRejectsStrategyMismatch) {
+  const std::string name = GetParam();
+  auto data = data::SyntheticImageDataset(conformance_data());
+  const fs::path dir = strategy_scratch_dir("mismatch_" + name);
+
+  core::TrainConfig cfg = conformance_cfg(name);
+  cfg.epochs = 2;
+  cfg.checkpoint_dir = dir.string();
+  graph::Network net = conformance_net();
+  core::PruneTrainer trainer(net, data, cfg);
+  (void)trainer.run();
+
+  const std::string other = name == "dst" ? "channel_prop" : "dst";
+  core::TrainConfig rcfg = conformance_cfg(other);
+  rcfg.epochs = 2;
+  rcfg.resume_from = (dir / "ckpt-latest.bin").string();
+  graph::Network res_net = conformance_net();
+  EXPECT_THROW(core::PruneTrainer(res_net, data, rcfg), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST_P(StrategyConformanceTest, RollbackReplayBitwise) {
+  const std::string name = GetParam();
+  auto data = data::SyntheticImageDataset(conformance_data());
+  const fs::path clean_dir = strategy_scratch_dir("rb_clean_" + name);
+  const fs::path fault_dir = strategy_scratch_dir("rb_fault_" + name);
+
+  core::TrainConfig clean_cfg = conformance_cfg(name);
+  clean_cfg.checkpoint_dir = clean_dir.string();
+  clean_cfg.max_rollbacks = 2;
+  graph::Network clean_net = conformance_net();
+  core::PruneTrainer clean(clean_net, data, clean_cfg);
+  const core::TrainResult r_clean = clean.run();
+  EXPECT_EQ(clean.recovery_report().rollbacks, 0);
+
+  // A NaN gradient mid-epoch-3 triggers the guardian: rollback to the last
+  // good checkpoint must restore the strategy state too, so the replay
+  // (lr_cut=1, fault spent) reproduces the clean run bitwise.
+  core::TrainConfig fault_cfg = conformance_cfg(name);
+  fault_cfg.checkpoint_dir = fault_dir.string();
+  fault_cfg.max_rollbacks = 2;
+  fault_cfg.fault_spec = "nan-grad:epoch=3,step=1";
+  fault_cfg.rollback_lr_cut = 1.0f;
+  graph::Network fault_net = conformance_net();
+  core::PruneTrainer faulty(fault_net, data, fault_cfg);
+  const core::TrainResult r_fault = faulty.run();
+
+  EXPECT_EQ(faulty.recovery_report().faults_injected, 1);
+  EXPECT_EQ(faulty.recovery_report().rollbacks, 1);
+  ASSERT_EQ(r_fault.epochs.size(), r_clean.epochs.size());
+  EXPECT_DOUBLE_EQ(r_fault.epochs.back().train_loss,
+                   r_clean.epochs.back().train_loss);
+  EXPECT_EQ(r_fault.final_channels, r_clean.final_channels);
+  expect_params_bitwise(clean_net, fault_net);
+  fs::remove_all(clean_dir);
+  fs::remove_all(fault_dir);
+}
+
+TEST_P(StrategyConformanceTest, ThreadsBitwise) {
+  const std::string name = GetParam();
+  auto data = data::SyntheticImageDataset(conformance_data());
+
+  core::TrainConfig cfg1 = conformance_cfg(name);
+  cfg1.num_threads = 1;
+  graph::Network net1 = conformance_net();
+  core::PruneTrainer t1(net1, data, cfg1);
+  const core::TrainResult r1 = t1.run();
+
+  core::TrainConfig cfg4 = conformance_cfg(name);
+  cfg4.num_threads = 4;
+  graph::Network net4 = conformance_net();
+  core::PruneTrainer t4(net4, data, cfg4);
+  const core::TrainResult r4 = t4.run();
+
+  ASSERT_EQ(r1.epochs.size(), r4.epochs.size());
+  for (std::size_t e = 0; e < r1.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(r1.epochs[e].train_loss, r4.epochs[e].train_loss) << e;
+    EXPECT_DOUBLE_EQ(r1.epochs[e].lasso_loss, r4.epochs[e].lasso_loss) << e;
+    EXPECT_EQ(r1.epochs[e].channels_alive, r4.epochs[e].channels_alive) << e;
+  }
+  EXPECT_DOUBLE_EQ(r1.final_test_acc, r4.final_test_acc);
+  expect_params_bitwise(net1, net4);
+}
+
+TEST_P(StrategyConformanceTest, RespectsPruneMinChannelsFloor) {
+  const std::string name = GetParam();
+  auto data = data::SyntheticImageDataset(conformance_data());
+
+  // A pathological zeroing threshold would prune every channel; the floor
+  // guard must keep at least prune_min_channels per conv through both the
+  // strategy's own masking and the reconfiguration surgery.
+  core::TrainConfig cfg = conformance_cfg(name);
+  cfg.threshold = 100.f;
+  cfg.prune_min_channels = 2;
+  cfg.health_checks = false;  // an all-dead prune proposal is the point
+  graph::Network net = conformance_net();
+  core::PruneTrainer trainer(net, data, cfg);
+  (void)trainer.run();
+
+  for (int id : net.nodes_of_type<nn::Conv2d>()) {
+    if (!net.is_live(id)) continue;
+    EXPECT_GE(net.layer_as<nn::Conv2d>(id).out_channels(), 2)
+        << "conv node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, StrategyConformanceTest,
+    ::testing::ValuesIn(StrategyRegistry::global().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
 
 }  // namespace
 }  // namespace pt::prune

@@ -93,6 +93,32 @@ TEST(Cli, UndefinedGetThrows) {
   EXPECT_THROW(flags.get("nope"), std::invalid_argument);
 }
 
+TEST(Cli, ListFlagAccumulatesInOrder) {
+  CliFlags flags;
+  flags.define_list("param", "repeatable key=value");
+  flags.define("other", "x", "");
+  const char* argv[] = {"prog", "--param", "a=1", "--param=b=2", "--other", "y",
+                        "--param", "c=3"};
+  flags.parse(8, argv);
+  const std::vector<std::string> got = flags.get_list("param");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "a=1");
+  EXPECT_EQ(got[1], "b=2");
+  EXPECT_EQ(got[2], "c=3");
+  EXPECT_EQ(flags.get("other"), "y");
+}
+
+TEST(Cli, ListFlagMisuseThrows) {
+  CliFlags flags;
+  flags.define_list("param", "");
+  flags.define("plain", "1", "");
+  EXPECT_THROW(flags.get("param"), std::invalid_argument);     // is a list
+  EXPECT_THROW(flags.get_list("plain"), std::invalid_argument);  // is not
+  const char* argv[] = {"prog", "--param"};
+  EXPECT_THROW(flags.parse(2, argv), std::invalid_argument);  // needs a value
+  EXPECT_TRUE(flags.get_list("param").empty());  // default is empty
+}
+
 TEST(Logging, LevelFilters) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kError);
