@@ -42,6 +42,18 @@
 //
 // `--fault-spec help` prints the full fault grammar table.
 //
+// --sdc-check-interval K arms the integrity monitor (DESIGN.md §12): every
+// K optimizer steps each replica digests its state dict (CRC per tensor)
+// and the cluster majority-votes; a convicted minority replica is healed
+// in place by a fenced state copy — no rollback, no lost steps.
+// --keep-checkpoints K retains the last K numbered checkpoint generations
+// (0 = all) and a background scrubber re-validates their CRCs so rollback
+// can cascade past a torn newest file:
+//
+//   $ ./quickstart --replicas 3 --checkpoint-dir /tmp/pt \
+//                  --sdc-check-interval 4 --keep-checkpoints 3 \
+//                  --fault-spec "sdc-param:replica=1,step=3"
+//
 // --strategy <name> swaps the sparsifier (group_lasso, dsd, dst,
 // channel_prop — see DESIGN.md §11); the repeatable --strategy-param k=v
 // tunes it, e.g.:
@@ -96,6 +108,13 @@ int main(int argc, char** argv) {
   flags.define("no-rejoin", "false",
                "treat replica death as terminal: ignore rejoin-replica "
                "faults and schedules");
+  flags.define("sdc-check-interval", "0",
+               "digest-vote the replica state dicts every K optimizer "
+               "steps and heal convicted minorities in place (0 = off; "
+               "see DESIGN.md section 12)");
+  flags.define("keep-checkpoints", "0",
+               "retain the last K numbered checkpoint generations and "
+               "CRC-scrub them after every save (0 = retain all)");
   flags.define("threads", "1",
                "execution threads for the training hot path (0 = all "
                "hardware threads); results are bitwise-identical at any "
@@ -165,6 +184,8 @@ int main(int argc, char** argv) {
   cfg.replicas = flags.get_int("replicas");
   cfg.min_live_fraction = flags.get_double("min-live-fraction");
   cfg.suspect_threshold = flags.get_int("suspect-threshold");
+  cfg.sdc_check_interval = flags.get_int("sdc-check-interval");
+  cfg.keep_checkpoints = flags.get_int("keep-checkpoints");
   cfg.allow_rejoin = !flags.get_bool("no-rejoin");
   if (flags.get_bool("no-telemetry")) {
     pt::telemetry::set_enabled(false);

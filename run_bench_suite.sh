@@ -22,6 +22,12 @@ echo "===== bench: elastic_overhead ====="
 # traffic of a kill/rejoin cycle.
 timeout 900 ./elastic_overhead --out /root/repo/BENCH_elastic_overhead.json 2>&1
 echo
+echo "===== bench: sdc_overhead ====="
+# Silent-data-corruption defense: per-step digest-vote overhead at several
+# check intervals, detection latency for an injected finite bitflip, and
+# the bitwise heal-equivalence flag (heal_bitwise).
+timeout 900 ./sdc_overhead --out /root/repo/BENCH_sdc_overhead.json 2>&1
+echo
 echo "===== bench: strategy_ablation ====="
 # Sparsifier zoo: every registered prune::Strategy on the same proxy
 # protocol — loss proxy, FLOPs trajectory, sec/epoch, and the bitwise
@@ -50,7 +56,7 @@ for artifact in /root/repo/BENCH_*.json; do
   [ -e "$artifact" ] || continue
   for flag in determinism_bitwise_1_vs_4 determinism_bitwise_elastic_vs_fixed \
               flops_monotone_nonincreasing memory_monotone_nonincreasing \
-              strategy_resume_bitwise; do
+              strategy_resume_bitwise heal_bitwise; do
     if grep -q "\"$flag\"[[:space:]]*:[[:space:]]*false" "$artifact"; then
       echo "SANITY FLAG FAILED: $flag in $artifact" | tee -a /root/repo/bench_output.txt
       FAILED_FLAGS=$((FAILED_FLAGS + 1))

@@ -138,6 +138,8 @@ telemetry::Json config_json(const TrainConfig& cfg) {
   j["fault_spec"] = telemetry::Json(cfg.fault_spec);
   j["replicas"] = telemetry::Json(cfg.replicas);
   j["min_live_fraction"] = telemetry::Json(cfg.min_live_fraction);
+  j["sdc_check_interval"] = telemetry::Json(cfg.sdc_check_interval);
+  j["keep_checkpoints"] = telemetry::Json(cfg.keep_checkpoints);
   return j;
 }
 
@@ -225,10 +227,21 @@ void TrainConfig::validate() const {
   }
   if (!fault_spec.empty()) {
     try {
-      robust::parse_fault_specs(fault_spec);
+      // Replica-targeted SDC specs naming a worker that does not exist
+      // would otherwise arm and never fire — a silently dead test.
+      robust::validate_fault_replicas(robust::parse_fault_specs(fault_spec),
+                                      static_cast<int>(replicas));
     } catch (const std::invalid_argument& e) {
       fail(std::string("fault_spec: ") + e.what());
     }
+  }
+  if (sdc_check_interval < 0) {
+    fail("sdc_check_interval must be >= 0 (got " +
+         std::to_string(sdc_check_interval) + ")");
+  }
+  if (keep_checkpoints < 0) {
+    fail("keep_checkpoints must be >= 0 (got " +
+         std::to_string(keep_checkpoints) + ")");
   }
   // Strategy: the name must be registered and the parameters must resolve
   // (unknown keys, unparsable values, and legacy-field contradictions all
@@ -369,6 +382,14 @@ PruneTrainer::PruneTrainer(graph::Network& net,
   fault_ = robust::FaultInjector::from_string(cfg_.fault_spec, cfg_.fault_seed);
   if (cfg_.health_checks) {
     health_ = std::make_unique<robust::HealthMonitor>(cfg_.health);
+  }
+  if (cfg_.sdc_check_interval > 0) {
+    integrity_ = std::make_unique<robust::IntegrityMonitor>(
+        robust::IntegrityConfig{cfg_.sdc_check_interval});
+  }
+  if (!cfg_.checkpoint_dir.empty()) {
+    scrubber_ =
+        std::make_unique<robust::CheckpointScrubber>(cfg_.keep_checkpoints);
   }
   // Telemetry comes up before any resume load so the profiling flag can be
   // re-applied to the checkpoint-restored network.
@@ -537,7 +558,23 @@ void PruneTrainer::train_epoch(EpochStats& stats, float lambda, float lr,
     opt.step(named);
     strategy_->post_step_update(*net_, info);
     strategy_->post_step(*net_, info);
+    // SDC lands after the update + hooks so nothing overwrites the flipped
+    // bit (single device has no vote to convict it — the digest below
+    // records it for offline comparison, and tests read it directly).
+    if (fault_.armed() && fault_.corrupt_state(*net_, iteration)) {
+      ++report_.faults_injected;
+    }
     ++iteration;
+    if (integrity_ && integrity_->due(iteration)) {
+      const std::vector<prune::StrategyStateItem> sstate = strategy_->state();
+      const robust::StateDigest digest =
+          robust::compute_state_digest(*net_, *ctx_, &sstate);
+      if (telemetry::enabled()) {
+        telemetry::count("integrity/checks");
+        telemetry::gauge("integrity/state_crc",
+                         static_cast<double>(digest.state));
+      }
+    }
   }
   stats.train_loss = loss_sum / static_cast<double>(samples);
   stats.train_acc = static_cast<double>(correct) / static_cast<double>(samples);
@@ -580,11 +617,19 @@ void PruneTrainer::train_epoch_dist(EpochStats& stats, float lambda, float lr,
       samples += r.processed;
       stats.comm_bytes_per_gpu += r.comm_bytes_per_gpu;
       stats.comm_time_modeled += r.comm_time_modeled;
+      // Digest vote immediately after the step, before the next batch: a
+      // bit flipped this step is caught before the next allreduce can
+      // average it into the healthy replicas.
+      if (integrity_ && integrity_->due(cluster_->steps())) {
+        run_integrity_check();
+      }
     }
   } catch (const dist::ReplicaDivergence& e) {
     // Structured guardian pathway: with recovery enabled the rollback loop
     // rebuilds the cluster from the last good checkpoint; without it the
-    // divergence propagates as-is.
+    // divergence propagates as-is. Either way the epoch's end-of-loop
+    // accounting is skipped, so credit injected fires here.
+    account_cluster_fault_fires();
     robust::HealthEvent ev = e.to_health_event(epoch_counter_);
     report_.events.push_back(ev);
     log_error("guardian: " + ev.describe());
@@ -597,14 +642,53 @@ void PruneTrainer::train_epoch_dist(EpochStats& stats, float lambda, float lr,
   for (const dist::MembershipTransition& t : cluster_->drain_transitions()) {
     log_warn("cluster: " + t.describe());
   }
-  const std::int64_t fires = cluster_->fault_injector().total_fires();
-  report_.faults_injected += fires - cluster_fault_fires_seen_;
-  cluster_fault_fires_seen_ = fires;
+  account_cluster_fault_fires();
 
   // Everything downstream of the epoch (health checks, evaluation, cost
   // models, checkpoints) reads *net_; bring it up to date.
   sync_net_from_cluster();
   stats.lasso_loss = strategy_->regularization_loss(*net_);
+}
+
+void PruneTrainer::account_cluster_fault_fires() {
+  const std::int64_t fires = cluster_->fault_injector().total_fires();
+  report_.faults_injected += fires - cluster_fault_fires_seen_;
+  cluster_fault_fires_seen_ = fires;
+}
+
+void PruneTrainer::run_integrity_check() {
+  std::vector<robust::ReplicaView> views;
+  for (int r : cluster_->membership().participants()) {
+    views.push_back({r, &cluster_->replica(r)});
+  }
+  const std::vector<prune::StrategyStateItem> sstate = strategy_->state();
+  dist::ElasticCluster* cluster = cluster_.get();
+  const robust::VoteOutcome out = integrity_->check_replicas(
+      views, *ctx_, &sstate, [cluster](int victim, int root) {
+        return cluster->heal_replica(victim, root);
+      });
+  if (out.no_quorum) {
+    // A split with no strict majority cannot say which side is corrupt;
+    // healing would be a coin flip, so escalate to the guardian instead.
+    // This throw aborts the epoch before its end-of-epoch accounting, so
+    // credit the injected fires that caused the split first.
+    account_cluster_fault_fires();
+    robust::HealthEvent ev{robust::EventType::kSdcNoQuorum,
+                           robust::Severity::kFatal, epoch_counter_,
+                           static_cast<double>(views.size()), out.detail};
+    report_.events.push_back(ev);
+    log_error("guardian: " + ev.describe());
+    throw robust::FatalHealthError(std::move(ev));
+  }
+  if (out.mismatch) {
+    // Convicted minorities were healed in place by a fenced state copy —
+    // a warning, not a rollback: no steps were lost.
+    robust::HealthEvent ev{robust::EventType::kSdcDetected,
+                           robust::Severity::kWarning, epoch_counter_,
+                           static_cast<double>(out.healed.size()), out.detail};
+    report_.events.push_back(ev);
+    log_warn("guardian: " + ev.describe());
+  }
 }
 
 void PruneTrainer::run_phase(TrainResult& result, const PhaseSpec& spec,
@@ -876,6 +960,27 @@ void PruneTrainer::emit_epoch_record(const EpochStats& stats,
                    static_cast<double>(ws.heap_allocations));
   telemetry::gauge("exec/workspace_leases", static_cast<double>(ws.leases));
 
+  // Integrity observables: digest checks run, mismatches convicted, heals
+  // performed, and the modeled exchange/heal traffic.
+  if (integrity_) {
+    telemetry::gauge("integrity/checks",
+                     static_cast<double>(integrity_->checks()));
+    telemetry::gauge("integrity/mismatches",
+                     static_cast<double>(integrity_->mismatches()));
+    telemetry::gauge("integrity/heals",
+                     static_cast<double>(integrity_->heals()));
+    telemetry::gauge("integrity/heal_bytes",
+                     static_cast<double>(integrity_->heal_bytes_total()));
+    telemetry::gauge("integrity/digest_bytes",
+                     static_cast<double>(integrity_->digest_bytes_total()));
+  }
+  if (scrubber_) {
+    telemetry::gauge("integrity/ckpt_generations",
+                     static_cast<double>(scrubber_->generations().size()));
+    telemetry::gauge("integrity/ckpt_evicted",
+                     static_cast<double>(scrubber_->evicted()));
+  }
+
   // Strategy-specific observables (threshold means, mask fractions, ...)
   // land in the same gauge namespace as everything else.
   for (const auto& [key, value] : strategy_->metrics()) {
@@ -959,6 +1064,15 @@ void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase
   if (fault_.armed() &&
       fault_.corrupt_checkpoint_files({numbered, latest}, epoch_counter_)) {
     ++report_.faults_injected;
+  }
+  // Generation-chain bookkeeping: register the numbered save (evicting
+  // beyond keep_checkpoints) and re-validate every retained generation's
+  // CRC, so a later rollback knows which generations are trustworthy
+  // without trial-loading each one. Scrubbing runs *after* fault
+  // injection — a torn write is caught on the very pass that follows it.
+  if (scrubber_) {
+    scrubber_->note_saved(numbered, epoch_counter_);
+    scrubber_->scrub(*ctx_);
   }
   // Rejoining replicas resync their topology from the freshest save.
   if (cluster_) cluster_->set_resync_checkpoint(latest);
@@ -1088,10 +1202,15 @@ TrainResult PruneTrainer::run() {
   }
 }
 
-void PruneTrainer::rollback(const robust::RecoveryPolicy::Decision& decision,
+void PruneTrainer::rollback(robust::RecoveryPolicy::Decision decision,
                             const robust::HealthEvent& cause) {
-  const std::string path =
-      robust::find_last_good_checkpoint(cfg_.checkpoint_dir);
+  // The scrubber's verdicts let the selection skip checkpoints already
+  // known corrupt without paying a trial load; either way the decision
+  // records the generation actually restored and how many newer corrupt
+  // generations were cascaded past.
+  const robust::RollbackTarget target =
+      robust::find_rollback_target(cfg_.checkpoint_dir, scrubber_.get());
+  const std::string& path = target.path;
   if (path.empty()) {
     report_.aborted = true;
     save_diagnostic_checkpoint();
@@ -1099,6 +1218,24 @@ void PruneTrainer::rollback(const robust::RecoveryPolicy::Decision& decision,
                                       cfg_.checkpoint_dir +
                                       "' (cause: " + cause.describe() + ")",
                                   report_);
+  }
+  decision.checkpoint = path;
+  decision.generation = target.generation;
+  decision.cascaded_past = target.skipped_corrupt;
+  if (target.skipped_corrupt > 0) {
+    std::ostringstream cs;
+    cs << "rollback cascaded past " << target.skipped_corrupt
+       << " corrupt checkpoint(s) to generation " << target.generation << " ("
+       << path << ")";
+    robust::HealthEvent ev{robust::EventType::kCheckpointCascade,
+                           robust::Severity::kWarning, epoch_counter_,
+                           static_cast<double>(target.skipped_corrupt),
+                           cs.str()};
+    report_.events.push_back(ev);
+    log_warn("guardian: " + ev.describe());
+    if (telemetry::enabled()) {
+      telemetry::event("health/checkpoint-cascade", ev.describe());
+    }
   }
   // load_checkpoint_file restores the model, optimizer momentum, BN stats,
   // shuffle-RNG state, counters, and partial statistics, and sets the

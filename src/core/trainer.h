@@ -37,6 +37,7 @@
 #include "prune/strategy.h"
 #include "robust/fault.h"
 #include "robust/health.h"
+#include "robust/integrity.h"
 #include "robust/recovery.h"
 #include "telemetry/record.h"
 
@@ -169,6 +170,28 @@ struct TrainConfig {
   std::string fault_spec;
   std::uint64_t fault_seed = 0x5eedf0a1ULL;
 
+  // --- Silent-data-corruption defense (src/robust/integrity) ---
+
+  /// > 0 arms the IntegrityMonitor: every this-many steps the trainer
+  /// digests the named state (params + momentum + buffers + strategy
+  /// state, CRC-32 per tensor). Under an elastic cluster the per-replica
+  /// digests are majority-voted — a minority replica is healed in place by
+  /// a full state copy from a voted-healthy replica (no rollback burned);
+  /// a vote with no strict majority raises a fatal kSdcNoQuorum event for
+  /// the guardian. Single-device runs record the digest as telemetry.
+  /// 0 (the default) disables the monitor.
+  std::int64_t sdc_check_interval = 0;
+
+  /// > 0 bounds the retained checkpoint generation chain: only the newest
+  /// this-many numbered checkpoints (ckpt-epoch-<N>.bin) are kept on disk,
+  /// and every save triggers a scrub pass that re-validates each retained
+  /// generation's CRC-32 footer on the execution context. A rollback then
+  /// cascades past generations the scrubber proved corrupt (torn writes,
+  /// bit rot) without paying a load attempt. 0 (the default) retains every
+  /// generation, the historical behavior; the scrubber still runs whenever
+  /// checkpoint_dir is set.
+  std::int64_t keep_checkpoints = 0;
+
   // --- Elastic data-parallel training (src/dist) ---
 
   /// > 1 trains on a simulated elastic cluster of this many in-process
@@ -275,6 +298,18 @@ class PruneTrainer {
   /// backoff, every health event. Zero-valued when recovery never engaged.
   const robust::RecoveryReport& recovery_report() const { return report_; }
 
+  /// The SDC monitor (cfg.sdc_check_interval > 0), for checks/heals/bytes
+  /// statistics; nullptr when disabled.
+  const robust::IntegrityMonitor* integrity_monitor() const {
+    return integrity_ ? integrity_.get() : nullptr;
+  }
+
+  /// The checkpoint generation scrubber (cfg.checkpoint_dir set), for the
+  /// generation ledger; nullptr when checkpointing is off.
+  const robust::CheckpointScrubber* checkpoint_scrubber() const {
+    return scrubber_ ? scrubber_.get() : nullptr;
+  }
+
   /// The execution context every forward/backward of this trainer runs on
   /// (TrainConfig::num_threads pool + workspace arena). Exposed so tests
   /// and tools can read pool/workspace statistics.
@@ -287,12 +322,25 @@ class PruneTrainer {
   /// recovery is enabled. run() wraps this in the rollback-retry loop.
   TrainResult run_attempt();
 
-  /// Executes a kRollback decision: restores the last good checkpoint,
-  /// applies the recovery LR scale, optionally arms reconfiguration
-  /// suppression up to the fault epoch. Throws robust::TrainingAborted if
-  /// no loadable checkpoint exists.
-  void rollback(const robust::RecoveryPolicy::Decision& decision,
+  /// Executes a kRollback decision: resolves the rollback target through
+  /// the scrubber's generation ledger (cascading past corrupt files, with
+  /// a kCheckpointCascade event when it had to), restores it, applies the
+  /// recovery LR scale, optionally arms reconfiguration suppression up to
+  /// the fault epoch. The decision comes back annotated with the
+  /// checkpoint/generation actually selected. Throws
+  /// robust::TrainingAborted if no loadable checkpoint exists.
+  void rollback(robust::RecoveryPolicy::Decision decision,
                 const robust::HealthEvent& cause);
+
+  /// Digest-vote the cluster's live replicas (called after each elastic
+  /// step when due): a convicted minority is healed in place; a no-quorum
+  /// split escalates as a fatal kSdcNoQuorum when recovery is enabled.
+  void run_integrity_check();
+
+  /// Credits cluster-injected fault fires to the report since the last
+  /// call — invoked at epoch end *and* before any mid-epoch escalation
+  /// throw, so fires are never lost to an aborted epoch.
+  void account_cluster_fault_fires();
 
   /// Best-effort ckpt-diagnostic.bin: the broken model plus a "guardian"
   /// section holding the serialized RecoveryReport. Never throws.
@@ -405,6 +453,11 @@ class PruneTrainer {
   // Guardian state (src/robust).
   robust::FaultInjector fault_;                   ///< disarmed when no spec
   std::unique_ptr<robust::HealthMonitor> health_; ///< null when checks off
+  /// SDC digest-vote monitor; null when sdc_check_interval == 0.
+  std::unique_ptr<robust::IntegrityMonitor> integrity_;
+  /// Checkpoint generation chain + CRC scrubber; null when checkpoint_dir
+  /// is empty.
+  std::unique_ptr<robust::CheckpointScrubber> scrubber_;
   robust::RecoveryReport report_;
   float recovery_lr_scale_ = 1.f;       ///< lr_cut^rollbacks on retries
   std::int64_t skip_reconfig_until_ = -1;  ///< suppress reconfigs <= this epoch

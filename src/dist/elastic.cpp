@@ -116,22 +116,52 @@ std::int64_t ElasticCluster::resync_rejoiner(int r, int root) {
   // Phase 2 — fenced state broadcast: every persistent tensor (params,
   // momentum, BN buffers) plus current gradients, copied bit-exactly from
   // the survivor so the joiner's first synced step matches the group.
-  std::vector<nn::StateEntry> src = survivor.state();
-  std::vector<nn::StateEntry> dst = joiner.state();
+  return copy_full_state(root, r);
+}
+
+std::int64_t ElasticCluster::copy_full_state(int src_rank, int dst_rank) {
+  graph::Network& src_net = replicas_[static_cast<std::size_t>(src_rank)];
+  graph::Network& dst_net = replicas_[static_cast<std::size_t>(dst_rank)];
+  std::vector<nn::StateEntry> src = src_net.state();
+  std::vector<nn::StateEntry> dst = dst_net.state();
   if (src.size() != dst.size()) {
-    throw std::logic_error("rejoin resync: state-dict size mismatch");
+    throw std::logic_error("state broadcast: state-dict size mismatch");
   }
   std::int64_t bytes = 0;
   for (std::size_t i = 0; i < src.size(); ++i) {
     if (src[i].name != dst[i].name ||
         src[i].tensor->numel() != dst[i].tensor->numel()) {
-      throw std::logic_error("rejoin resync: state entry mismatch at '" +
+      throw std::logic_error("state broadcast: state entry mismatch at '" +
                              src[i].name + "'");
     }
     std::copy(src[i].tensor->data(),
               src[i].tensor->data() + src[i].tensor->numel(),
               dst[i].tensor->data());
     bytes += src[i].tensor->numel() * static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+std::int64_t ElasticCluster::heal_replica(int victim, int root) {
+  if (victim < 0 || victim >= size() || root < 0 || root >= size() ||
+      victim == root) {
+    throw std::invalid_argument("heal_replica: bad replica ranks");
+  }
+  graph::Network& root_net = replicas_[static_cast<std::size_t>(root)];
+  graph::Network& victim_net = replicas_[static_cast<std::size_t>(victim)];
+  // Digest voting convicts on matching topology stamps, so the structures
+  // normally agree; a victim whose structure itself diverged is rebuilt
+  // from a root clone before the copy (the rejoin fallback path).
+  if (!same_topology(victim_net, root_net)) {
+    victim_net = ckpt::Checkpoint::capture(root_net).restore_network();
+  }
+  const std::int64_t bytes = copy_full_state(root, victim);
+  heal_bytes_total_ += bytes;
+  if (telemetry::enabled()) {
+    telemetry::count("dist/heal_bytes", static_cast<double>(bytes));
+    telemetry::event("dist/heal", "replica " + std::to_string(victim) +
+                                      " healed from replica " +
+                                      std::to_string(root));
   }
   return bytes;
 }
@@ -236,6 +266,12 @@ ElasticStepResult ElasticCluster::step(exec::ExecContext& ctx,
     opt.step(net.params());
     if (post_update) post_update(net, first_participant);
     first_participant = false;
+    // Silent-data-corruption injection (sdc-param / sdc-momentum) lands
+    // *after* the update and the hooks so nothing overwrites the flipped
+    // bit before the next digest check sees it.
+    if (injector_.armed()) {
+      injector_.corrupt_state(net, step_id, r);
+    }
   }
 
   // Fenced rejoin: replicas that entered REJOINING this step resync from

@@ -149,7 +149,18 @@ class ElasticCluster {
   /// Health events (quorum loss) raised since the last call.
   std::vector<robust::HealthEvent> drain_health_events();
 
+  /// Heals replica `victim` in place by a fenced full-state copy from
+  /// replica `root` — the phase-2 broadcast of the rejoin resync, without
+  /// the topology replay (digest voting already proved the topologies
+  /// match; a victim whose *structure* diverged is rebuilt from a root
+  /// clone first). Used by the integrity monitor when a digest vote
+  /// convicts a minority replica of silent corruption: one copy, no
+  /// rollback, no lost steps. Returns the bytes copied.
+  std::int64_t heal_replica(int victim, int root);
+
   std::int64_t resync_bytes_total() const { return resync_bytes_total_; }
+  /// State bytes copied by integrity heals (heal_replica), cumulative.
+  std::int64_t heal_bytes_total() const { return heal_bytes_total_; }
   std::int64_t steps() const { return step_counter_; }
   /// Gradient bytes per update per worker at the current live ring size.
   double update_bytes() const;
@@ -160,6 +171,11 @@ class ElasticCluster {
   /// survivor at rank `root`, then counts the fenced state broadcast.
   std::int64_t resync_rejoiner(int r, int root);
 
+  /// The fenced full-state copy shared by rejoin resync (phase 2) and
+  /// integrity heals: every state tensor of `src_rank`'s replica copied
+  /// bit-exactly onto `dst_rank`'s. Returns the bytes copied.
+  std::int64_t copy_full_state(int src_rank, int dst_rank);
+
   std::vector<graph::Network> replicas_;
   cost::CommModel comm_;
   MembershipTable table_;
@@ -168,6 +184,7 @@ class ElasticCluster {
   std::vector<MembershipTransition> transitions_;
   std::vector<robust::HealthEvent> health_events_;
   std::int64_t resync_bytes_total_ = 0;
+  std::int64_t heal_bytes_total_ = 0;
   std::int64_t step_counter_ = 0;  ///< global step index for fault matching
 };
 

@@ -22,6 +22,9 @@ std::string to_string(FaultSpec::Kind kind) {
     case FaultSpec::Kind::kKillReplica: return "kill-replica";
     case FaultSpec::Kind::kFlakyReplica: return "flaky-replica";
     case FaultSpec::Kind::kRejoinReplica: return "rejoin-replica";
+    case FaultSpec::Kind::kSdcParam: return "sdc-param";
+    case FaultSpec::Kind::kSdcMomentum: return "sdc-momentum";
+    case FaultSpec::Kind::kTornCkpt: return "torn-ckpt";
   }
   return "?";
 }
@@ -42,6 +45,12 @@ std::string fault_spec_help() {
       "  rejoin-replica  revive a dead replica at matching step    step,replica,count\n"
       "  truncate-ckpt   truncate checkpoint files to half size    epoch,count\n"
       "  corrupt-ckpt    flip one random byte of checkpoint files  epoch,count\n"
+      "  torn-ckpt       truncate checkpoints through the CRC-32   epoch,count\n"
+      "                  footer (partial write died mid-save)\n"
+      "  sdc-param       silent corruption: flip one bit of one    step,replica,count\n"
+      "                  parameter element post-step, kept finite\n"
+      "  sdc-momentum    silent corruption: flip one bit of one    step,replica,count\n"
+      "                  momentum element post-step, kept finite\n"
       "\n"
       "  keys (wildcards when omitted):\n"
       "    epoch=<N>    fire only at global epoch N\n"
@@ -57,6 +66,8 @@ std::string fault_spec_help() {
       "    kill-replica:replica=2,step=50\n"
       "    flaky-replica:prob=0.2,count=0\n"
       "    kill-replica:replica=1,step=10;rejoin-replica:replica=1,step=40\n"
+      "    sdc-param:replica=1,step=3\n"
+      "    torn-ckpt:epoch=4\n"
       "\n"
       "  Determinism: matching is pure arithmetic on (epoch, step, replica,\n"
       "  firings so far); random choices draw from a pt::Rng seeded at\n"
@@ -70,7 +81,8 @@ FaultSpec::Kind parse_kind(const std::string& token) {
   for (Kind k : {Kind::kNanGrad, Kind::kBitflipGrad, Kind::kScaleGrad,
                  Kind::kDropReplica, Kind::kDelayReplica, Kind::kTruncateCkpt,
                  Kind::kCorruptCkpt, Kind::kKillReplica, Kind::kFlakyReplica,
-                 Kind::kRejoinReplica}) {
+                 Kind::kRejoinReplica, Kind::kSdcParam, Kind::kSdcMomentum,
+                 Kind::kTornCkpt}) {
     if (token == to_string(k)) return k;
   }
   throw std::invalid_argument("fault spec: unknown kind '" + token + "'");
@@ -150,6 +162,23 @@ std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
     specs.push_back(spec);
   }
   return specs;
+}
+
+void validate_fault_replicas(const std::vector<FaultSpec>& specs,
+                             int replicas) {
+  for (const FaultSpec& s : specs) {
+    if (s.kind != FaultSpec::Kind::kSdcParam &&
+        s.kind != FaultSpec::Kind::kSdcMomentum) {
+      continue;
+    }
+    if (s.replica >= replicas) {
+      throw std::invalid_argument(
+          "fault spec: " + to_string(s.kind) + ":replica=" +
+          std::to_string(s.replica) + " targets a replica that does not " +
+          "exist (replicas=" + std::to_string(replicas) +
+          ") and would never fire");
+    }
+  }
 }
 
 FaultInjector::FaultInjector(std::vector<FaultSpec> specs, std::uint64_t seed)
@@ -268,11 +297,53 @@ bool FaultInjector::rejoin_replica(int replica, std::int64_t step) {
   return false;
 }
 
+bool FaultInjector::corrupt_state(graph::Network& net, std::int64_t step,
+                                  int replica) {
+  bool fired = false;
+  for (Armed& a : specs_) {
+    const auto kind = a.spec.kind;
+    if (kind != FaultSpec::Kind::kSdcParam &&
+        kind != FaultSpec::Kind::kSdcMomentum) {
+      continue;
+    }
+    // epoch = -1: SDC fires on the step clock, like the membership kinds —
+    // an epoch-constrained spec never matches.
+    if (!matches(a, -1, step, replica)) continue;
+    std::vector<nn::Param*> params = net.params();
+    if (params.empty()) continue;
+    ++a.fires;
+    fired = true;
+    nn::Param* victim =
+        params[static_cast<std::size_t>(rng_.uniform_int(params.size()))];
+    Tensor& t = kind == FaultSpec::Kind::kSdcParam ? victim->value
+                                                   : victim->momentum;
+    const std::int64_t elem = static_cast<std::int64_t>(
+        rng_.uniform_int(static_cast<std::uint64_t>(t.numel())));
+    float* x = t.data() + elem;
+    // Flip one bit, retrying the bit choice until the result stays finite:
+    // the corruption must sail past every NaN/Inf scan (a mantissa or
+    // low-exponent flip almost always does; the retry bounds the tail).
+    std::uint32_t bits;
+    std::memcpy(&bits, x, sizeof(bits));
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::uint32_t flipped = bits ^ (1u << rng_.uniform_int(32));
+      float candidate;
+      std::memcpy(&candidate, &flipped, sizeof(candidate));
+      if (std::isfinite(candidate) && candidate != *x) {
+        std::memcpy(x, &candidate, sizeof(candidate));
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
 bool FaultInjector::corrupt_checkpoint_files(
     const std::vector<std::string>& paths, std::int64_t epoch) {
   for (Armed& a : specs_) {
     if (a.spec.kind != FaultSpec::Kind::kTruncateCkpt &&
-        a.spec.kind != FaultSpec::Kind::kCorruptCkpt) {
+        a.spec.kind != FaultSpec::Kind::kCorruptCkpt &&
+        a.spec.kind != FaultSpec::Kind::kTornCkpt) {
       continue;
     }
     if (!matches(a, epoch, -1, -1)) continue;
@@ -282,6 +353,11 @@ bool FaultInjector::corrupt_checkpoint_files(
       if (bytes.empty()) continue;
       if (a.spec.kind == FaultSpec::Kind::kTruncateCkpt) {
         bytes.resize(bytes.size() / 2);
+      } else if (a.spec.kind == FaultSpec::Kind::kTornCkpt) {
+        // A write that died just before completing the 4-byte CRC-32
+        // footer: cut the last 6 bytes (the footer plus the payload tail),
+        // leaving a file that is almost whole but fails footer validation.
+        bytes.resize(bytes.size() > 6 ? bytes.size() - 6 : 0);
       } else {
         const std::size_t at =
             static_cast<std::size_t>(rng_.uniform_int(bytes.size()));

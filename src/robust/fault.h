@@ -13,7 +13,8 @@
 //   kinds: nan-grad | bitflip-grad | scale-grad
 //          drop-replica | delay-replica
 //          kill-replica | flaky-replica | rejoin-replica
-//          truncate-ckpt | corrupt-ckpt
+//          truncate-ckpt | corrupt-ckpt | torn-ckpt
+//          sdc-param | sdc-momentum
 //   keys:  epoch=<N>    fire only at global epoch N         (-1 = any)
 //          step=<N>     fire only at step/iteration N       (-1 = any)
 //          replica=<N>  fire only for replica N             (-1 = any)
@@ -38,6 +39,15 @@
 // flaky-replica kills it with probability `prob` per queried step, and
 // rejoin-replica revives a dead replica at the matching step (the
 // membership layer then runs the checkpointed-rejoin protocol).
+//
+// The silent-data-corruption kinds (ISSUE 7) model *quiet* failures the
+// guardian's NaN/spike checks cannot see: sdc-param / sdc-momentum flip
+// one bit of one parameter / momentum element *after* the optimizer step,
+// retrying the bit choice until the result is finite — the corruption is
+// invisible to every loud check and only the IntegrityMonitor's digest
+// vote catches it. torn-ckpt truncates checkpoint files a few bytes short
+// of the end, cutting through the CRC-32 footer: the partial write of a
+// process that died mid-save, the case the checkpoint scrubber exists for.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +71,9 @@ struct FaultSpec {
     kKillReplica = 7,  ///< permanent death: misses every heartbeat onward
     kFlakyReplica = 8, ///< dies with probability `prob` per queried step
     kRejoinReplica = 9,///< revive a dead replica at the matching step
+    kSdcParam = 10,    ///< finite in-place bitflip of one parameter element
+    kSdcMomentum = 11, ///< finite in-place bitflip of one momentum element
+    kTornCkpt = 12,    ///< truncate checkpoint files through the CRC footer
   };
 
   Kind kind = Kind::kNanGrad;
@@ -83,6 +96,14 @@ std::vector<FaultSpec> parse_fault_specs(const std::string& text);
 /// with its semantics and keys). Printed by `quickstart --fault-spec help`;
 /// DESIGN.md §7 carries the same table.
 std::string fault_spec_help();
+
+/// Rejects replica-targeted SDC specs that can never fire: an sdc-param /
+/// sdc-momentum clause with replica >= `replicas` names a worker that does
+/// not exist, which previously just never matched — a silently dead test.
+/// Throws std::invalid_argument naming the offending clause.
+/// TrainConfig::validate() calls this with the configured replica count.
+void validate_fault_replicas(const std::vector<FaultSpec>& specs,
+                             int replicas);
 
 class FaultInjector {
  public:
@@ -128,6 +149,15 @@ class FaultInjector {
   /// True when a kRejoinReplica fault fires for (replica, step): a dead
   /// replica should begin the rejoin protocol. Consumes one firing.
   bool rejoin_replica(int replica, std::int64_t step);
+
+  /// Applies matching sdc-param / sdc-momentum faults to `net`: one random
+  /// bit of one random element of one random parameter (or its momentum)
+  /// is flipped in place, retrying the bit choice until the value stays
+  /// finite — the corruption sails past every NaN/Inf scan. Called *after*
+  /// the optimizer step (single device: the trainer; cluster: after the
+  /// post-update hooks), so nothing overwrites it before the next digest
+  /// check. Returns true if a fault fired.
+  bool corrupt_state(graph::Network& net, std::int64_t step, int replica = -1);
 
   /// Applies a matching checkpoint fault to every path in `paths` (they
   /// are one logical save: the numbered file plus ckpt-latest.bin).

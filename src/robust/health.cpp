@@ -34,6 +34,9 @@ std::string to_string(EventType type) {
     case EventType::kPruningCollapse: return "pruning-collapse";
     case EventType::kQuorumLoss: return "quorum-loss";
     case EventType::kReplicaDivergence: return "replica-divergence";
+    case EventType::kSdcDetected: return "sdc-detected";
+    case EventType::kSdcNoQuorum: return "sdc-no-quorum";
+    case EventType::kCheckpointCascade: return "checkpoint-cascade";
   }
   return "?";
 }

@@ -36,6 +36,9 @@ enum class EventType : std::uint8_t {
   kPruningCollapse = 5,  ///< a conv is about to lose all channels
   kQuorumLoss = 6,       ///< live replicas fell below min_live_fraction
   kReplicaDivergence = 7,///< a replica's parameter table diverged
+  kSdcDetected = 8,      ///< digest vote caught silent corruption (healed)
+  kSdcNoQuorum = 9,      ///< digest vote split with no strict majority
+  kCheckpointCascade = 10,///< rollback skipped corrupt generations
 };
 
 enum class Severity : std::uint8_t { kWarning = 0, kFatal = 1 };

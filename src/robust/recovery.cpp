@@ -6,6 +6,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/serialize.h"
+#include "robust/integrity.h"
 #include "telemetry/metrics.h"
 
 namespace pt::robust {
@@ -71,6 +72,11 @@ RecoveryReport deserialize_report(const std::vector<std::uint8_t>& bytes) {
 }
 
 std::string find_last_good_checkpoint(const std::string& dir) {
+  return find_rollback_target(dir, nullptr).path;
+}
+
+RollbackTarget find_rollback_target(const std::string& dir,
+                                    const CheckpointScrubber* scrubber) {
   namespace fs = std::filesystem;
   auto loads = [](const std::string& path) {
     try {
@@ -80,9 +86,23 @@ std::string find_last_good_checkpoint(const std::string& dir) {
       return false;
     }
   };
+  // The scrubber's ledger fast-paths the verdict: a generation it already
+  // proved corrupt is skipped without paying a load attempt.
+  auto known_corrupt = [&](const std::string& path) {
+    if (scrubber == nullptr) return false;
+    const GenerationInfo* g = scrubber->verdict(path);
+    return g != nullptr && !g->valid;
+  };
 
+  RollbackTarget target;
   const fs::path latest = fs::path(dir) / "ckpt-latest.bin";
-  if (fs::exists(latest) && loads(latest.string())) return latest.string();
+  if (fs::exists(latest)) {
+    if (!known_corrupt(latest.string()) && loads(latest.string())) {
+      target.path = latest.string();
+      return target;
+    }
+    ++target.skipped_corrupt;
+  }
 
   // Numbered checkpoints, newest first.
   std::vector<std::pair<std::int64_t, std::string>> numbered;
@@ -107,9 +127,15 @@ std::string find_last_good_checkpoint(const std::string& dir) {
   std::sort(numbered.begin(), numbered.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   for (const auto& [epoch, path] : numbered) {
-    if (loads(path)) return path;
+    if (!known_corrupt(path) && loads(path)) {
+      target.path = path;
+      target.generation = epoch;
+      return target;
+    }
+    ++target.skipped_corrupt;
   }
-  return "";
+  target.skipped_corrupt = 0;  // nothing recoverable: the count is moot
+  return target;
 }
 
 RecoveryPolicy::RecoveryPolicy(RecoveryConfig cfg) : cfg_(cfg) {

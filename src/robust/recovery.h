@@ -23,6 +23,8 @@
 
 namespace pt::robust {
 
+class CheckpointScrubber;  // integrity.h
+
 struct RecoveryConfig {
   std::int64_t max_rollbacks = 3;  ///< retry budget for the whole run
   float lr_cut = 0.5f;             ///< LR multiplier applied per rollback
@@ -73,6 +75,27 @@ class TrainingAborted : public std::runtime_error {
 /// in the directory is recoverable.
 std::string find_last_good_checkpoint(const std::string& dir);
 
+/// What a cascading rollback actually landed on. The old contract — "the
+/// newest checkpoint is loadable" — does not survive torn writes or bit
+/// rot on the newest file; the target records how far past damaged
+/// generations the search had to cascade so the trainer can surface a
+/// kCheckpointCascade HealthEvent instead of silently restoring older
+/// state.
+struct RollbackTarget {
+  std::string path;              ///< "" when nothing in `dir` is recoverable
+  std::int64_t generation = -1;  ///< epoch number of the file (-1: latest/unknown)
+  std::int64_t skipped_corrupt = 0;  ///< newer files skipped as unloadable
+};
+
+/// find_last_good_checkpoint with provenance: walks ckpt-latest.bin, then
+/// ckpt-epoch-<N>.bin in descending epoch order, counting every newer file
+/// that failed to load (torn, truncated, bit-flipped). When `scrubber` is
+/// non-null, files the scrubber already proved corrupt are skipped without
+/// paying a load attempt — the generation chain's ledger fast-paths the
+/// cascade.
+RollbackTarget find_rollback_target(const std::string& dir,
+                                    const CheckpointScrubber* scrubber);
+
 class RecoveryPolicy {
  public:
   struct Decision {
@@ -84,6 +107,12 @@ class RecoveryPolicy {
     double backoff_seconds = 0;
     std::int64_t attempt = 0;  ///< 1-based rollback count, this one included
     bool skip_reconfig = false;
+    /// Filled in by the trainer once the rollback target is resolved: the
+    /// checkpoint actually restored, its generation number, and how many
+    /// newer (corrupt) generations the search cascaded past.
+    std::string checkpoint;
+    std::int64_t generation = -1;
+    std::int64_t cascaded_past = 0;
   };
 
   explicit RecoveryPolicy(RecoveryConfig cfg);

@@ -183,7 +183,8 @@ TEST(FaultSpec, HelpTextDocumentsEveryKindAndKey) {
   for (const char* kind :
        {"nan-grad", "bitflip-grad", "scale-grad", "drop-replica",
         "delay-replica", "kill-replica", "flaky-replica", "rejoin-replica",
-        "truncate-ckpt", "corrupt-ckpt"}) {
+        "truncate-ckpt", "corrupt-ckpt", "sdc-param", "sdc-momentum",
+        "torn-ckpt"}) {
     EXPECT_NE(help.find(kind), std::string::npos) << kind;
   }
   for (const char* key : {"epoch", "step", "replica", "count", "scale",
