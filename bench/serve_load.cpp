@@ -1,0 +1,211 @@
+// Serving under load across a hot swap: a PruneTrain run produces a dense
+// initial generation and a pruned final generation; the serving runtime
+// starts on the dense weights, and the pruned checkpoint lands mid-trace.
+// Measured: throughput and p99 latency (modeled ticks, 1 tick = 1 ms)
+// before vs after the swap, plus two sanity flags the suite gates on:
+//
+//   zero_dropped — every admitted request completed; the swap boundary
+//                  lost nothing (the ISSUE 8 structural invariant).
+//   swap_speedup — the pruned generation priced cheaper per batch than the
+//                  dense one (modeled service time fell at the swap).
+//
+//   $ ./serve_load [--epochs N] [--qps N] [--deadline-ms N]
+//                  [--duration-ms N] [--out BENCH.json]
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "ckpt/checkpoint.h"
+#include "serve/server.h"
+#include "telemetry/bench_export.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Window {
+  std::int64_t served = 0;
+  double p99 = 0;
+  double qps = 0;
+};
+
+Window window_stats(const std::vector<pt::serve::Response>& responses,
+                    pt::serve::Tick from, pt::serve::Tick to) {
+  Window w;
+  std::vector<pt::serve::Tick> lat;
+  for (const auto& r : responses) {
+    if (r.shed || r.completion < from || r.completion >= to) continue;
+    lat.push_back(r.completion - r.arrival);
+  }
+  w.served = static_cast<std::int64_t>(lat.size());
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    w.p99 = static_cast<double>(
+        lat[std::min(lat.size() - 1,
+                     static_cast<std::size_t>(0.99 * double(lat.size())))]);
+    w.qps = 1000.0 * double(w.served) /
+            double(std::max<pt::serve::Tick>(1, to - from));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pt::CliFlags flags;
+  flags.define("epochs", "16", "PruneTrain epochs producing the pruned gen");
+  flags.define("qps", "200", "offered load, requests per modeled second");
+  flags.define("deadline-ms", "80", "per-request relative deadline");
+  flags.define("duration-ms", "6000", "trace length in modeled ms");
+  flags.define("quick", "false", "halve the training epochs");
+  flags.define("out", "BENCH_serve_load.json",
+               "output artifact path (BENCH_*.json format)");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("serve_load");
+    return 0;
+  }
+  const bool quick = flags.get_bool("quick");
+  const std::int64_t epochs =
+      std::max<long>(6, quick ? flags.get_int("epochs") / 2
+                              : flags.get_int("epochs"));
+  const double qps = std::max(1.0, flags.get_double("qps"));
+  const pt::serve::Tick deadline =
+      std::max<long>(1, flags.get_int("deadline-ms"));
+  const pt::serve::Tick duration =
+      std::max<long>(1000, flags.get_int("duration-ms"));
+  const std::int64_t max_batch = 8;
+
+  // 1. Produce the two generations: the dense initial model, and the same
+  // model after a PruneTrain proxy run (reconfigured + compacted).
+  pt::bench::ProxyCase c = pt::bench::cifar_case("resnet32", false);
+  pt::data::SyntheticImageDataset ds(c.data);
+  const pt::Shape input{c.data.channels, c.data.height, c.data.width};
+  auto dense = pt::bench::build_net(c);
+  auto pruned = pt::bench::build_net(c);
+  {
+    auto cfg = pt::bench::proxy_train_config(epochs, 0.25f,
+                                             pt::core::PrunePolicy::kPruneTrain);
+    pt::core::PruneTrainer trainer(pruned, ds, cfg);
+    trainer.run();
+  }
+  const pt::bench::ModelCost dense_cost = pt::bench::model_cost(dense, input);
+  const pt::bench::ModelCost pruned_cost = pt::bench::model_cost(pruned, input);
+  std::cout << "serve_load: " << c.label << ", dense "
+            << pt::fmt(dense_cost.inference_flops / 1e6, 3)
+            << " MFLOPs -> pruned "
+            << pt::fmt(pruned_cost.inference_flops / 1e6, 3)
+            << " MFLOPs after " << epochs << " epochs\n";
+
+  const fs::path dir =
+      fs::temp_directory_path() / "pt_serve_load_generations";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  pt::ckpt::Checkpoint::capture(dense).save(
+      (dir / "ckpt-epoch-0.bin").string());
+  const fs::path pruned_file = fs::temp_directory_path() / "pt_serve_load_pruned.bin";
+  pt::ckpt::Checkpoint::capture(pruned).save(pruned_file.string());
+
+  // 2. Serve one trace across the swap. The modeled worker retires a full
+  // dense batch in ~8 ticks; the pruned generation re-prices on publish.
+  pt::serve::ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = max_batch;
+  cfg.max_queue = 8 * max_batch;
+  cfg.poll_interval = 10;
+  cfg.flops_per_tick = dense_cost.inference_flops * double(max_batch) / 8.0;
+
+  pt::exec::ExecContext ctx(1);
+  pt::serve::ServeRuntime runtime(cfg, ctx);
+  runtime.add_model("resnet32", dir.string(), input);
+  const pt::serve::Tick swap_at = duration / 2;
+  runtime.schedule(swap_at, [&] {
+    fs::copy_file(pruned_file, dir / "ckpt-epoch-999.bin",
+                  fs::copy_options::overwrite_existing);
+  });
+
+  pt::serve::TraceSpec spec;
+  spec.model = "resnet32";
+  spec.mean_interarrival = 1000.0 / qps;
+  spec.end = duration;
+  spec.deadline = deadline;
+  spec.input = input;
+  spec.seed = 17;
+  const auto trace = pt::serve::synthesize_trace({spec});
+  const auto report = runtime.run(trace);
+
+  // 3. Flags + windows.
+  const bool zero_dropped =
+      report.dropped == 0 &&
+      report.responses.size() == trace.size() &&
+      report.admitted == report.completed;
+  bool swap_speedup = false;
+  pt::serve::Tick swap_tick = swap_at;
+  pt::serve::Tick dense_ticks = 0, pruned_ticks = 0;
+  if (report.swaps.size() >= 2) {
+    dense_ticks = report.swaps.front().record.service_ticks_per_batch;
+    pruned_ticks = report.swaps.back().record.service_ticks_per_batch;
+    swap_tick = report.swaps.back().tick;
+    swap_speedup = pruned_ticks < dense_ticks;
+  }
+  const Window before = window_stats(report.responses, 0, swap_tick);
+  const Window after =
+      window_stats(report.responses, swap_tick, report.last_completion + 1);
+
+  pt::Table t({"window", "served", "qps", "p99 ms"});
+  t.add_row({"before swap (dense)", std::to_string(before.served),
+             pt::fmt(before.qps, 0), pt::fmt(before.p99, 0)});
+  t.add_row({"after swap (pruned)", std::to_string(after.served),
+             pt::fmt(after.qps, 0), pt::fmt(after.p99, 0)});
+  t.print();
+  std::cout << "  " << report.requests << " requests: admitted "
+            << report.admitted << ", shed " << report.shed << ", dropped "
+            << report.dropped << ", batches " << report.batches
+            << " (mean size " << pt::fmt(report.mean_batch_size, 2)
+            << "), batch service " << dense_ticks << " -> " << pruned_ticks
+            << " ticks\n";
+  std::cout << "  zero_dropped: " << (zero_dropped ? "yes" : "NO — DROPPED")
+            << ", swap_speedup: "
+            << (swap_speedup ? "yes" : "NO — PRUNED NOT CHEAPER") << "\n";
+
+  pt::telemetry::Json j = pt::telemetry::Json::object();
+  j["schema"] = pt::telemetry::Json("pt-telemetry-bench");
+  j["name"] = pt::telemetry::Json("serve_load");
+  j["model"] = pt::telemetry::Json(c.label);
+  j["epochs"] = pt::telemetry::Json(epochs);
+  j["offered_qps"] = pt::telemetry::Json(qps);
+  j["deadline_ms"] = pt::telemetry::Json(deadline);
+  j["duration_ms"] = pt::telemetry::Json(duration);
+  j["workers"] = pt::telemetry::Json(static_cast<std::int64_t>(cfg.workers));
+  j["max_batch"] = pt::telemetry::Json(max_batch);
+  j["skipped"] = pt::telemetry::Json(false);
+  j["zero_dropped"] = pt::telemetry::Json(zero_dropped);
+  j["swap_speedup"] = pt::telemetry::Json(swap_speedup);
+  j["requests"] = pt::telemetry::Json(report.requests);
+  j["admitted"] = pt::telemetry::Json(report.admitted);
+  j["shed"] = pt::telemetry::Json(report.shed);
+  j["completed"] = pt::telemetry::Json(report.completed);
+  j["dropped"] = pt::telemetry::Json(report.dropped);
+  j["late"] = pt::telemetry::Json(report.late);
+  j["batches"] = pt::telemetry::Json(report.batches);
+  j["mean_batch_size"] = pt::telemetry::Json(report.mean_batch_size);
+  j["leases_retired"] = pt::telemetry::Json(report.leases_retired);
+  j["swap_tick"] = pt::telemetry::Json(swap_tick);
+  j["dense_inference_flops"] = pt::telemetry::Json(dense_cost.inference_flops);
+  j["pruned_inference_flops"] =
+      pt::telemetry::Json(pruned_cost.inference_flops);
+  j["dense_batch_service_ticks"] = pt::telemetry::Json(dense_ticks);
+  j["pruned_batch_service_ticks"] = pt::telemetry::Json(pruned_ticks);
+  j["before_swap_qps"] = pt::telemetry::Json(before.qps);
+  j["before_swap_p99_ms"] = pt::telemetry::Json(before.p99);
+  j["after_swap_qps"] = pt::telemetry::Json(after.qps);
+  j["after_swap_p99_ms"] = pt::telemetry::Json(after.p99);
+  pt::telemetry::bench_export(j, flags.get("out"));
+  std::cout << "  wrote " << flags.get("out") << "\n";
+
+  fs::remove_all(dir);
+  fs::remove(pruned_file);
+  return (zero_dropped && swap_speedup) ? 0 : 1;
+}

@@ -10,7 +10,7 @@
 
 #include "bench/common.h"
 #include "cost/device.h"
-#include "cost/flops.h"
+#include "prune/materialize.h"
 #include "util/logging.h"
 
 using namespace pt;
@@ -66,9 +66,13 @@ int main(int argc, char** argv) {
       core::PruneTrainer trainer(pruned, ds, cfg);
       val_acc = trainer.run().final_test_acc;
     }
+    // Deploy the way the serving runtime does: materialize the channel-union
+    // inference form before measuring (prune::materialize_inference is the
+    // shared deployment entry point).
+    prune::materialize_inference(pruned, prune::InferenceForm::kChannelUnion);
     const Shape input{c.data.channels, c.data.height, c.data.width};
-    cost::FlopsModel fb(base, input);
-    cost::FlopsModel fp(pruned, input);
+    const ModelCost cb = model_cost(base, input);
+    const ModelCost cp = model_cost(pruned, input);
     for (std::int64_t batch : {10, 100}) {
       const double b_cpu = images_per_second(base, c.data, batch);
       const double p_cpu = images_per_second(pruned, c.data, batch);
@@ -76,7 +80,7 @@ int main(int argc, char** argv) {
       const double p_mod = modeled_images_per_second(pruned, c.data, batch);
       t.add_row({model, std::to_string(batch), fmt(b_cpu, 0), fmt(p_cpu, 0),
                  fmt(p_cpu / b_cpu, 2) + "x", fmt(p_mod / b_mod, 2) + "x",
-                 fmt(fp.inference_flops() / fb.inference_flops(), 2),
+                 fmt(cp.inference_flops / cb.inference_flops, 2),
                  fmt(val_acc, 3)});
     }
   }

@@ -1,46 +1,83 @@
-// Deploying a PruneTrained model: train, snapshot, materialize both the
-// channel-union and channel-gating inference forms, and compare their
-// cost and measured throughput (the Sec. 4.2 / Fig. 6-7 decision in
-// miniature).
+// Deploying a PruneTrained model behind the serving runtime: train with
+// checkpointing (generations accumulate as the model prunes), then serve a
+// synthetic traffic trace through serve::ServeRuntime while the final,
+// pruned generation lands mid-trace — a live hot swap with zero dropped
+// requests, measured before vs after the swap.
 //
-//   $ ./inference_deploy [--epochs 30]
+// The modeled serving clock maps 1 tick = 1 ms, so --qps and --deadline-ms
+// mean what they say. flops_per_tick is calibrated so one full dense batch
+// costs ~8 ticks.
+//
+//   $ ./inference_deploy [--epochs 8] [--qps 150] [--max-batch 8]
+//                        [--deadline-ms 60] [--workers 2]
+//                        [--duration-ms 4000]
+#include <algorithm>
+#include <filesystem>
 #include <iostream>
 
+#include "ckpt/checkpoint.h"
 #include "core/trainer.h"
-#include "cost/device.h"
 #include "cost/flops.h"
 #include "data/synthetic.h"
 #include "models/builders.h"
-#include "prune/gating.h"
-#include "prune/snapshot.h"
+#include "prune/materialize.h"
+#include "serve/server.h"
 #include "util/cli.h"
 #include "util/logging.h"
 #include "util/table.h"
 
+namespace fs = std::filesystem;
+
 namespace {
 
-double images_per_second(pt::graph::Network& net, const pt::Tensor& x) {
-  net.forward(x, false);  // warm-up
-  pt::Timer t;
-  int reps = 0;
-  while (t.seconds() < 0.3) {
-    net.forward(x, false);
-    ++reps;
+struct Window {
+  std::int64_t served = 0;
+  double p99 = 0;
+  double qps = 0;
+};
+
+// Latency p99 + served throughput of the responses in [from, to) ticks.
+Window window_stats(const std::vector<pt::serve::Response>& responses,
+                    pt::serve::Tick from, pt::serve::Tick to) {
+  Window w;
+  std::vector<pt::serve::Tick> lat;
+  for (const auto& r : responses) {
+    if (r.shed || r.completion < from || r.completion >= to) continue;
+    lat.push_back(r.completion - r.arrival);
   }
-  return double(reps) * double(x.shape()[0]) / t.seconds();
+  w.served = static_cast<std::int64_t>(lat.size());
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    w.p99 = static_cast<double>(
+        lat[std::min(lat.size() - 1,
+                     static_cast<std::size_t>(0.99 * double(lat.size())))]);
+    w.qps = 1000.0 * double(w.served) / double(std::max<pt::serve::Tick>(1, to - from));
+  }
+  return w;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   pt::CliFlags flags;
-  flags.define("epochs", "30", "training epochs");
+  flags.define("epochs", "8", "training epochs (checkpoint every ~third)");
+  flags.define("qps", "150", "offered load, requests per modeled second");
+  flags.define("max-batch", "8", "dynamic batching cap");
+  flags.define("deadline-ms", "60", "per-request relative deadline");
+  flags.define("workers", "2", "modeled serving workers");
+  flags.define("duration-ms", "4000", "trace length in modeled ms");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage("inference_deploy");
     return 0;
   }
-  const std::int64_t epochs = flags.get_int("epochs");
+  const std::int64_t epochs = std::max<long>(3, flags.get_int("epochs"));
+  const double qps = std::max(1.0, flags.get_double("qps"));
+  const std::int64_t max_batch = std::max<long>(1, flags.get_int("max-batch"));
+  const pt::serve::Tick deadline = std::max<long>(1, flags.get_int("deadline-ms"));
+  const int workers = static_cast<int>(std::max<long>(1, flags.get_int("workers")));
+  const pt::serve::Tick duration =
+      std::max<long>(100, flags.get_int("duration-ms"));
 
   pt::data::SyntheticImageDataset dataset(
       pt::data::SyntheticSpec::cifar10_like());
@@ -49,11 +86,19 @@ int main(int argc, char** argv) {
   model_cfg.image_w = dataset.spec().width;
   model_cfg.classes = dataset.spec().classes;
   model_cfg.width_mult = 0.125f;
+  const pt::Shape input{dataset.spec().channels, dataset.spec().height,
+                        dataset.spec().width};
 
-  auto build = [&] { return pt::models::build_resnet50(model_cfg, false); };
+  // 1. Train with PruneTrain, checkpointing into a staging directory so the
+  // generation chain spans dense-ish early weights to the pruned final model.
+  const fs::path root = "inference_deploy_ckpts";
+  const fs::path stage = root / "stage";
+  const fs::path live = root / "live";
+  fs::remove_all(root);
+  fs::create_directories(stage);
+  fs::create_directories(live);
 
-  // Train once with PruneTrain (union reconfiguration happens in-run).
-  auto trained = build();
+  auto trained = pt::models::build_resnet50(model_cfg, false);
   {
     pt::core::TrainConfig cfg;
     cfg.epochs = epochs;
@@ -63,51 +108,103 @@ int main(int argc, char** argv) {
     cfg.policy = pt::core::PrunePolicy::kPruneTrain;
     cfg.lasso_ratio = 0.25f;
     cfg.lasso_boost = 150.f;
-    cfg.reconfig_interval = std::max<std::int64_t>(2, epochs / 6);
-    cfg.eval_interval = 5;
+    cfg.reconfig_interval = std::max<std::int64_t>(2, epochs / 4);
+    cfg.eval_interval = epochs;
+    cfg.checkpoint_dir = stage.string();
+    cfg.checkpoint_interval = std::max<std::int64_t>(1, epochs / 3);
     pt::core::PruneTrainer trainer(trained, dataset, cfg);
     const auto r = trainer.run();
     std::cout << "trained: test acc " << pt::fmt(r.final_test_acc, 3)
-              << ", channels " << r.final_channels << ", layers removed "
-              << r.layers_removed << "\n\n";
+              << ", channels " << r.final_channels << ", inference MFLOPs "
+              << pt::fmt(r.final_inference_flops / 1e6, 3) << "\n";
   }
 
-  // Snapshots let deployments persist/restore trained state; a roundtrip
-  // is also a cheap integrity check before measuring.
-  const pt::prune::Snapshot snap = pt::prune::save_state(trained);
-  pt::prune::load_state(trained, snap);
+  const auto generations = pt::ckpt::list_generations(stage.string());
+  if (generations.size() < 2) {
+    std::cerr << "need >= 2 checkpoint generations, got "
+              << generations.size() << "\n";
+    return 1;
+  }
+  const auto& first_gen = generations.front();
+  const auto& last_gen = generations.back();
 
-  // The union model is `trained` itself; the gating transform below then
-  // mutates it in place, so union is measured first.
-  const pt::Shape input{dataset.spec().channels, dataset.spec().height,
-                        dataset.spec().width};
-  pt::Rng rng(9);
-  pt::Tensor x = pt::Tensor::randn({64, input[0], input[1], input[2]}, rng);
+  // 2. Serve: the live directory starts with the earliest (least pruned)
+  // generation; the final pruned generation is dropped in mid-trace and the
+  // registry poll hot-swaps it under load.
+  fs::copy_file(first_gen.path, live / fs::path(first_gen.path).filename());
 
-  pt::cost::FlopsModel union_flops(trained, input);
-  pt::cost::DeviceModel dev(pt::cost::DeviceSpec::titan_xp());
-  const double union_cpu = images_per_second(trained, x);
-  const double union_gpu = 64.0 / dev.inference_time(trained, input, 64);
+  pt::exec::ExecContext ctx(1);
+  pt::serve::ServeConfig cfg;
+  cfg.workers = workers;
+  cfg.max_batch = max_batch;
+  cfg.max_queue = 4 * max_batch;
+  cfg.poll_interval = 10;  // poll the registry every modeled 10 ms
+  // Calibrate the modeled worker so one full batch of the *dense* model
+  // costs ~8 ticks; the pruned model then prices proportionally cheaper.
+  {
+    auto dense = pt::models::build_resnet50(model_cfg, false);
+    pt::cost::FlopsModel fm(dense, input);
+    cfg.flops_per_tick =
+        fm.inference_flops() * double(max_batch) / 8.0;
+  }
+  pt::serve::ServeRuntime runtime(cfg, ctx);
+  runtime.add_model("resnet", live.string(), input);
 
-  const auto gstats = pt::prune::apply_channel_gating(trained, 1e-4f);
-  pt::cost::FlopsModel gated_flops(trained, input);
-  const double gated_cpu = images_per_second(trained, x);
-  const double gated_gpu = 64.0 / dev.inference_time(trained, input, 64);
+  const pt::serve::Tick swap_at = duration / 2;
+  runtime.schedule(swap_at, [&] {
+    fs::copy_file(last_gen.path, live / fs::path(last_gen.path).filename(),
+                  fs::copy_options::overwrite_existing);
+  });
 
-  pt::Table t({"deployment", "MFLOPs", "img/s (cpu)", "img/s (modeled GPU)"});
-  t.add_row({"channel union", pt::fmt(union_flops.inference_flops() / 1e6, 3),
-             pt::fmt(union_cpu, 0), pt::fmt(union_gpu, 0)});
-  t.add_row({"channel gating (" + std::to_string(gstats.selects_inserted) +
-                 " gates)",
-             pt::fmt(gated_flops.inference_flops() / 1e6, 3),
-             pt::fmt(gated_cpu, 0), pt::fmt(gated_gpu, 0)});
+  pt::serve::TraceSpec spec;
+  spec.model = "resnet";
+  spec.mean_interarrival = 1000.0 / qps;
+  spec.start = 0;
+  spec.end = duration;
+  spec.deadline = deadline;
+  spec.input = input;
+  spec.seed = 42;
+  const auto trace = pt::serve::synthesize_trace({spec});
+
+  std::cout << "serving " << trace.size() << " requests over "
+            << duration << " modeled ms (" << pt::fmt(qps, 0)
+            << " qps offered, deadline " << deadline << " ms, "
+            << workers << " workers, max batch " << max_batch << ")\n\n";
+  const auto report = runtime.run(trace);
+
+  // 3. Report: swap provenance, then before/after-swap service quality.
+  for (const auto& ev : report.swaps) {
+    std::cout << "swap @ " << ev.tick << " ms: generation "
+              << ev.record.from_generation << " -> " << ev.record.to_generation
+              << " (lease epoch " << ev.record.lease_epoch << ", "
+              << ev.queued << " queued, " << ev.inflight
+              << " batches in flight, "
+              << pt::fmt(ev.record.inference_flops / 1e6, 3)
+              << " MFLOPs/sample)\n";
+  }
+
+  const pt::serve::Tick split =
+      report.swaps.size() > 1 ? report.swaps.back().tick : swap_at;
+  const Window before = window_stats(report.responses, 0, split);
+  const Window after =
+      window_stats(report.responses, split, report.last_completion + 1);
+
+  pt::Table t({"window", "served", "qps", "p99 ms"});
+  t.add_row({"before swap", std::to_string(before.served),
+             pt::fmt(before.qps, 0), pt::fmt(before.p99, 0)});
+  t.add_row({"after swap", std::to_string(after.served), pt::fmt(after.qps, 0),
+             pt::fmt(after.p99, 0)});
   t.print();
-  std::cout << "\nunion adds "
-            << pt::fmt(100.0 * (union_flops.inference_flops() /
-                                    std::max(1.0, gated_flops.inference_flops()) -
-                                1.0),
-                       2)
-            << "% FLOPs but avoids " << gstats.selects_inserted + gstats.scatters_inserted
-            << " gather/scatter ops per forward pass\n";
+
+  std::cout << "\nadmitted " << report.admitted << " / " << report.requests
+            << " (shed " << report.shed << "), completed " << report.completed
+            << ", dropped " << report.dropped << " (late " << report.late
+            << "), batches " << report.batches << " (mean size "
+            << pt::fmt(report.mean_batch_size, 2) << "), leases retired "
+            << report.leases_retired << "\n";
+  if (report.dropped != 0) {
+    std::cerr << "hot swap dropped requests — zero-drop invariant violated\n";
+    return 1;
+  }
   return 0;
 }

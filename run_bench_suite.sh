@@ -35,6 +35,12 @@ echo "===== bench: strategy_ablation ====="
 timeout 900 ./strategy_ablation --quick \
   --out /root/repo/BENCH_strategy_ablation.json 2>&1
 echo
+echo "===== bench: serve_load ====="
+# Serving runtime across a hot swap: dense generation serves until the
+# pruned checkpoint lands mid-trace; throughput/p99 before vs after, plus
+# the zero_dropped and swap_speedup sanity flags.
+timeout 900 ./serve_load --quick --out /root/repo/BENCH_serve_load.json 2>&1
+echo
 echo "===== bench: telemetry_smoke ====="
 # Instrumented quickstart: records a short run, then folds the JSONL
 # trajectory into BENCH_telemetry_smoke.json (monotone FLOPs/memory flags).
@@ -56,7 +62,8 @@ for artifact in /root/repo/BENCH_*.json; do
   [ -e "$artifact" ] || continue
   for flag in determinism_bitwise_1_vs_4 determinism_bitwise_elastic_vs_fixed \
               flops_monotone_nonincreasing memory_monotone_nonincreasing \
-              strategy_resume_bitwise heal_bitwise; do
+              strategy_resume_bitwise heal_bitwise zero_dropped \
+              swap_speedup; do
     if grep -q "\"$flag\"[[:space:]]*:[[:space:]]*false" "$artifact"; then
       echo "SANITY FLAG FAILED: $flag in $artifact" | tee -a /root/repo/bench_output.txt
       FAILED_FLAGS=$((FAILED_FLAGS + 1))

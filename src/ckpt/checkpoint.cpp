@@ -1,6 +1,8 @@
 #include "ckpt/checkpoint.h"
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 
@@ -230,6 +232,50 @@ void Checkpoint::save(const std::string& path) const {
   // CRC footer over everything above, via the shared util::fileio
   // integrity discipline (the telemetry emitter uses the same helpers).
   atomic_write_file_crc32(path, w.take());
+}
+
+bool Checkpoint::probe(const std::string& path) {
+  try {
+    const std::vector<std::uint8_t> bytes = read_file_bytes_crc32(path);
+    return bytes.size() >= sizeof(kMagic) + sizeof(std::uint32_t) &&
+           std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<GenerationEntry> list_generations(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<GenerationEntry> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kPrefix = "ckpt-epoch-";
+    constexpr const char* kSuffix = ".bin";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) continue;
+    if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                     kSuffix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        std::strlen(kPrefix),
+        name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    GenerationEntry g;
+    g.path = entry.path().string();
+    g.epoch = std::stoll(digits);
+    out.push_back(std::move(g));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GenerationEntry& a, const GenerationEntry& b) {
+              return a.epoch != b.epoch ? a.epoch < b.epoch : a.path < b.path;
+            });
+  return out;
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {

@@ -72,6 +72,12 @@ class Checkpoint {
 
   const std::vector<TensorRecord>& tensors() const { return tensors_; }
 
+  /// Reads and verifies only the file's trailing CRC-32 footer (no parse,
+  /// no tensor allocation) — the cheap validity probe consumers like the
+  /// serving registry run before committing to a full load. Returns false
+  /// on any I/O failure, truncation, or CRC mismatch; never throws.
+  static bool probe(const std::string& path);
+
  private:
   /// Mirror of one graph node, with enough geometry to reconstruct the
   /// layer. `geom_i`/`geom_f`/`indices` are interpreted per layer type.
@@ -94,5 +100,19 @@ class Checkpoint {
   std::vector<TensorRecord> tensors_;
   std::map<std::string, std::vector<std::uint8_t>> sections_;
 };
+
+/// One numbered checkpoint file found in a training run's checkpoint
+/// directory (the trainer's `ckpt-epoch-<N>.bin` naming).
+struct GenerationEntry {
+  std::string path;
+  std::int64_t epoch = -1;  ///< the <N> in the filename (save-time epoch)
+};
+
+/// Lists the numbered checkpoint generations in `dir`, sorted by ascending
+/// epoch. Non-matching filenames (ckpt-latest.bin, temp files, diagnostics)
+/// are ignored; a missing or unreadable directory yields an empty list.
+/// Read-only: nothing is opened, validated, or deleted — pair with
+/// Checkpoint::probe / robust::CheckpointScrubber for validity.
+std::vector<GenerationEntry> list_generations(const std::string& dir);
 
 }  // namespace pt::ckpt

@@ -1,0 +1,76 @@
+#include "serve/lease.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+
+namespace pt::serve {
+
+Tick ModelVersion::service_ticks(std::int64_t n, std::int64_t max_batch) const {
+  if (n <= 0) return 0;
+  const std::int64_t mb = std::max<std::int64_t>(1, max_batch);
+  const Tick full = std::max<Tick>(1, service_ticks_per_batch);
+  // Linear interpolation of the full-batch cost, rounded up, floor 1.
+  return std::max<Tick>(1, (full * n + mb - 1) / mb);
+}
+
+std::int64_t LeaseTable::publish(const std::string& model,
+                                 std::shared_ptr<ModelVersion> version) {
+  if (!version) {
+    throw std::invalid_argument("LeaseTable::publish: null version");
+  }
+  auto it = current_.find(model);
+  const std::int64_t next_epoch =
+      it == current_.end() ? 0 : it->second->lease_epoch + 1;
+  version->model = model;
+  version->lease_epoch = next_epoch;
+  if (it == current_.end()) {
+    order_.push_back(model);
+    current_.emplace(model, std::move(version));
+  } else {
+    watch_.push_back(std::move(it->second));
+    it->second = std::move(version);
+  }
+  ++publishes_;
+  telemetry::count("serve/publishes");
+  return next_epoch;
+}
+
+std::shared_ptr<ModelVersion> LeaseTable::acquire(
+    const std::string& model) const {
+  auto it = current_.find(model);
+  return it == current_.end() ? nullptr : it->second;
+}
+
+std::int64_t LeaseTable::epoch(const std::string& model) const {
+  auto it = current_.find(model);
+  return it == current_.end() ? -1 : it->second->lease_epoch;
+}
+
+bool LeaseTable::has(const std::string& model) const {
+  return current_.count(model) > 0;
+}
+
+std::vector<std::string> LeaseTable::models() const { return order_; }
+
+std::int64_t LeaseTable::sweep_retired() {
+  std::int64_t swept = 0;
+  auto it = watch_.begin();
+  while (it != watch_.end()) {
+    if (it->use_count() == 1) {  // only the watch list holds it
+      telemetry::event("serve/lease_retired",
+                       (*it)->model + " epoch " +
+                           std::to_string((*it)->lease_epoch) + " generation " +
+                           std::to_string((*it)->generation));
+      it = watch_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  retired_ += swept;
+  return swept;
+}
+
+}  // namespace pt::serve

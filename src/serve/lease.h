@@ -1,0 +1,83 @@
+// Lease-based worker assignment: the hot-swap mechanism.
+//
+// A ModelVersion is one immutable-by-convention materialized inference
+// model (weights + modeled cost). The LeaseTable maps each tenant to its
+// *current* version under a monotonically increasing lease epoch. Batch
+// formation pins the current version into the batch (a shared_ptr
+// acquire); publishing a new version bumps the epoch so later formations
+// see the new weights — in-flight batches keep serving on the old version
+// until their pins release, which is exactly the zero-drop hot-swap
+// protocol: nothing is cancelled, nothing waits, the epoch boundary simply
+// separates old-lease batches from new-lease batches.
+//
+// Retirement is observable: when the last pin of a superseded version
+// drops, the table reports it (serve/lease_retired telemetry), proving old
+// weights do not leak across swaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/network.h"
+#include "prune/materialize.h"
+#include "serve/request.h"
+
+namespace pt::serve {
+
+/// One published, materialized inference model.
+struct ModelVersion {
+  std::string model;
+  std::int64_t generation = -1;   ///< checkpoint generation (-1 = direct)
+  std::int64_t lease_epoch = -1;  ///< assigned by LeaseTable::publish
+  graph::Network net;             ///< inference form (union or gating)
+  prune::MaterializeStats materialized;
+  double inference_flops = 0;       ///< per sample (cost::FlopsModel)
+  Tick service_ticks_per_batch = 1; ///< modeled full-batch service time
+
+  /// Modeled worker time for a batch of `n` samples: linear in n, >= 1.
+  Tick service_ticks(std::int64_t n, std::int64_t max_batch) const;
+};
+
+class LeaseTable {
+ public:
+  /// Publishes `version` as `model`'s current weights and returns the new
+  /// lease epoch (starts at 0 per tenant, +1 per publish). The previous
+  /// version, if any, is moved to the retirement watch list.
+  std::int64_t publish(const std::string& model,
+                       std::shared_ptr<ModelVersion> version);
+
+  /// Pins the current version (nullptr when the tenant has none yet).
+  /// Weights are immutable after publish; the pointer is non-const only
+  /// because Network::forward caches activations in the network object.
+  std::shared_ptr<ModelVersion> acquire(const std::string& model) const;
+
+  /// Current lease epoch of `model` (-1 before the first publish).
+  std::int64_t epoch(const std::string& model) const;
+
+  bool has(const std::string& model) const;
+  std::vector<std::string> models() const;  ///< registration order
+
+  /// Sweeps the retirement watch list: versions whose last external pin has
+  /// dropped are counted as retired (and reported via telemetry events).
+  /// Returns how many retired during this sweep.
+  std::int64_t sweep_retired();
+
+  std::int64_t publishes() const { return publishes_; }
+  std::int64_t retired() const { return retired_; }
+  /// Superseded versions still pinned by in-flight batches.
+  std::int64_t pending_retirement() const {
+    return static_cast<std::int64_t>(watch_.size());
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<ModelVersion>> current_;
+  std::vector<std::string> order_;                 ///< registration order
+  std::vector<std::shared_ptr<ModelVersion>> watch_;  ///< superseded versions
+  std::int64_t publishes_ = 0;
+  std::int64_t retired_ = 0;
+};
+
+}  // namespace pt::serve

@@ -1,0 +1,148 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ckpt/checkpoint.h"
+#include "cost/flops.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace pt::serve {
+
+void RegistryConfig::validate() const {
+  if (flops_per_tick <= 0) {
+    throw std::invalid_argument("RegistryConfig: flops_per_tick must be > 0");
+  }
+  if (max_batch <= 0) {
+    throw std::invalid_argument("RegistryConfig: max_batch must be >= 1");
+  }
+}
+
+ModelRegistry::ModelRegistry(RegistryConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+void ModelRegistry::add_model(const std::string& name,
+                              const std::string& checkpoint_dir, Shape input) {
+  if (tenants_.count(name) > 0) {
+    throw std::invalid_argument("ModelRegistry: tenant '" + name +
+                                "' already registered");
+  }
+  Tenant t;
+  t.dir = checkpoint_dir;
+  t.input = std::move(input);
+  t.scrubber = std::make_unique<robust::CheckpointScrubber>(0);
+  tenants_.emplace(name, std::move(t));
+  order_.push_back(name);
+}
+
+SwapRecord ModelRegistry::price_and_publish(const std::string& name,
+                                            graph::Network net,
+                                            std::int64_t generation,
+                                            const Shape& input,
+                                            const std::string& path,
+                                            LeaseTable& leases) {
+  auto version = std::make_shared<ModelVersion>();
+  version->generation = generation;
+  version->net = std::move(net);
+  version->materialized = prune::materialize_inference(
+      version->net, cfg_.form, cfg_.gating_threshold);
+  cost::FlopsModel flops(version->net, input);
+  version->inference_flops = flops.inference_flops();
+  version->service_ticks_per_batch = std::max<Tick>(
+      1, static_cast<Tick>(std::llround(
+             version->inference_flops *
+             static_cast<double>(cfg_.max_batch) / cfg_.flops_per_tick)));
+
+  SwapRecord rec;
+  rec.model = name;
+  rec.from_generation = served_generation(name);
+  rec.to_generation = generation;
+  rec.path = path;
+  rec.inference_flops = version->inference_flops;
+  rec.service_ticks_per_batch = version->service_ticks_per_batch;
+  rec.lease_epoch = leases.publish(name, std::move(version));
+
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) it->second.served_generation = generation;
+  telemetry::count("serve/swaps");
+  telemetry::gauge("serve/" + name + "/generation",
+                   static_cast<double>(generation));
+  return rec;
+}
+
+SwapRecord ModelRegistry::publish_network(const std::string& name,
+                                          graph::Network net,
+                                          std::int64_t generation, Shape input,
+                                          LeaseTable& leases) {
+  if (tenants_.count(name) == 0) {
+    Tenant t;
+    t.input = input;
+    tenants_.emplace(name, std::move(t));
+    order_.push_back(name);
+  }
+  return price_and_publish(name, std::move(net), generation, input, "",
+                           leases);
+}
+
+std::vector<SwapRecord> ModelRegistry::poll(exec::ExecContext& ctx,
+                                            LeaseTable& leases) {
+  std::vector<SwapRecord> swaps;
+  for (const std::string& name : order_) {
+    Tenant& t = tenants_.at(name);
+    if (t.dir.empty() || !t.scrubber) continue;
+    // 1. Discover new generations (read-only listing).
+    const auto generations = ckpt::list_generations(t.dir);
+    bool noted_new = false;
+    for (const auto& g : generations) {
+      if (std::find(t.noted.begin(), t.noted.end(), g.path) != t.noted.end()) {
+        continue;
+      }
+      t.scrubber->note_saved(g.path, g.epoch);
+      t.noted.push_back(g.path);
+      noted_new = true;
+    }
+    if (!noted_new) continue;
+    // 2. CRC-validate the chain before committing to any load.
+    t.scrubber->scrub(ctx);
+    // 3. Newest scrubbed-valid generation strictly newer than served.
+    const robust::GenerationInfo* best = nullptr;
+    for (const auto& g : t.scrubber->generations()) {
+      if (!g.valid || g.epoch <= t.served_generation) continue;
+      if (!best || g.epoch > best->epoch) best = &g;
+    }
+    if (!best) continue;
+    // 4-6. Load, materialize, price, publish.
+    try {
+      ckpt::Checkpoint ck = ckpt::Checkpoint::load(best->path);
+      swaps.push_back(price_and_publish(name, ck.restore_network(),
+                                        best->epoch, t.input, best->path,
+                                        leases));
+    } catch (const std::exception& e) {
+      // A file that passed the scrub but fails the full parse (e.g.
+      // corrupted between scrub and load) is skipped, never half-served.
+      log_warn(std::string("serve: failed to load generation ") +
+               std::to_string(best->epoch) + " for '" + name +
+               "': " + e.what());
+      telemetry::event("serve/load-failed", name + " " + best->path);
+    }
+  }
+  return swaps;
+}
+
+std::int64_t ModelRegistry::served_generation(const std::string& name) const {
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? -1 : it->second.served_generation;
+}
+
+const robust::CheckpointScrubber* ModelRegistry::scrubber(
+    const std::string& name) const {
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.scrubber.get();
+}
+
+std::vector<std::string> ModelRegistry::tenants() const { return order_; }
+
+}  // namespace pt::serve

@@ -1,0 +1,113 @@
+// ModelRegistry: the bridge from the training side's checkpoint output to
+// the serving side's lease table.
+//
+// Each tenant watches one checkpoint directory — the same directory a
+// PruneTrainer writes `ckpt-epoch-<N>.bin` generations into. poll():
+//
+//  1. lists new generations (ckpt::list_generations, read-only),
+//  2. CRC-validates them with the PR 7 CheckpointScrubber (keep_last_k = 0:
+//     serving never deletes the trainer's files) — a torn or bit-rotted
+//     generation is skipped, not loaded,
+//  3. loads the newest scrubbed-valid generation newer than what is being
+//     served (ckpt::Checkpoint::load + restore_network),
+//  4. materializes the configured inference form
+//     (prune::materialize_inference — channel union by default),
+//  5. prices it (cost::FlopsModel -> modeled batch service ticks), and
+//  6. publishes it into the LeaseTable, bumping the lease epoch — the
+//     hot swap. In-flight batches keep their pinned old version.
+//
+// poll() is driven by the runtime's modeled clock, so given the same
+// sequence of files appearing between polls, swaps land on the same tick
+// every run — the swap boundary is part of the deterministic trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "graph/network.h"
+#include "prune/materialize.h"
+#include "robust/integrity.h"
+#include "serve/lease.h"
+
+namespace pt::serve {
+
+struct RegistryConfig {
+  prune::InferenceForm form = prune::InferenceForm::kChannelUnion;
+  float gating_threshold = 1e-4f;  ///< kChannelGating dense-channel test
+  /// Modeled worker compute rate: FLOPs retired per modeled tick. Converts
+  /// a version's per-sample inference FLOPs into batch service ticks, so a
+  /// pruned (smaller) model is modeled faster — the swap_speedup the bench
+  /// measures.
+  double flops_per_tick = 2e6;
+  std::int64_t max_batch = 8;  ///< batch size the service estimate prices
+
+  void validate() const;
+};
+
+/// One completed hot swap, as poll() reports it.
+struct SwapRecord {
+  std::string model;
+  std::int64_t from_generation = -1;  ///< -1: first publish (cold start)
+  std::int64_t to_generation = -1;
+  std::int64_t lease_epoch = -1;
+  std::string path;                   ///< checkpoint file served from
+  double inference_flops = 0;         ///< per sample, post-materialization
+  Tick service_ticks_per_batch = 1;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryConfig cfg);
+
+  const RegistryConfig& config() const { return cfg_; }
+
+  /// Registers a tenant watching `checkpoint_dir`. `input` is the
+  /// per-sample input shape ([C, H, W]) the cost model prices with. Throws
+  /// if the tenant already exists.
+  void add_model(const std::string& name, const std::string& checkpoint_dir,
+                 Shape input);
+
+  /// Publishes an in-memory network directly (tests, cold starts), under
+  /// `generation`. Applies the same materialization + pricing as poll().
+  SwapRecord publish_network(const std::string& name, graph::Network net,
+                             std::int64_t generation, Shape input,
+                             LeaseTable& leases);
+
+  /// Scans every watched tenant for new checkpoint generations and
+  /// hot-swaps each tenant at most one step forward (to its newest
+  /// scrubbed-valid generation). Returns the swaps performed, in tenant
+  /// registration order.
+  std::vector<SwapRecord> poll(exec::ExecContext& ctx, LeaseTable& leases);
+
+  /// Generation currently served for `name` (-1 before the first publish).
+  std::int64_t served_generation(const std::string& name) const;
+
+  /// The scrubber's validity ledger for a watched tenant (nullptr when the
+  /// tenant is unknown or publishes directly).
+  const robust::CheckpointScrubber* scrubber(const std::string& name) const;
+
+  std::vector<std::string> tenants() const;  ///< registration order
+
+ private:
+  struct Tenant {
+    std::string dir;  ///< empty: direct-publish only
+    Shape input;
+    std::int64_t served_generation = -1;
+    std::unique_ptr<robust::CheckpointScrubber> scrubber;
+    std::vector<std::string> noted;  ///< paths already note_saved
+  };
+
+  SwapRecord price_and_publish(const std::string& name, graph::Network net,
+                               std::int64_t generation, const Shape& input,
+                               const std::string& path, LeaseTable& leases);
+
+  RegistryConfig cfg_;
+  std::map<std::string, Tenant> tenants_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pt::serve

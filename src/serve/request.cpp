@@ -1,0 +1,71 @@
+#include "serve/request.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace pt::serve {
+
+const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kUnknownModel:
+      return "unknown-model";
+    case ShedReason::kQueueFull:
+      return "queue-full";
+    case ShedReason::kInfeasibleDeadline:
+      return "infeasible-deadline";
+  }
+  return "?";
+}
+
+std::vector<Request> synthesize_trace(const std::vector<TraceSpec>& specs) {
+  struct Pending {
+    Request req;
+    std::size_t spec_index;
+  };
+  std::vector<Pending> all;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const TraceSpec& spec = specs[s];
+    if (spec.model.empty()) {
+      throw std::invalid_argument("synthesize_trace: empty model name");
+    }
+    if (spec.mean_interarrival <= 0) {
+      throw std::invalid_argument(
+          "synthesize_trace: mean_interarrival must be > 0");
+    }
+    Rng rng(spec.seed);
+    Tick t = spec.start;
+    while (t < spec.end) {
+      Pending p;
+      p.spec_index = s;
+      p.req.model = spec.model;
+      p.req.arrival = t;
+      p.req.deadline = t + spec.deadline;
+      p.req.input = Tensor::randn(spec.input, rng);
+      all.push_back(std::move(p));
+      // Geometric gap with the requested mean: floor(-mean * ln(U)) >= 0,
+      // +1 below keeps at most one arrival per (spec, tick).
+      const double u = std::max(rng.uniform(), 1e-12);
+      t += 1 + static_cast<Tick>(-spec.mean_interarrival * std::log(u));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.req.arrival != b.req.arrival
+                                ? a.req.arrival < b.req.arrival
+                                : a.spec_index < b.spec_index;
+                   });
+  std::vector<Request> out;
+  out.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i].req.id = static_cast<std::int64_t>(i);
+    out.push_back(std::move(all[i].req));
+  }
+  return out;
+}
+
+}  // namespace pt::serve

@@ -1,0 +1,87 @@
+// Request/response vocabulary of the serving runtime (ISSUE 8 tentpole).
+//
+// Serving time is *modeled*: every request carries an arrival tick from a
+// monotonically advancing modeled clock, and every scheduling decision is a
+// pure function of (trace, policy, modeled clock). Wall-clock never enters
+// a decision, which is what lets the whole runtime extend the repo's
+// bitwise determinism contract (DESIGN.md §9) to serving: the same trace
+// replays to the same responses, batches, swaps, and sheds on any machine,
+// at any exec thread count, and at any modeled worker count.
+//
+// synthesize_trace() builds the deterministic synthetic traffic every
+// test/bench/example drives the runtime with: seeded arrival processes per
+// tenant, merged into one globally tick-ordered request stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pt::serve {
+
+/// One instant of the modeled serving clock.
+using Tick = std::int64_t;
+
+/// One inference request. `input` is a single sample ([C, H, W]); the
+/// scheduler batches same-shape requests along a new leading dim.
+struct Request {
+  std::int64_t id = -1;   ///< unique, strictly increasing with arrival
+  std::string model;      ///< tenant name in the registry
+  Tick arrival = 0;       ///< modeled arrival tick (monotone per trace)
+  Tick deadline = 0;      ///< absolute completion deadline tick
+  Tensor input;
+};
+
+/// Why admission control rejected a request.
+enum class ShedReason {
+  kNone,                ///< not shed
+  kUnknownModel,        ///< no such tenant registered
+  kQueueFull,           ///< mailbox at its depth bound
+  kInfeasibleDeadline,  ///< modeled completion estimate exceeds the deadline
+};
+
+const char* to_string(ShedReason reason);
+
+/// The structured outcome of one request: either a shed verdict (with
+/// reason) or the inference result plus its full scheduling provenance.
+struct Response {
+  std::int64_t request_id = -1;
+  bool shed = false;
+  ShedReason reason = ShedReason::kNone;
+
+  Tensor logits;               ///< defined iff !shed
+  std::int64_t argmax = -1;    ///< top-1 class, -1 when shed
+
+  // Provenance: which weights served this, and when.
+  std::int64_t generation = -1;   ///< checkpoint generation of the weights
+  std::int64_t lease_epoch = -1;  ///< lease epoch pinned at batch formation
+  std::int64_t batch_id = -1;
+  int worker = -1;
+  Tick arrival = 0;
+  Tick formed = 0;      ///< batch formation tick
+  Tick start = 0;       ///< modeled worker start tick
+  Tick completion = 0;  ///< modeled completion tick
+  bool late = false;    ///< completed after its deadline (served, not dropped)
+};
+
+/// One tenant's synthetic arrival process.
+struct TraceSpec {
+  std::string model;
+  double mean_interarrival = 4.0;  ///< mean ticks between arrivals (>= lets
+                                   ///< qps = 1/mean_interarrival)
+  Tick start = 0;                  ///< first tick arrivals may appear
+  Tick end = 1000;                 ///< arrivals stop at this tick (exclusive)
+  Tick deadline = 50;              ///< relative deadline per request
+  Shape input{3, 16, 16};          ///< per-sample input shape [C, H, W]
+  std::uint64_t seed = 1;          ///< arrival-process + input stream seed
+};
+
+/// Deterministically synthesizes the merged request stream of all specs:
+/// per-spec geometric interarrival gaps (seeded), per-request randn inputs,
+/// globally sorted by (arrival, spec order) with ids assigned in final
+/// order — so the stream satisfies the mailbox's monotone-arrival contract.
+std::vector<Request> synthesize_trace(const std::vector<TraceSpec>& specs);
+
+}  // namespace pt::serve

@@ -1,0 +1,360 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace pt::serve {
+
+namespace {
+
+constexpr std::int64_t kMaxLoopIterations = 50'000'000;
+
+double percentile(std::vector<Tick>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0;
+  const auto n = static_cast<std::int64_t>(sorted_values.size());
+  std::int64_t idx = static_cast<std::int64_t>(
+      std::max(0.0, p * static_cast<double>(n) - 1.0));
+  idx = std::min(idx, n - 1);
+  return static_cast<double>(sorted_values[static_cast<std::size_t>(idx)]);
+}
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  if (workers < 1) {
+    throw std::invalid_argument("ServeConfig: workers must be >= 1");
+  }
+  if (max_batch < 1) {
+    throw std::invalid_argument("ServeConfig: max_batch must be >= 1");
+  }
+  if (dispatch_margin < 0) {
+    throw std::invalid_argument("ServeConfig: dispatch_margin must be >= 0");
+  }
+  if (flops_per_tick <= 0) {
+    throw std::invalid_argument("ServeConfig: flops_per_tick must be > 0");
+  }
+  if (poll_interval < 0) {
+    throw std::invalid_argument("ServeConfig: poll_interval must be >= 0");
+  }
+}
+
+ServeRuntime::ServeRuntime(ServeConfig cfg, exec::ExecContext& ctx)
+    : cfg_(cfg),
+      ctx_(&ctx),
+      registry_([&] {
+        RegistryConfig rc;
+        rc.form = cfg.form;
+        rc.gating_threshold = cfg.gating_threshold;
+        rc.flops_per_tick = cfg.flops_per_tick;
+        rc.max_batch = cfg.max_batch;
+        return rc;
+      }()),
+      scheduler_(SchedulerConfig{cfg.dispatch_margin}) {
+  cfg_.validate();
+}
+
+void ServeRuntime::add_model(const std::string& name,
+                             const std::string& checkpoint_dir, Shape input) {
+  registry_.add_model(name, checkpoint_dir, std::move(input));
+  MailboxPolicy policy;
+  policy.max_queue = cfg_.max_queue;
+  policy.max_batch = cfg_.max_batch;
+  policy.shed_infeasible = cfg_.shed_infeasible;
+  mailboxes_.emplace(name, std::make_unique<Mailbox>(name, policy));
+  mailbox_order_.push_back(name);
+}
+
+SwapRecord ServeRuntime::publish_network(const std::string& name,
+                                         graph::Network net,
+                                         std::int64_t generation, Shape input) {
+  if (mailboxes_.count(name) == 0) {
+    MailboxPolicy policy;
+    policy.max_queue = cfg_.max_queue;
+    policy.max_batch = cfg_.max_batch;
+    policy.shed_infeasible = cfg_.shed_infeasible;
+    mailboxes_.emplace(name, std::make_unique<Mailbox>(name, policy));
+    mailbox_order_.push_back(name);
+  }
+  SwapRecord rec = registry_.publish_network(name, std::move(net), generation,
+                                             std::move(input), leases_);
+  mailboxes_.at(name)->set_batch_service_ticks(rec.service_ticks_per_batch);
+  return rec;
+}
+
+void ServeRuntime::schedule(Tick tick, std::function<void()> fn) {
+  actions_.emplace_back(tick, std::move(fn));
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+}
+
+std::int64_t ServeRuntime::inflight_for(const std::string& model) const {
+  std::int64_t n = 0;
+  for (const InFlight& f : inflight_) n += (f.model == model) ? 1 : 0;
+  return n;
+}
+
+void ServeRuntime::execute_batch(BatchPlan& plan, std::vector<Response>& out) {
+  const std::int64_t n = static_cast<std::int64_t>(plan.requests.size());
+  const Shape& sample = plan.requests.front().input.shape();
+  std::vector<std::int64_t> dims;
+  dims.push_back(n);
+  for (std::int64_t d = 0; d < sample.rank(); ++d) dims.push_back(sample[d]);
+  Tensor batch{Shape(dims)};
+  const std::int64_t stride = sample.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(batch.data() + i * stride, plan.requests[i].input.data(),
+                sizeof(float) * static_cast<std::size_t>(stride));
+  }
+  const Tensor logits = plan.version->net.forward(*ctx_, batch, false);
+  if (logits.shape().rank() != 2 || logits.shape()[0] != n) {
+    throw std::runtime_error("serve: unexpected output shape " +
+                             logits.shape().to_string() + " for model '" +
+                             plan.model + "'");
+  }
+  const std::int64_t classes = logits.shape()[1];
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Request& r = plan.requests[static_cast<std::size_t>(i)];
+    Response resp;
+    resp.request_id = r.id;
+    resp.arrival = r.arrival;
+    resp.formed = plan.formed;
+    resp.batch_id = plan.batch_id;
+    resp.generation = plan.version->generation;
+    resp.lease_epoch = plan.version->lease_epoch;
+    std::vector<float> row(
+        logits.data() + i * classes,
+        logits.data() + (i + 1) * classes);
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[static_cast<std::size_t>(c)] > row[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    resp.argmax = best;
+    resp.logits = Tensor::from_values({classes}, std::move(row));
+    out.push_back(std::move(resp));
+  }
+}
+
+ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
+  if (ran_) {
+    throw std::logic_error("ServeRuntime::run: already ran (one-shot)");
+  }
+  ran_ = true;
+  telemetry::ScopedTimer run_span("serve/run");
+
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].arrival < trace[i - 1].arrival) {
+      throw std::invalid_argument("serve: trace arrivals not monotone at id " +
+                                  std::to_string(trace[i].id));
+    }
+  }
+
+  std::vector<Worker> workers(static_cast<std::size_t>(cfg_.workers));
+  std::map<std::int64_t, Response> responses;  // request id -> response
+  std::vector<SwapEvent> swap_events;
+  std::int64_t shed_count = 0;
+  std::int64_t batches_done = 0;
+  std::int64_t batched_requests = 0;
+  Tick last_completion = 0;
+
+  std::size_t next_arrival = 0;
+  std::size_t next_action = 0;
+  Tick now = 0;
+  if (!trace.empty()) now = std::min<Tick>(now, trace.front().arrival);
+  if (!actions_.empty()) now = std::min(now, actions_.front().first);
+
+  auto any_mailbox_pending = [&] {
+    for (const auto& [name, mb] : mailboxes_) {
+      (void)name;
+      if (!mb->empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<Mailbox*> mailbox_ptrs;
+  for (const std::string& name : mailbox_order_) {
+    mailbox_ptrs.push_back(mailboxes_.at(name).get());
+  }
+
+  std::int64_t iterations = 0;
+  while (next_arrival < trace.size() || next_action < actions_.size() ||
+         any_mailbox_pending() || !inflight_.empty()) {
+    if (++iterations > kMaxLoopIterations) {
+      throw std::runtime_error("serve: event loop failed to drain");
+    }
+
+    // 1. Scheduled actions (tests/benches drop checkpoint files here).
+    while (next_action < actions_.size() &&
+           actions_[next_action].first <= now) {
+      actions_[next_action].second();
+      ++next_action;
+    }
+
+    // 2. Release lease pins of batches whose modeled completion passed;
+    // superseded versions retire when their last pin drops.
+    {
+      auto it = inflight_.begin();
+      while (it != inflight_.end()) {
+        it = it->completion <= now ? inflight_.erase(it) : std::next(it);
+      }
+      leases_.sweep_retired();
+    }
+
+    // 3. Registry poll: discover + validate + hot-swap new generations.
+    if (cfg_.poll_interval > 0 && now >= 0 && now % cfg_.poll_interval == 0) {
+      const auto swaps = registry_.poll(*ctx_, leases_);
+      for (const SwapRecord& rec : swaps) {
+        SwapEvent ev;
+        ev.record = rec;
+        ev.tick = now;
+        auto mb = mailboxes_.find(rec.model);
+        ev.queued = mb == mailboxes_.end() ? 0 : mb->second->size();
+        ev.inflight = inflight_for(rec.model);
+        if (mb != mailboxes_.end()) {
+          mb->second->set_batch_service_ticks(rec.service_ticks_per_batch);
+        }
+        telemetry::event(
+            "serve/swap",
+            rec.model + " generation " + std::to_string(rec.from_generation) +
+                " -> " + std::to_string(rec.to_generation) + " @ tick " +
+                std::to_string(now) + " (" + std::to_string(ev.queued) +
+                " queued, " + std::to_string(ev.inflight) + " in flight)");
+        swap_events.push_back(std::move(ev));
+      }
+    }
+
+    // 4. Admission of this tick's arrivals.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival <= now) {
+      const Request& r = trace[next_arrival];
+      ++next_arrival;
+      auto mb = mailboxes_.find(r.model);
+      ShedReason reason = ShedReason::kUnknownModel;
+      if (mb != mailboxes_.end()) {
+        reason = mb->second->offer(r, now);
+      } else {
+        telemetry::count("serve/shed_unknown_model");
+      }
+      if (reason != ShedReason::kNone) {
+        Response resp;
+        resp.request_id = r.id;
+        resp.shed = true;
+        resp.reason = reason;
+        resp.arrival = r.arrival;
+        resp.completion = now;
+        responses.emplace(r.id, std::move(resp));
+        ++shed_count;
+      }
+    }
+
+    // 5. Batch formation (worker-independent) + immediate execution in
+    // formation order on the shared exec context.
+    std::vector<BatchPlan> plans = scheduler_.form(now, mailbox_ptrs, leases_);
+
+    // 6. Modeled worker assignment: lowest (free_at, id) worker first.
+    for (BatchPlan& plan : plans) {
+      std::vector<Response> batch_responses;
+      execute_batch(plan, batch_responses);
+      std::size_t w = 0;
+      for (std::size_t i = 1; i < workers.size(); ++i) {
+        if (workers[i].free_at < workers[w].free_at) w = i;
+      }
+      const Tick start = std::max(now, workers[w].free_at);
+      const Tick service = plan.version->service_ticks(
+          static_cast<std::int64_t>(plan.requests.size()), cfg_.max_batch);
+      const Tick completion = start + service;
+      workers[w].free_at = completion;
+      last_completion = std::max(last_completion, completion);
+      for (std::size_t i = 0; i < batch_responses.size(); ++i) {
+        Response& resp = batch_responses[i];
+        resp.worker = static_cast<int>(w);
+        resp.start = start;
+        resp.completion = completion;
+        resp.late = completion > plan.requests[i].deadline;
+        telemetry::observe("serve/latency_ticks",
+                           static_cast<double>(completion - resp.arrival));
+        responses.emplace(resp.request_id, std::move(resp));
+      }
+      ++batches_done;
+      batched_requests += static_cast<std::int64_t>(plan.requests.size());
+      InFlight f;
+      f.completion = completion;
+      f.model = plan.model;
+      f.pin = plan.version;
+      inflight_.push_back(std::move(f));
+    }
+
+    // Fast-forward the modeled clock to the next interesting tick.
+    Tick next = std::numeric_limits<Tick>::max();
+    if (next_arrival < trace.size()) {
+      next = std::min(next, trace[next_arrival].arrival);
+    }
+    if (next_action < actions_.size()) {
+      next = std::min(next, actions_[next_action].first);
+    }
+    for (const InFlight& f : inflight_) next = std::min(next, f.completion);
+    for (Mailbox* mb : mailbox_ptrs) {
+      if (mb->empty()) continue;
+      const Tick due_tick = mb->oldest_deadline() -
+                            mb->policy().batch_service_ticks -
+                            cfg_.dispatch_margin;
+      next = std::min(next, std::max(now + 1, due_tick));
+    }
+    if (cfg_.poll_interval > 0 &&
+        (next_arrival < trace.size() || any_mailbox_pending())) {
+      const Tick next_poll = (now / cfg_.poll_interval + 1) * cfg_.poll_interval;
+      next = std::min(next, next_poll);
+    }
+    if (next == std::numeric_limits<Tick>::max()) break;  // drained
+    now = std::max(next, now + 1);
+  }
+  leases_.sweep_retired();
+
+  ServeReport report;
+  report.workers = cfg_.workers;
+  report.requests = static_cast<std::int64_t>(trace.size());
+  report.shed = shed_count;
+  report.batches = batches_done;
+  report.mean_batch_size =
+      batches_done > 0 ? static_cast<double>(batched_requests) /
+                             static_cast<double>(batches_done)
+                       : 0;
+  report.last_completion = last_completion;
+  report.swaps = std::move(swap_events);
+  report.leases_retired = leases_.retired();
+
+  std::vector<Tick> latencies;
+  for (auto& [id, resp] : responses) {
+    (void)id;
+    if (!resp.shed) {
+      ++report.completed;
+      report.late += resp.late ? 1 : 0;
+      latencies.push_back(resp.completion - resp.arrival);
+    }
+    report.responses.push_back(std::move(resp));
+  }
+  if (report.responses.size() != trace.size()) {
+    throw std::logic_error("serve: response count " +
+                           std::to_string(report.responses.size()) +
+                           " != trace size " + std::to_string(trace.size()));
+  }
+  report.admitted = report.requests - report.shed;
+  report.dropped = report.admitted - report.completed;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency_ticks = percentile(latencies, 0.50);
+  report.p99_latency_ticks = percentile(latencies, 0.99);
+  telemetry::count("serve/completed", static_cast<double>(report.completed));
+  return report;
+}
+
+}  // namespace pt::serve
