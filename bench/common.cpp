@@ -66,7 +66,9 @@ core::TrainConfig proxy_train_config(std::int64_t epochs, float ratio,
   cfg.base_lr = 0.1f;
   cfg.lr_milestones = {epochs / 2, (3 * epochs) / 4};
   cfg.policy = policy;
-  cfg.lasso_ratio = ratio;
+  // Dense baselines pass ratio 0 (no lasso term); keep the default ratio so
+  // validate() passes — the dense policy never reads it.
+  cfg.lasso_ratio = ratio > 0.f ? ratio : core::TrainConfig{}.lasso_ratio;
   cfg.lasso_boost = kLassoBoost;
   cfg.reconfig_interval = std::max<std::int64_t>(2, epochs / 6);
   cfg.one_shot_epoch = epochs / 2;

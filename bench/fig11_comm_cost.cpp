@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/common.h"
+#include "cost/comm.h"
 
 using namespace pt;
 using namespace pt::bench;
@@ -77,6 +78,29 @@ int main(int argc, char** argv) {
          std::string("Fig 11: per-epoch allreduce cost normalized to dense (") +
              (dynamic ? "with" : "without") + " dynamic mini-batch); avg saving " +
              fmt(100.0 * avg_saving / double(count), 1) + "%");
+  }
+
+  // Codec corollary: the normalized trajectories above shrink the payload
+  // by *pruning* (smaller gradient buffer) and by *batch growth* (fewer
+  // updates per epoch); a gradient codec multiplies a third, independent
+  // factor onto the same wire volume. bench/comm_compression measures the
+  // real encoded bytes — this table is the analytical projection.
+  {
+    Table ct({"live_fraction", "dense", "twobit", "live_channel"});
+    for (double lf : {1.0, 0.5, 0.25, 0.125}) {
+      ct.add_row(
+          {fmt(lf, 3),
+           fmt(cost::CommModel::compression_factor(cost::CommCodec::kDense, lf),
+               4),
+           fmt(cost::CommModel::compression_factor(cost::CommCodec::kTwoBit, lf),
+               4),
+           fmt(cost::CommModel::compression_factor(
+                   cost::CommCodec::kLiveChannel, lf),
+               4)});
+    }
+    emit(ct, flags,
+         "Fig 11 corollary: codec wire-volume multipliers (applied on top of "
+         "the pruned payload and update count)");
   }
   return 0;
 }

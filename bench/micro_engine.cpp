@@ -101,7 +101,7 @@ void BM_AllreduceGradients(benchmark::State& state) {
   dist::Cluster cluster(std::move(nets), spec);
   std::vector<double> weights(static_cast<std::size_t>(replicas), 1.0);
   for (auto _ : state) {
-    cluster.allreduce_gradients(weights);
+    cluster.exchange_gradients(weights);
   }
 }
 BENCHMARK(BM_AllreduceGradients)->Arg(2)->Arg(4);

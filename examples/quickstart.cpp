@@ -62,12 +62,22 @@
 //                  --strategy-param beta=10
 //
 // `--strategy help` prints the registry table of strategies and knobs.
+//
+// --codec <name> swaps the gradient wire format of the simulated
+// allreduce (dense, twobit, live_channel — see DESIGN.md §14); the
+// repeatable --codec-param k=v tunes it, e.g.:
+//
+//   $ ./quickstart --replicas 4 --codec twobit \
+//                  --codec-param threshold_scale=1.5
+//
+// `--codec help` prints the registry table of codecs and knobs.
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "dist/codec.h"
 #include "models/builders.h"
 #include "prune/strategy.h"
 #include "robust/fault.h"
@@ -95,6 +105,13 @@ int main(int argc, char** argv) {
   flags.define_list("strategy-param",
                     "strategy parameter as key=value, e.g. "
                     "--strategy-param sparsity=0.4 (see --strategy help)");
+  flags.define("codec", "dense",
+               "gradient wire format for the simulated allreduce (dense, "
+               "twobit, live_channel; needs --replicas > 1); 'help' prints "
+               "the registry table");
+  flags.define_list("codec-param",
+                    "codec parameter as key=value, e.g. "
+                    "--codec-param threshold_scale=1.5 (see --codec help)");
   flags.define("replicas", "1",
                "simulated elastic data-parallel replicas (>1 shards every "
                "batch over the live membership; see DESIGN.md section 10)");
@@ -137,6 +154,10 @@ int main(int argc, char** argv) {
     std::cout << pt::prune::StrategyRegistry::global().help();
     return 0;
   }
+  if (flags.get("codec") == "help") {
+    std::cout << pt::dist::CodecRegistry::global().help();
+    return 0;
+  }
   const std::int64_t epochs = flags.get_int("epochs");
 
   // 1. A synthetic CIFAR-10 stand-in (class templates + noise + shifts).
@@ -168,6 +189,15 @@ int main(int argc, char** argv) {
     }
     cfg.strategy_params[kv.substr(0, eq)] = kv.substr(eq + 1);
   }
+  cfg.codec = flags.get("codec");
+  for (const std::string& kv : flags.get_list("codec-param")) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::cerr << "--codec-param expects key=value (got '" << kv << "')\n";
+      return 1;
+    }
+    cfg.codec_params[kv.substr(0, eq)] = kv.substr(eq + 1);
+  }
   if (cfg.strategy == "group_lasso") {
     // The legacy lasso knobs only mean something to group lasso; setting
     // them alongside another strategy is a validation error.
@@ -198,7 +228,7 @@ int main(int argc, char** argv) {
   try {
     trainer = std::make_unique<pt::core::PruneTrainer>(net, dataset, cfg);
   } catch (const std::invalid_argument& e) {
-    std::cerr << e.what() << "\n(see --strategy help)\n";
+    std::cerr << e.what() << "\n(see --strategy help / --codec help)\n";
     return 1;
   }
   pt::core::TrainResult result;

@@ -35,6 +35,13 @@ echo "===== bench: strategy_ablation ====="
 timeout 900 ./strategy_ablation --quick \
   --out /root/repo/BENCH_strategy_ablation.json 2>&1
 echo
+echo "===== bench: comm_compression ====="
+# Gradient codecs: real encoded wire bytes per exchange and sec/step for
+# every registered codec at several pruned widths, the dense-bitwise
+# reference check, the twobit convergence ablation, and the >=4x
+# wire-reduction flag (Fig. 11 multiplicative saving on real payloads).
+timeout 900 ./comm_compression --out /root/repo/BENCH_comm_compression.json 2>&1
+echo
 echo "===== bench: serve_load ====="
 # Serving runtime across a hot swap: dense generation serves until the
 # pruned checkpoint lands mid-trace; throughput/p99 before vs after, plus
@@ -63,7 +70,8 @@ for artifact in /root/repo/BENCH_*.json; do
   for flag in determinism_bitwise_1_vs_4 determinism_bitwise_elastic_vs_fixed \
               flops_monotone_nonincreasing memory_monotone_nonincreasing \
               strategy_resume_bitwise heal_bitwise zero_dropped \
-              swap_speedup; do
+              swap_speedup convergence_within_tol dense_bitwise_reference \
+              wire_reduction_4x; do
     if grep -q "\"$flag\"[[:space:]]*:[[:space:]]*false" "$artifact"; then
       echo "SANITY FLAG FAILED: $flag in $artifact" | tee -a /root/repo/bench_output.txt
       FAILED_FLAGS=$((FAILED_FLAGS + 1))

@@ -12,6 +12,7 @@
 #include "cost/flops.h"
 #include "cost/memory.h"
 #include "dist/allreduce.h"
+#include "dist/codec.h"
 #include "models/builders.h"
 #include "nn/conv2d.h"
 #include "nn/loss.h"
@@ -121,6 +122,12 @@ telemetry::Json config_json(const TrainConfig& cfg) {
     params[key] = telemetry::Json(value);
   }
   j["strategy_params"] = params;
+  j["codec"] = telemetry::Json(cfg.codec);
+  telemetry::Json cparams = telemetry::Json::object();
+  for (const auto& [key, value] : cfg.codec_params) {
+    cparams[key] = telemetry::Json(value);
+  }
+  j["codec_params"] = cparams;
   j["epochs"] = telemetry::Json(cfg.epochs);
   j["batch_size"] = telemetry::Json(cfg.batch_size);
   j["base_lr"] = telemetry::Json(static_cast<double>(cfg.base_lr));
@@ -269,6 +276,18 @@ void TrainConfig::validate() const {
   if (replicas < 1) {
     fail("replicas must be >= 1 (got " + std::to_string(replicas) + ")");
   }
+  // Codec: the name must be registered and every parameter must belong to
+  // it (same fail-early contract as the strategy block above).
+  try {
+    (void)dist::CodecRegistry::global().create(codec, codec_params);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  if (codec != "dense" && replicas <= 1) {
+    fail("codec \"" + codec +
+         "\" requires replicas > 1 (gradient compression only applies to "
+         "the simulated allreduce)");
+  }
   if (replicas > 1) {
     if (strategy == "group_lasso" &&
         !prune::strategy_param_bool(resolved_strategy_params(), "proximal")) {
@@ -378,6 +397,12 @@ PruneTrainer::PruneTrainer(graph::Network& net,
   cfg_.validate();
   strategy_ = prune::StrategyRegistry::global().create(
       cfg_.strategy, cfg_.resolved_strategy_params());
+  // Like the strategy, the codec exists before any resume load so
+  // checkpointed codec state (error-feedback residuals, live-row masks)
+  // deserializes into the object the cluster will actually use.
+  if (cfg_.replicas > 1) {
+    codec_ = dist::CodecRegistry::global().create(cfg_.codec, cfg_.codec_params);
+  }
   ctx_ = std::make_unique<exec::ExecContext>(static_cast<int>(cfg_.num_threads));
   fault_ = robust::FaultInjector::from_string(cfg_.fault_spec, cfg_.fault_seed);
   if (cfg_.health_checks) {
@@ -434,6 +459,10 @@ void PruneTrainer::rebuild_cluster() {
   membership.allow_rejoin = cfg_.allow_rejoin;
   cluster_ = std::make_unique<dist::ElasticCluster>(std::move(replicas), comm,
                                                     membership);
+  // Share (not copy) the trainer-owned codec: set_codec re-binds it to the
+  // rebuilt replica topology, and shape-compatible residual state — loaded
+  // from a checkpoint or carried across a rollback — survives the bind.
+  if (codec_) cluster_->set_codec(codec_);
   cluster_->set_fault_injector(std::move(injector));
   cluster_fault_fires_seen_ = cluster_->fault_injector().total_fires();
   if (!cfg_.checkpoint_dir.empty()) {
@@ -494,6 +523,12 @@ void PruneTrainer::reconfigure_cluster_replicas(float threshold) {
                                      cfg_.prune_min_channels);
     reconfigurer.reconfigure();
   }
+  // Re-bind the codec against the post-surgery topology: twobit re-sizes
+  // its residuals, live_channel recompacts its live-row set — including
+  // rows the surgery could *not* remove (min-channel floors, cross-layer
+  // unions) that the proximal step has already zeroed. This runs even when
+  // the surgery changed nothing, for exactly that reason.
+  if (codec_) cluster_->codec().bind(*net_, cluster_->size());
 }
 
 double PruneTrainer::evaluate() {
@@ -662,11 +697,20 @@ void PruneTrainer::run_integrity_check() {
     views.push_back({r, &cluster_->replica(r)});
   }
   const std::vector<prune::StrategyStateItem> sstate = strategy_->state();
+  // Codec residual/mask state steers what every future exchange averages,
+  // so it is digested alongside the strategy state. It is one object
+  // shared by the whole cluster — every view digests the same bytes — so
+  // including it can never split an honest vote.
+  const std::vector<prune::StrategyStateItem> cstate =
+      codec_ && codec_->stateful() ? codec_->state()
+                                   : std::vector<prune::StrategyStateItem>{};
   dist::ElasticCluster* cluster = cluster_.get();
   const robust::VoteOutcome out = integrity_->check_replicas(
-      views, *ctx_, &sstate, [cluster](int victim, int root) {
+      views, *ctx_, &sstate,
+      [cluster](int victim, int root) {
         return cluster->heal_replica(victim, root);
-      });
+      },
+      cstate.empty() ? nullptr : &cstate);
   if (out.no_quorum) {
     // A split with no strict majority cannot say which side is corrupt;
     // healing would be a coin flip, so escalate to the guardian instead.
@@ -867,8 +911,12 @@ void PruneTrainer::run_phase(TrainResult& result, const PhaseSpec& spec,
       // The elastic path accumulated per-step comm cost at the live ring
       // size already; the static model would overwrite it with full-ring
       // numbers.
-      stats.comm_bytes_per_gpu = comm.bytes_per_epoch(model_bytes, iters);
-      stats.comm_time_modeled = comm.time_per_epoch(model_bytes, iters);
+      cost::CommQuery q;
+      q.model_bytes = model_bytes;
+      q.updates = iters;
+      const cost::CommCost cc = comm.cost(q);
+      stats.comm_bytes_per_gpu = cc.wire_bytes;
+      stats.comm_time_modeled = cc.hierarchical_time;
     }
     stats.gpu_time_modeled =
         device.training_time(*net_, input_shape_, batch_size_) *
@@ -1038,6 +1086,26 @@ void PruneTrainer::save_checkpoint(const TrainResult& result, std::int64_t phase
     ck.set_section("strategy", sw.take());
   }
 
+  // Codec state rides the same way: error-feedback residuals and live-row
+  // masks must survive resume/rollback bitwise, or the replayed exchanges
+  // diverge from the uninterrupted run. The codec name is stored for a
+  // mismatch check on load. Written whenever a codec exists (even when
+  // currently stateless) so the load side can verify the name.
+  if (codec_) {
+    ckpt::ByteWriter cw;
+    cw.put_string(cfg_.codec);
+    const std::vector<dist::CodecStateItem> items =
+        codec_->stateful() ? codec_->state()
+                           : std::vector<dist::CodecStateItem>{};
+    cw.put<std::uint64_t>(items.size());
+    for (const dist::CodecStateItem& item : items) {
+      cw.put_string(item.name);
+      cw.put_vector(item.f32);
+      cw.put_vector(item.i64);
+    }
+    ck.set_section("codec", cw.take());
+  }
+
   if (monitor_) {
     ckpt::ByteWriter m;
     const auto& history = monitor_->history();
@@ -1131,6 +1199,30 @@ void PruneTrainer::load_checkpoint_file(const std::string& path) {
       items.push_back(std::move(item));
     }
     strategy_->load_state(items);
+  }
+
+  // Codec state: absent in pre-codec checkpoints (and in single-device
+  // runs, which have no exchange to compress). A name mismatch fails
+  // loudly — silently dropping another codec's residuals would make the
+  // resumed run diverge from the uninterrupted one without a trace.
+  if (const std::vector<std::uint8_t>* csec = ck.section("codec")) {
+    ckpt::ByteReader cr(*csec);
+    const std::string saved_codec = cr.get_string();
+    if (codec_ && saved_codec != codec_->name()) {
+      throw std::runtime_error("checkpoint " + path +
+                               " was written by codec '" + saved_codec +
+                               "' but this run uses '" + codec_->name() + "'");
+    }
+    const auto n_items = cr.get<std::uint64_t>();
+    std::vector<dist::CodecStateItem> items;
+    for (std::uint64_t i = 0; i < n_items; ++i) {
+      dist::CodecStateItem item;
+      item.name = cr.get_string();
+      item.f32 = cr.get_vector<float>();
+      item.i64 = cr.get_vector<std::int64_t>();
+      items.push_back(std::move(item));
+    }
+    if (codec_ && !items.empty()) codec_->load_state(items);
   }
 
   if (cfg_.record_sparsity) {

@@ -70,6 +70,16 @@ struct TrainConfig {
   /// a validation error.
   std::map<std::string, std::string> strategy_params;
 
+  /// Gradient wire format for the simulated allreduce, by
+  /// dist::CodecRegistry name ("dense", "twobit", "live_channel"; see
+  /// `--codec help`). Only meaningful with replicas > 1 — validate()
+  /// rejects a non-dense codec on a single device. The dense default
+  /// reproduces the pre-codec exchange bitwise.
+  std::string codec = "dense";
+  /// Per-codec parameters, validated against the codec's ParamSpec set
+  /// (a parameter the configured codec does not declare is an error).
+  std::map<std::string, std::string> codec_params;
+
   float lasso_ratio = 0.2f;           ///< Eq. 3 target penalty ratio
   /// Proxy-scale time compression. Eq. 3's lambda is implicitly matched to
   /// the paper's training horizon (~70k optimizer steps: group-norm decay
@@ -449,6 +459,12 @@ class PruneTrainer {
   /// replica and gradient kinds.
   std::unique_ptr<dist::ElasticCluster> cluster_;
   std::int64_t cluster_fault_fires_seen_ = 0;  ///< for report_.faults_injected
+  /// Gradient codec shared with the cluster; null when cfg_.replicas <= 1.
+  /// Constructed from the registry before any resume load (like strategy_)
+  /// so checkpointed codec state — error-feedback residuals, live-row
+  /// masks — lands in the right object, and survives cluster rebuilds so
+  /// rollback replay carries the residuals it had at save time.
+  std::shared_ptr<dist::GradientCodec> codec_;
 
   // Guardian state (src/robust).
   robust::FaultInjector fault_;                   ///< disarmed when no spec

@@ -4,57 +4,53 @@
 
 namespace pt::cost {
 
-double CommModel::ring_bytes_per_update(double model_bytes) const {
-  return ring_bytes_per_update(model_bytes, spec_.gpus);
+double CommModel::compression_factor(CommCodec codec, double live_fraction) {
+  switch (codec) {
+    case CommCodec::kDense:
+      return 1.0;
+    case CommCodec::kTwoBit:
+      // 2 bits per coordinate instead of 32 (per-tensor scale amortizes
+      // to nothing on any real tensor).
+      return 2.0 / 32.0;
+    case CommCodec::kLiveChannel:
+      return std::clamp(live_fraction, 0.0, 1.0);
+  }
+  return 1.0;
 }
 
-double CommModel::ring_bytes_per_update(double model_bytes, int members) const {
+CommCost CommModel::cost(const CommQuery& query) const {
+  const int members = query.members > 0 ? query.members : spec_.gpus;
+  const double payload =
+      query.model_bytes * compression_factor(query.codec, query.live_fraction);
+  const double updates = static_cast<double>(query.updates);
+
+  CommCost out;
+  out.payload_bytes = payload * updates;
+
   const double p = static_cast<double>(members);
-  if (p <= 1) return 0.0;
-  return 2.0 * (p - 1.0) / p * model_bytes;
-}
+  if (p <= 1) return out;  // nothing to reduce: zero bytes, zero time
 
-double CommModel::ring_time_per_update(double model_bytes) const {
-  return ring_time_per_update(model_bytes, spec_.gpus);
-}
+  out.wire_bytes = 2.0 * (p - 1.0) / p * payload * updates;
 
-double CommModel::ring_time_per_update(double model_bytes, int members) const {
-  const double p = static_cast<double>(members);
-  if (p <= 1) return 0.0;
   // 2*(P-1) pipeline steps, each transferring a 1/P chunk. At P=2 this is
-  // the honest degenerate ring: 2 steps of a half-model chunk, i.e. one
+  // the honest degenerate ring: 2 steps of a half-payload chunk, i.e. one
   // full exchange — not a free lunch, not a 4-GPU ring either.
-  const double steps = 2.0 * (p - 1.0);
-  return steps * (spec_.latency + model_bytes / p / spec_.link_bandwidth);
-}
-
-double CommModel::hierarchical_time_per_update(double model_bytes) const {
-  return hierarchical_time_per_update(model_bytes, spec_.gpus);
-}
-
-double CommModel::hierarchical_time_per_update(double model_bytes,
-                                               int members) const {
-  const int p = members;
-  if (p <= 1) return 0.0;
-  const int g = std::max(1, std::min(spec_.hierarchy_group, p));
-  const int groups = (p + g - 1) / g;
-  auto ring = [&](int members, double bytes) {
-    if (members <= 1) return 0.0;
-    const double steps = 2.0 * (members - 1);
-    return steps * (spec_.latency + bytes / members / spec_.link_bandwidth);
+  auto ring = [&](int ring_members, double bytes) {
+    if (ring_members <= 1) return 0.0;
+    const double steps = 2.0 * (ring_members - 1);
+    return steps * (spec_.latency + bytes / ring_members / spec_.link_bandwidth);
   };
+  out.ring_time = ring(members, payload) * updates;
+
   // Reduce-scatter+allgather within groups, ring across group leaders over
   // the group-reduced buffer, then broadcast (modeled as one more
   // intra-group allgather-equivalent half ring).
-  return ring(g, model_bytes) + ring(groups, model_bytes) +
-         0.5 * ring(g, model_bytes);
-}
-
-double CommModel::time_per_epoch(double model_bytes, std::int64_t updates,
-                                 bool hierarchical) const {
-  const double per = hierarchical ? hierarchical_time_per_update(model_bytes)
-                                  : ring_time_per_update(model_bytes);
-  return per * static_cast<double>(updates);
+  const int g = std::max(1, std::min(spec_.hierarchy_group, members));
+  const int groups = (members + g - 1) / g;
+  out.hierarchical_time =
+      (ring(g, payload) + ring(groups, payload) + 0.5 * ring(g, payload)) *
+      updates;
+  return out;
 }
 
 }  // namespace pt::cost

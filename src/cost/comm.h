@@ -1,11 +1,19 @@
 // Allreduce communication cost model for data-parallel training (Sec. 2.2,
 // Fig. 11): alpha-beta models of ring allreduce and the hierarchical
-// variant of Li et al. [26].
+// variant of Li et al. [26], with compressed-volume terms for the gradient
+// codecs (dist::GradientCodec).
 //
-// Per model update each worker sends/receives 2*(P-1)/P * bytes in a ring;
-// cost per epoch is iterations/epoch times that, so pruning shrinks the
-// per-update volume and dynamic mini-batch adjustment shrinks the update
-// *count* — both visible in the Fig. 11 curves.
+// Per model update each worker sends/receives 2*(P-1)/P * payload bytes in
+// a ring, where the payload is the *encoded* gradient: dense FP32, 2-bit
+// quantized (1/16 of dense), or live-channel compacted (live_fraction of
+// dense). Cost per epoch is updates/epoch times that — so pruning shrinks
+// the per-update volume, dynamic mini-batch adjustment shrinks the update
+// *count*, and quantization shrinks the bytes-per-coordinate; the Fig. 11
+// reproduction reports the three as one multiplicative saving.
+//
+// All queries go through one struct-based entry point (CommQuery ->
+// CommCost); the per-method overload set this class accumulated through
+// PR 5 is gone.
 #pragma once
 
 #include <cstdint>
@@ -19,37 +27,47 @@ struct CommSpec {
   int hierarchy_group = 4;       ///< group size for hierarchical allreduce
 };
 
+/// Wire encoding of the gradient payload, mirroring the dist codec zoo.
+enum class CommCodec {
+  kDense,        ///< full FP32 — compression factor 1
+  kTwoBit,       ///< 2-bit quantization — factor 2/32 = 1/16
+  kLiveChannel,  ///< live-channel compaction — factor = live_fraction
+};
+
+/// One allreduce cost query. `members` == 0 means spec().gpus; a degenerate
+/// ring (1 member) moves zero bytes in zero time. `updates` scales every
+/// output field, so per-epoch cost is the same query with updates = iters.
+struct CommQuery {
+  double model_bytes = 0;      ///< dense FP32 gradient bytes per update
+  int members = 0;             ///< live ring size (0 = spec().gpus)
+  double live_fraction = 1.0;  ///< transmitted-element fraction (kLiveChannel)
+  CommCodec codec = CommCodec::kDense;
+  std::int64_t updates = 1;    ///< model updates to account
+};
+
+/// The modeled cost of `updates` allreduces. All fields scale linearly
+/// with CommQuery::updates (updates = 1 gives per-update cost).
+struct CommCost {
+  double payload_bytes = 0;       ///< encoded gradient bytes per update
+  double wire_bytes = 0;          ///< ring traffic per worker: 2(P-1)/P * payload
+  double ring_time = 0;           ///< flat ring: 2(P-1) steps of (alpha + chunk/BW)
+  double hierarchical_time = 0;   ///< two-level ring of Li et al. [26]
+};
+
 class CommModel {
  public:
   explicit CommModel(CommSpec spec) : spec_(spec) {}
 
-  /// Bytes each worker moves to allreduce a gradient buffer of
-  /// `model_bytes` over a flat ring: 2*(P-1)/P * bytes.
-  double ring_bytes_per_update(double model_bytes) const;
+  /// Encoded-bytes / dense-bytes ratio of a codec: 1 for dense, 1/16 for
+  /// 2-bit, live_fraction (clamped to [0, 1]) for live-channel.
+  static double compression_factor(CommCodec codec, double live_fraction);
 
-  /// Time of one flat ring allreduce: 2*(P-1) steps of (alpha + chunk/BW).
-  double ring_time_per_update(double model_bytes) const;
-
-  /// Time of the hierarchical (two-level) allreduce: intra-group ring +
-  /// inter-group ring over group leaders + intra-group broadcast.
-  double hierarchical_time_per_update(double model_bytes) const;
-
-  /// Degenerate-ring-aware overloads for elastic membership: cost over an
-  /// explicit live-member count instead of spec().gpus. Honest about the
-  /// edges — 1 member moves zero bytes in zero time (nothing to reduce),
-  /// 2 members degenerate to a single send/recv exchange (2 pipeline
-  /// steps of a half-model chunk each), and the hierarchical variant
-  /// clamps its group size to the live count.
-  double ring_bytes_per_update(double model_bytes, int members) const;
-  double ring_time_per_update(double model_bytes, int members) const;
-  double hierarchical_time_per_update(double model_bytes, int members) const;
-
-  /// Per-epoch cost given updates/epoch.
-  double bytes_per_epoch(double model_bytes, std::int64_t updates) const {
-    return ring_bytes_per_update(model_bytes) * static_cast<double>(updates);
-  }
-  double time_per_epoch(double model_bytes, std::int64_t updates,
-                        bool hierarchical = true) const;
+  /// The one cost query. Honest about the edges — 1 member moves zero
+  /// bytes in zero time (nothing to reduce), 2 members degenerate to a
+  /// single send/recv exchange (2 pipeline steps of a half-payload chunk
+  /// each), and the hierarchical variant clamps its group size to the
+  /// live count.
+  CommCost cost(const CommQuery& query) const;
 
   const CommSpec& spec() const { return spec_; }
 

@@ -33,16 +33,19 @@ robust::HealthEvent ReplicaDivergence::to_health_event(
           epoch, static_cast<double>(replica_), what()};
 }
 
-void allreduce_gradients(const std::vector<graph::Network*>& nets,
-                         const std::vector<double>& weights,
-                         const std::vector<int>& ranks) {
+ExchangeStats exchange_gradients(GradientCodec& codec,
+                                 const std::vector<graph::Network*>& nets,
+                                 const std::vector<double>& weights,
+                                 exec::ExecContext& ctx,
+                                 const std::vector<int>& ranks) {
+  ExchangeStats stats;
   if (weights.size() != nets.size()) {
     throw std::invalid_argument("allreduce: weight count mismatch");
   }
-  if (nets.empty()) return;
+  if (nets.empty()) return stats;
   double total_weight = 0;
   for (double w : weights) total_weight += w;
-  if (total_weight <= 0) return;
+  if (total_weight <= 0) return stats;
 
   std::vector<std::vector<nn::Param*>> params;
   params.reserve(nets.size());
@@ -57,27 +60,64 @@ void allreduce_gradients(const std::vector<graph::Network*>& nets,
     }
     throw err;
   }
+  if (codec.sizes().size() != np) {
+    throw std::logic_error(
+        "exchange: codec '" + codec.name() + "' is bound to " +
+        std::to_string(codec.sizes().size()) + " tensors, group has " +
+        std::to_string(np) + " (rebind after reconfiguration)");
+  }
 
-  // Reduce: weighted average into nets[0]'s gradient buffers, then
-  // broadcast. Deterministic summation order (replica index order) keeps
-  // replicas bit-identical across the run. Zero-weight replicas (failed or
-  // empty shards) contribute nothing but still receive the broadcast.
+  // Encode -> decode -> reduce, one tensor at a time. The decoded staging
+  // buffers make the averaging loop codec-agnostic: with the dense codec
+  // they hold the gradients bit-for-bit, so the weighted average below is
+  // bitwise the pre-codec exchange. Summation runs in replica-index order
+  // per element (each element is an independent serial chain), so N-thread
+  // results match 1-thread results by the pool's chunking contract.
+  std::vector<std::vector<float>> decoded(nets.size());
   for (std::size_t i = 0; i < np; ++i) {
     nn::Param* root = params[0][i];
     const std::int64_t n = root->grad.numel();
-    for (std::int64_t q = 0; q < n; ++q) {
-      double acc = 0;
-      for (std::size_t r = 0; r < nets.size(); ++r) {
-        if (weights[r] == 0) continue;
-        acc += weights[r] * params[r][i]->grad.data()[q];
-      }
-      root->grad.data()[q] = static_cast<float>(acc / total_weight);
+    if (codec.sizes()[i] != n) {
+      throw std::logic_error("exchange: codec '" + codec.name() +
+                             "' expects " + std::to_string(codec.sizes()[i]) +
+                             " elements for tensor " + std::to_string(i) +
+                             ", group has " + std::to_string(n) +
+                             " (rebind after reconfiguration)");
     }
+    // Per-worker volume: count one participant's contribution per tensor
+    // (every participant ships the same encoded sizes).
+    bool counted = false;
+    for (std::size_t r = 0; r < nets.size(); ++r) {
+      if (weights[r] == 0) continue;
+      const int rank = ranks.empty() ? static_cast<int>(r) : ranks.at(r);
+      WireTensor wire =
+          codec.encode(rank, i, params[r][i]->grad.data(), n, ctx);
+      decoded[r].resize(static_cast<std::size_t>(n));
+      codec.decode(wire, i, decoded[r].data(), ctx);
+      if (!counted) {
+        stats.wire_bytes += wire.wire_bytes;
+        stats.dense_bytes += static_cast<double>(n) * 4.0;
+        counted = true;
+      }
+    }
+
+    ctx.pool().parallel_for(n, [&](std::int64_t begin, std::int64_t end, int) {
+      for (std::int64_t q = begin; q < end; ++q) {
+        double acc = 0;
+        for (std::size_t r = 0; r < nets.size(); ++r) {
+          if (weights[r] == 0) continue;
+          acc += weights[r] *
+                 static_cast<double>(decoded[r][static_cast<std::size_t>(q)]);
+        }
+        root->grad.data()[q] = static_cast<float>(acc / total_weight);
+      }
+    });
     for (std::size_t r = 1; r < nets.size(); ++r) {
       std::copy(root->grad.data(), root->grad.data() + n,
                 params[r][i]->grad.data());
     }
   }
+  return stats;
 }
 
 }  // namespace pt::dist

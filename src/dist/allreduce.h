@@ -1,9 +1,12 @@
-// Shared weighted gradient allreduce for the simulated clusters.
+// Shared codec-driven gradient exchange for the simulated clusters.
 //
 // Both dist::Cluster (fixed membership) and dist::ElasticCluster (elastic
-// membership) average gradients the same way: weighted sum in replica-index
-// order into the first network's buffers, then broadcast — deterministic
-// summation order keeps every receiving replica bit-identical. The only
+// membership) exchange gradients the same way: every participating replica
+// encodes its gradients through the cluster's GradientCodec, the decoded
+// payloads are averaged (weighted, in replica-index order) into the first
+// network's buffers, and the result is broadcast — deterministic summation
+// order keeps every receiving replica bit-identical, and with the `dense`
+// codec the arithmetic is bit-for-bit the pre-codec exchange. The only
 // structural failure mode is a diverged parameter table (a replica whose
 // topology no longer matches the group, e.g. a stale-shape rejoiner that
 // skipped its resync fence); that is reported as ReplicaDivergence naming
@@ -15,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/codec.h"
+#include "exec/context.h"
 #include "graph/network.h"
 #include "robust/health.h"
 
@@ -42,13 +47,24 @@ class ReplicaDivergence : public std::logic_error {
   std::size_t expected_count_;
 };
 
-/// Averages every parameter gradient across `nets`, weighting net i by
-/// `weights[i]` (0 = excluded from the reduction but still receives the
-/// broadcast). `ranks` maps index -> replica rank for error reporting and
-/// may be empty (identity). Throws ReplicaDivergence when a net's param
+/// Bytes one worker contributed to the exchange (sum over its tensors).
+struct ExchangeStats {
+  double wire_bytes = 0;   ///< encoded bytes as the codec would ship them
+  double dense_bytes = 0;  ///< FP32-dense equivalent of the same gradients
+};
+
+/// Exchanges every parameter gradient across `nets` through `codec`:
+/// participating nets (weights[i] > 0) encode, everyone receives the
+/// weighted average of the decoded payloads (weights[i] == 0 means
+/// excluded from the reduction but still receiving the broadcast).
+/// `ranks` maps index -> replica rank for error reporting and per-replica
+/// codec state, and may be empty (identity). The codec must be bound to
+/// the nets' current topology. Throws ReplicaDivergence when a net's param
 /// table size differs from nets[0]'s; a zero total weight is a no-op.
-void allreduce_gradients(const std::vector<graph::Network*>& nets,
-                         const std::vector<double>& weights,
-                         const std::vector<int>& ranks = {});
+ExchangeStats exchange_gradients(GradientCodec& codec,
+                                 const std::vector<graph::Network*>& nets,
+                                 const std::vector<double>& weights,
+                                 exec::ExecContext& ctx,
+                                 const std::vector<int>& ranks = {});
 
 }  // namespace pt::dist

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "dist/allreduce.h"
+#include "dist/codec_zoo.h"
 #include "nn/loss.h"
 #include "telemetry/metrics.h"
 #include "tensor/ops.h"
@@ -27,6 +27,13 @@ Cluster::Cluster(std::vector<graph::Network> replicas, cost::CommSpec comm)
   if (static_cast<int>(replicas_.size()) != comm_.spec().gpus) {
     throw std::invalid_argument("comm spec GPU count must match replica count");
   }
+  set_codec(std::make_shared<DenseCodec>());
+}
+
+void Cluster::set_codec(std::shared_ptr<GradientCodec> codec) {
+  if (!codec) throw std::invalid_argument("cluster codec must not be null");
+  codec_ = std::move(codec);
+  codec_->bind(replicas_.front(), size());
 }
 
 void Cluster::set_fault_injector(robust::FaultInjector injector,
@@ -37,17 +44,32 @@ void Cluster::set_fault_injector(robust::FaultInjector injector,
 }
 
 double Cluster::update_bytes() const {
-  const double model_bytes =
-      static_cast<double>(replicas_.front().num_params()) * 4.0;
-  return comm_.ring_bytes_per_update(model_bytes);
+  cost::CommQuery q;
+  q.model_bytes = static_cast<double>(replicas_.front().num_params()) * 4.0;
+  q.members = static_cast<int>(replicas_.size());
+  q.live_fraction = codec_->live_fraction();
+  q.codec = codec_->cost_kind();
+  return comm_.cost(q).wire_bytes;
 }
 
-void Cluster::allreduce_gradients(const std::vector<double>& weights) {
+void Cluster::rebind_codec_if_stale() {
+  const auto params = replicas_.front().params();
+  const auto& sizes = codec_->sizes();
+  bool stale = sizes.size() != params.size();
+  for (std::size_t i = 0; !stale && i < params.size(); ++i) {
+    stale = sizes[i] != params[i]->grad.numel();
+  }
+  if (stale) codec_->bind(replicas_.front(), size());
+}
+
+ExchangeStats Cluster::exchange_gradients(const std::vector<double>& weights,
+                                          exec::ExecContext& ctx) {
+  rebind_codec_if_stale();
   std::vector<graph::Network*> nets;
   nets.reserve(replicas_.size());
   for (auto& r : replicas_) nets.push_back(&r);
   // Shared helper throws ReplicaDivergence naming the offending replica.
-  dist::allreduce_gradients(nets, weights);
+  return dist::exchange_gradients(*codec_, nets, weights, ctx);
 }
 
 StepResult Cluster::step(exec::ExecContext& ctx, const data::Batch& batch,
@@ -127,13 +149,18 @@ StepResult Cluster::step(exec::ExecContext& ctx, const data::Batch& batch,
   }
   result.loss /= static_cast<double>(result.processed);
 
-  allreduce_gradients(weights);
+  exchange_gradients(weights, ctx);
   for (auto& r : replicas_) opt.step(r.params());
 
-  const double model_bytes =
+  cost::CommQuery comm_query;
+  comm_query.model_bytes =
       static_cast<double>(replicas_[0].num_params()) * 4.0;
-  result.comm_bytes_per_gpu = comm_.ring_bytes_per_update(model_bytes);
-  result.comm_time_modeled = comm_.hierarchical_time_per_update(model_bytes);
+  comm_query.members = p;
+  comm_query.live_fraction = codec_->live_fraction();
+  comm_query.codec = codec_->cost_kind();
+  const cost::CommCost comm_cost = comm_.cost(comm_query);
+  result.comm_bytes_per_gpu = comm_cost.wire_bytes;
+  result.comm_time_modeled = comm_cost.hierarchical_time;
   if (telemetry::enabled()) {
     telemetry::count("dist/steps");
     telemetry::count("dist/allreduce_bytes", result.comm_bytes_per_gpu);

@@ -20,10 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cost/comm.h"
 #include "data/loader.h"
+#include "dist/allreduce.h"
+#include "dist/codec.h"
 #include "exec/context.h"
 #include "graph/network.h"
 #include "optim/sgd.h"
@@ -77,19 +80,38 @@ class Cluster {
     return step(exec::ExecContext::serial(), batch, opt);
   }
 
-  /// Averages every parameter gradient across replicas, weighting each
-  /// replica by `weights[i]` (shard sizes; 0 = excluded). Exposed for
-  /// testing.
-  void allreduce_gradients(const std::vector<double>& weights);
+  /// Exchanges every parameter gradient across replicas through the
+  /// attached codec, weighting each replica by `weights[i]` (shard sizes;
+  /// 0 = excluded). Exposed for testing.
+  ExchangeStats exchange_gradients(const std::vector<double>& weights,
+                                   exec::ExecContext& ctx);
+  ExchangeStats exchange_gradients(const std::vector<double>& weights) {
+    return exchange_gradients(weights, exec::ExecContext::serial());
+  }
 
-  /// Gradient bytes exchanged per update (per worker).
+  /// Replaces the gradient codec (default: `dense`) and binds it to the
+  /// current replica topology. Shape-compatible codec state (loaded from a
+  /// checkpoint) survives the bind.
+  void set_codec(std::shared_ptr<GradientCodec> codec);
+  GradientCodec& codec() { return *codec_; }
+
+  /// Gradient bytes exchanged per update (per worker), at the codec's
+  /// compressed volume.
   double update_bytes() const;
 
   const cost::CommModel& comm() const { return comm_; }
 
  private:
+  /// Rebinds the codec when pruning surgery changed parameter shapes since
+  /// the last bind. Direct Cluster users prune replicas in place and keep
+  /// stepping (pre-codec behavior); the trainer additionally rebinds after
+  /// every reconfiguration to recompact masks that shape checks can't see
+  /// (rows zeroed but not removed).
+  void rebind_codec_if_stale();
+
   std::vector<graph::Network> replicas_;
   cost::CommModel comm_;
+  std::shared_ptr<GradientCodec> codec_;
   robust::FaultInjector injector_;
   FaultPolicy policy_;
   std::int64_t step_counter_ = 0;  ///< global step index for fault matching

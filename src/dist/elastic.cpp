@@ -7,6 +7,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "dist/allreduce.h"
+#include "dist/codec_zoo.h"
 #include "nn/loss.h"
 #include "telemetry/metrics.h"
 
@@ -41,6 +42,23 @@ ElasticCluster::ElasticCluster(std::vector<graph::Network> replicas,
   if (static_cast<int>(replicas_.size()) != comm_.spec().gpus) {
     throw std::invalid_argument("comm spec GPU count must match replica count");
   }
+  set_codec(std::make_shared<DenseCodec>());
+}
+
+void ElasticCluster::set_codec(std::shared_ptr<GradientCodec> codec) {
+  if (!codec) throw std::invalid_argument("cluster codec must not be null");
+  codec_ = std::move(codec);
+  codec_->bind(replicas_.front(), size());
+}
+
+void ElasticCluster::rebind_codec_if_stale() {
+  const auto params = replicas_.front().params();
+  const auto& sizes = codec_->sizes();
+  bool stale = sizes.size() != params.size();
+  for (std::size_t i = 0; !stale && i < params.size(); ++i) {
+    stale = sizes[i] != params[i]->grad.numel();
+  }
+  if (stale) codec_->bind(replicas_.front(), size());
 }
 
 int ElasticCluster::live_count() const {
@@ -75,9 +93,12 @@ void ElasticCluster::set_resync_checkpoint(std::string path) {
 }
 
 double ElasticCluster::update_bytes() const {
-  const double model_bytes =
-      static_cast<double>(replicas_.front().num_params()) * 4.0;
-  return comm_.ring_bytes_per_update(model_bytes, std::max(1, live_count()));
+  cost::CommQuery q;
+  q.model_bytes = static_cast<double>(replicas_.front().num_params()) * 4.0;
+  q.members = std::max(1, live_count());
+  q.live_fraction = codec_->live_fraction();
+  q.codec = codec_->cost_kind();
+  return comm_.cost(q).wire_bytes;
 }
 
 std::vector<MembershipTransition> ElasticCluster::drain_transitions() {
@@ -112,6 +133,11 @@ std::int64_t ElasticCluster::resync_rejoiner(int r, int root) {
   if (!replayed) {
     joiner = ckpt::Checkpoint::capture(survivor).restore_network();
   }
+
+  // The joiner's per-replica codec state (error-feedback residuals) is
+  // dropped with its stale model: the accumulated quantization error
+  // belongs to gradients the group never averaged.
+  codec_->reset_replica(r);
 
   // Phase 2 — fenced state broadcast: every persistent tensor (params,
   // momentum, BN buffers) plus current gradients, copied bit-exactly from
@@ -254,12 +280,13 @@ ElasticStepResult ElasticCluster::step(exec::ExecContext& ctx,
 
   // Allreduce + update over participants only: dead replicas receive
   // nothing and go stale (that staleness is what rejoin repairs).
+  rebind_codec_if_stale();
   std::vector<graph::Network*> nets;
   nets.reserve(participants.size());
   for (int r : participants) {
     nets.push_back(&replicas_[static_cast<std::size_t>(r)]);
   }
-  allreduce_gradients(nets, weights, participants);
+  exchange_gradients(*codec_, nets, weights, ctx, participants);
   bool first_participant = true;
   for (int r : participants) {
     graph::Network& net = replicas_[static_cast<std::size_t>(r)];
@@ -283,12 +310,15 @@ ElasticStepResult ElasticCluster::step(exec::ExecContext& ctx,
     resync_bytes_total_ += bytes;
   }
 
-  const double model_bytes =
+  cost::CommQuery comm_query;
+  comm_query.model_bytes =
       static_cast<double>(nets.front()->num_params()) * 4.0;
-  result.comm_bytes_per_gpu =
-      comm_.ring_bytes_per_update(model_bytes, result.live_replicas);
-  result.comm_time_modeled =
-      comm_.hierarchical_time_per_update(model_bytes, result.live_replicas);
+  comm_query.members = result.live_replicas;
+  comm_query.live_fraction = codec_->live_fraction();
+  comm_query.codec = codec_->cost_kind();
+  const cost::CommCost comm_cost = comm_.cost(comm_query);
+  result.comm_bytes_per_gpu = comm_cost.wire_bytes;
+  result.comm_time_modeled = comm_cost.hierarchical_time;
   result.step_time_modeled =
       table_.max_ewma(participants) + result.comm_time_modeled;
 

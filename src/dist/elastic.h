@@ -40,16 +40,18 @@
 //  * Straggler accounting: measured per-participant step time (wall clock
 //    + injected delay) feeds a per-replica EWMA; the modeled synchronous
 //    step time is max live EWMA + modeled allreduce time at the live ring
-//    size (cost::CommModel's member-count overloads).
+//    size and the codec's compressed volume (cost::CommModel::cost).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cost/comm.h"
 #include "data/loader.h"
+#include "dist/codec.h"
 #include "dist/membership.h"
 #include "exec/context.h"
 #include "graph/network.h"
@@ -129,6 +131,13 @@ class ElasticCluster {
   /// topology from it before the state broadcast ("" = survivor clone).
   void set_resync_checkpoint(std::string path);
 
+  /// Replaces the gradient codec (default: `dense`) and binds it to the
+  /// current replica topology. Shape-compatible codec state (loaded from a
+  /// checkpoint) survives the bind; a rejoiner's per-replica state is
+  /// reset by its resync fence.
+  void set_codec(std::shared_ptr<GradientCodec> codec);
+  GradientCodec& codec() { return *codec_; }
+
   /// One synchronous elastic step: heartbeat poll, quorum check, shard
   /// over participants, forward/backward, weighted allreduce, optimizer
   /// step + hook on participants only, then fenced rejoiner resync.
@@ -167,6 +176,10 @@ class ElasticCluster {
   const cost::CommModel& comm() const { return comm_; }
 
  private:
+  /// Rebinds the codec when pruning surgery changed parameter shapes since
+  /// the last bind (same contract as Cluster::rebind_codec_if_stale).
+  void rebind_codec_if_stale();
+
   /// Replays topology + state onto rejoiner `r` from checkpoint or the
   /// survivor at rank `root`, then counts the fenced state broadcast.
   std::int64_t resync_rejoiner(int r, int root);
@@ -178,6 +191,7 @@ class ElasticCluster {
 
   std::vector<graph::Network> replicas_;
   cost::CommModel comm_;
+  std::shared_ptr<GradientCodec> codec_;
   MembershipTable table_;
   robust::FaultInjector injector_;
   std::string resync_ckpt_path_;

@@ -54,7 +54,8 @@ std::vector<std::string> StateDigest::diff(const StateDigest& other) const {
 
 StateDigest compute_state_digest(
     graph::Network& net, exec::ExecContext& ctx,
-    const std::vector<prune::StrategyStateItem>* strategy_state) {
+    const std::vector<prune::StrategyStateItem>* strategy_state,
+    const std::vector<prune::StrategyStateItem>* codec_state) {
   StateDigest d;
 
   // Collect the persistent entries first so the per-tensor pass can run as
@@ -67,7 +68,8 @@ StateDigest compute_state_digest(
   }
 
   d.tensors.resize(entries.size() +
-                   (strategy_state != nullptr ? strategy_state->size() : 0));
+                   (strategy_state != nullptr ? strategy_state->size() : 0) +
+                   (codec_state != nullptr ? codec_state->size() : 0));
 
   // Topology stamp: the (name, role, dims) sequence. Two replicas that have
   // applied the same reconfigurations produce the same stamp; a digest from
@@ -100,23 +102,30 @@ StateDigest compute_state_digest(
 
   // Strategy state rides along as pseudo-tensors: masks, trainable
   // thresholds, and saliency statistics steer the irreversible pruning
-  // decisions just like weights do.
-  if (strategy_state != nullptr) {
-    std::size_t slot = entries.size();
-    for (const prune::StrategyStateItem& item : *strategy_state) {
-      topo = crc_mix_str(topo, item.name);
-      topo = crc_mix<std::uint64_t>(topo, item.f32.size());
-      topo = crc_mix<std::uint64_t>(topo, item.i64.size());
-      TensorDigest& td = d.tensors[slot++];
-      td.name = "strategy/" + item.name;
-      td.role = static_cast<std::uint8_t>(nn::StateRole::kBuffer);
-      std::uint32_t crc =
-          pt::crc32(item.f32.data(), item.f32.size() * sizeof(float));
-      crc = pt::crc32(item.i64.data(), item.i64.size() * sizeof(std::int64_t),
-                      crc);
-      td.crc = crc;
-    }
-  }
+  // decisions just like weights do. Codec state (error-feedback residuals,
+  // live-row masks) follows under a "codec/" prefix for the same reason —
+  // it shapes every future gradient average.
+  std::size_t slot = entries.size();
+  auto append_items =
+      [&](const std::vector<prune::StrategyStateItem>* items,
+          const char* prefix) {
+        if (items == nullptr) return;
+        for (const prune::StrategyStateItem& item : *items) {
+          topo = crc_mix_str(topo, item.name);
+          topo = crc_mix<std::uint64_t>(topo, item.f32.size());
+          topo = crc_mix<std::uint64_t>(topo, item.i64.size());
+          TensorDigest& td = d.tensors[slot++];
+          td.name = std::string(prefix) + item.name;
+          td.role = static_cast<std::uint8_t>(nn::StateRole::kBuffer);
+          std::uint32_t crc =
+              pt::crc32(item.f32.data(), item.f32.size() * sizeof(float));
+          crc = pt::crc32(item.i64.data(),
+                          item.i64.size() * sizeof(std::int64_t), crc);
+          td.crc = crc;
+        }
+      };
+  append_items(strategy_state, "strategy/");
+  append_items(codec_state, "codec/");
 
   d.topology = topo;
 
@@ -145,14 +154,16 @@ IntegrityMonitor::IntegrityMonitor(IntegrityConfig cfg) : cfg_(cfg) {
 VoteOutcome IntegrityMonitor::check_replicas(
     const std::vector<ReplicaView>& replicas, exec::ExecContext& ctx,
     const std::vector<prune::StrategyStateItem>* strategy_state,
-    const HealFn& heal) {
+    const HealFn& heal,
+    const std::vector<prune::StrategyStateItem>* codec_state) {
   VoteOutcome out;
   ++checks_;
   if (replicas.size() <= 1) return out;  // nothing to vote against
 
   std::vector<StateDigest> digests(replicas.size());
   for (std::size_t i = 0; i < replicas.size(); ++i) {
-    digests[i] = compute_state_digest(*replicas[i].net, ctx, strategy_state);
+    digests[i] = compute_state_digest(*replicas[i].net, ctx, strategy_state,
+                                      codec_state);
     out.digest_bytes += digests[i].wire_bytes();
   }
   // Modeled digest exchange: an allgather ring moves each replica's digest

@@ -104,11 +104,17 @@ struct StateDigest {
 /// legitimately shard-local, so both are excluded) plus, when non-null,
 /// the strategy's serialized state items (masks, trainable thresholds,
 /// saliency EWMAs — corrupting those reroutes pruning just as surely as
-/// corrupting a weight). Per-tensor CRCs run as a parallel_for on `ctx`;
-/// the result is bitwise-identical at any thread count.
+/// corrupting a weight) and the gradient codec's serialized state
+/// ("codec/<name>" pseudo-tensors: error-feedback residuals and live-row
+/// masks steer what the next exchange averages). Codec state is held once
+/// per *cluster* — every replica view digests the same object — so
+/// including it never splits an honest vote the way per-replica BN buffers
+/// would. Per-tensor CRCs run as a parallel_for on `ctx`; the result is
+/// bitwise-identical at any thread count.
 StateDigest compute_state_digest(
     graph::Network& net, exec::ExecContext& ctx,
-    const std::vector<prune::StrategyStateItem>* strategy_state = nullptr);
+    const std::vector<prune::StrategyStateItem>* strategy_state = nullptr,
+    const std::vector<prune::StrategyStateItem>* codec_state = nullptr);
 
 struct IntegrityConfig {
   /// Steps between cross-replica digest votes; 0 disables the monitor.
@@ -166,7 +172,8 @@ class IntegrityMonitor {
   VoteOutcome check_replicas(
       const std::vector<ReplicaView>& replicas, exec::ExecContext& ctx,
       const std::vector<prune::StrategyStateItem>* strategy_state,
-      const HealFn& heal);
+      const HealFn& heal,
+      const std::vector<prune::StrategyStateItem>* codec_state = nullptr);
 
   // Cumulative statistics, for reports/telemetry/bench.
   std::int64_t checks() const { return checks_; }

@@ -394,6 +394,46 @@ TEST(TrainConfigStrategy, DsdRejectsLegacyFineTuneEpochs) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(TrainConfigCodec, UnknownCodecOrParamThrows) {
+  TrainConfig cfg = base_cfg();
+  cfg.replicas = 2;
+  cfg.codec = "no_such_codec";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // A valid codec name with a parameter belonging to a different codec.
+  TrainConfig cfg2 = base_cfg();
+  cfg2.replicas = 2;
+  cfg2.codec = "dense";
+  cfg2.codec_params["threshold_scale"] = "1.5";
+  EXPECT_THROW(cfg2.validate(), std::invalid_argument);
+
+  TrainConfig cfg3 = base_cfg();
+  cfg3.replicas = 2;
+  cfg3.codec = "twobit";
+  cfg3.codec_params["threshold_scale"] = "not_a_number";
+  EXPECT_THROW(cfg3.validate(), std::invalid_argument);
+}
+
+TEST(TrainConfigCodec, CompressionRequiresReplicas) {
+  // Gradient compression only applies to the simulated allreduce; a
+  // single-device run with a non-dense codec is a configuration error.
+  TrainConfig cfg = base_cfg();
+  cfg.replicas = 1;
+  cfg.codec = "twobit";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  TrainConfig ok = base_cfg();
+  ok.replicas = 1;
+  ok.codec = "dense";
+  EXPECT_NO_THROW(ok.validate());
+
+  TrainConfig ok2 = base_cfg();
+  ok2.replicas = 2;
+  ok2.codec = "twobit";
+  ok2.codec_params["threshold_scale"] = "1.5";
+  EXPECT_NO_THROW(ok2.validate());
+}
+
 TEST(PruneTrainer, GroupLassoStrategyParamsMatchLegacySpelling) {
   // The same run expressed through the legacy lasso fields and through
   // strategy_params must be bitwise identical.

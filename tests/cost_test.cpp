@@ -201,14 +201,27 @@ TEST(DeviceModel, TrainingCostsMoreThanInference) {
             dev.inference_time(net, {3, 8, 8}, 32));
 }
 
+namespace {
+CommQuery query(double bytes, int members = 0, CommCodec codec = CommCodec::kDense,
+                double live = 1.0, std::int64_t updates = 1) {
+  CommQuery q;
+  q.model_bytes = bytes;
+  q.members = members;
+  q.codec = codec;
+  q.live_fraction = live;
+  q.updates = updates;
+  return q;
+}
+}  // namespace
+
 TEST(CommModel, RingBytesFormula) {
   CommSpec spec;
   spec.gpus = 4;
   CommModel cm(spec);
-  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(100.0), 2.0 * 3.0 / 4.0 * 100.0);
+  EXPECT_DOUBLE_EQ(cm.cost(query(100.0)).wire_bytes, 2.0 * 3.0 / 4.0 * 100.0);
   CommSpec one;
   one.gpus = 1;
-  EXPECT_DOUBLE_EQ(CommModel(one).ring_bytes_per_update(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(CommModel(one).cost(query(100.0)).wire_bytes, 0.0);
 }
 
 TEST(CommModel, TimeScalesWithBytesAndLatency) {
@@ -217,8 +230,8 @@ TEST(CommModel, TimeScalesWithBytesAndLatency) {
   spec.link_bandwidth = 1e9;
   spec.latency = 1e-6;
   CommModel cm(spec);
-  const double t1 = cm.ring_time_per_update(1e6);
-  const double t2 = cm.ring_time_per_update(2e6);
+  const double t1 = cm.cost(query(1e6)).ring_time;
+  const double t2 = cm.cost(query(2e6)).ring_time;
   EXPECT_GT(t2, t1);
   EXPECT_LT(t2, 2 * t1);  // latency term does not scale
 }
@@ -232,20 +245,22 @@ TEST(CommModel, HierarchicalBeatsFlatRingAtScale) {
   CommModel cm(spec);
   // With non-trivial latency, the two-level reduction wins for small
   // buffers (fewer serialized hops).
-  EXPECT_LT(cm.hierarchical_time_per_update(1e5), cm.ring_time_per_update(1e5));
+  const CommCost c = cm.cost(query(1e5));
+  EXPECT_LT(c.hierarchical_time, c.ring_time);
 }
 
-TEST(CommModel, PerEpochScalesWithUpdates) {
+TEST(CommModel, CostScalesWithUpdates) {
   CommSpec spec;
   spec.gpus = 4;
   CommModel cm(spec);
-  EXPECT_DOUBLE_EQ(cm.bytes_per_epoch(100.0, 10),
-                   10 * cm.ring_bytes_per_update(100.0));
-  EXPECT_DOUBLE_EQ(cm.time_per_epoch(1e6, 8),
-                   8 * cm.hierarchical_time_per_update(1e6));
+  EXPECT_DOUBLE_EQ(cm.cost(query(100.0, 0, CommCodec::kDense, 1.0, 10)).wire_bytes,
+                   10 * cm.cost(query(100.0)).wire_bytes);
+  EXPECT_DOUBLE_EQ(
+      cm.cost(query(1e6, 0, CommCodec::kDense, 1.0, 8)).hierarchical_time,
+      8 * cm.cost(query(1e6)).hierarchical_time);
 }
 
-TEST(CommModel, MemberCountOverloadsHandleDegenerateRings) {
+TEST(CommModel, MemberCountsHandleDegenerateRings) {
   CommSpec spec;
   spec.gpus = 4;
   spec.link_bandwidth = 1e9;
@@ -253,28 +268,28 @@ TEST(CommModel, MemberCountOverloadsHandleDegenerateRings) {
   CommModel cm(spec);
 
   // A "ring" of one exchanges nothing — no bytes, no time.
-  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(1e6, 1), 0.0);
-  EXPECT_DOUBLE_EQ(cm.ring_time_per_update(1e6, 1), 0.0);
-  EXPECT_DOUBLE_EQ(cm.hierarchical_time_per_update(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 1)).wire_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 1)).ring_time, 0.0);
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 1)).hierarchical_time, 0.0);
 
   // Two members is an honest full exchange (2*(P-1)/P = 1x model bytes,
   // two pipeline steps of a half-model chunk) — not a free lunch and not a
   // 4-GPU ring either.
-  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(1e6, 2), 1e6);
-  EXPECT_DOUBLE_EQ(cm.ring_time_per_update(1e6, 2),
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 2)).wire_bytes, 1e6);
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 2)).ring_time,
                    2.0 * (spec.latency + 1e6 / 2.0 / spec.link_bandwidth));
 
-  // Passing the spec's own GPU count reproduces the classic overloads.
-  EXPECT_DOUBLE_EQ(cm.ring_bytes_per_update(1e6, 4),
-                   cm.ring_bytes_per_update(1e6));
-  EXPECT_DOUBLE_EQ(cm.ring_time_per_update(1e6, 4),
-                   cm.ring_time_per_update(1e6));
-  EXPECT_DOUBLE_EQ(cm.hierarchical_time_per_update(1e6, 4),
-                   cm.hierarchical_time_per_update(1e6));
+  // members = 0 means "the spec's own GPU count".
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 4)).wire_bytes,
+                   cm.cost(query(1e6)).wire_bytes);
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 4)).ring_time,
+                   cm.cost(query(1e6)).ring_time);
+  EXPECT_DOUBLE_EQ(cm.cost(query(1e6, 4)).hierarchical_time,
+                   cm.cost(query(1e6)).hierarchical_time);
 
   // Fewer live members than the configured ring must cost less.
-  EXPECT_LT(cm.ring_bytes_per_update(1e6, 3), cm.ring_bytes_per_update(1e6, 4));
-  EXPECT_LT(cm.ring_time_per_update(1e6, 2), cm.ring_time_per_update(1e6, 4));
+  EXPECT_LT(cm.cost(query(1e6, 3)).wire_bytes, cm.cost(query(1e6, 4)).wire_bytes);
+  EXPECT_LT(cm.cost(query(1e6, 2)).ring_time, cm.cost(query(1e6, 4)).ring_time);
 }
 
 TEST(CommModel, HierarchicalClampsGroupToLiveMembers) {
@@ -287,11 +302,39 @@ TEST(CommModel, HierarchicalClampsGroupToLiveMembers) {
   // With only 3 live members the intra-group ring runs at 3, not 8: the
   // modeled time must match a flat spec of that size, and shrink further
   // as membership shrinks.
-  EXPECT_GT(cm.hierarchical_time_per_update(1e6, 3), 0.0);
-  EXPECT_LT(cm.hierarchical_time_per_update(1e6, 3),
-            cm.hierarchical_time_per_update(1e6, 16));
-  EXPECT_LT(cm.hierarchical_time_per_update(1e6, 2),
-            cm.hierarchical_time_per_update(1e6, 3));
+  EXPECT_GT(cm.cost(query(1e6, 3)).hierarchical_time, 0.0);
+  EXPECT_LT(cm.cost(query(1e6, 3)).hierarchical_time,
+            cm.cost(query(1e6, 16)).hierarchical_time);
+  EXPECT_LT(cm.cost(query(1e6, 2)).hierarchical_time,
+            cm.cost(query(1e6, 3)).hierarchical_time);
+}
+
+TEST(CommModel, CompressionFactorsMultiplyIntoVolume) {
+  // Fig. 11's multiplicative framing: pruning (live fraction), batch
+  // growth (fewer updates), and quantization each scale the same wire
+  // volume, independently.
+  EXPECT_DOUBLE_EQ(CommModel::compression_factor(CommCodec::kDense, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(CommModel::compression_factor(CommCodec::kTwoBit, 0.3),
+                   2.0 / 32.0);
+  EXPECT_DOUBLE_EQ(
+      CommModel::compression_factor(CommCodec::kLiveChannel, 0.3), 0.3);
+  // Out-of-range live fractions clamp instead of inflating the volume.
+  EXPECT_DOUBLE_EQ(
+      CommModel::compression_factor(CommCodec::kLiveChannel, 1.7), 1.0);
+
+  CommSpec spec;
+  spec.gpus = 4;
+  CommModel cm(spec);
+  const double dense = cm.cost(query(1e6)).wire_bytes;
+  const double twobit =
+      cm.cost(query(1e6, 0, CommCodec::kTwoBit)).wire_bytes;
+  const double live =
+      cm.cost(query(1e6, 0, CommCodec::kLiveChannel, 0.25)).wire_bytes;
+  EXPECT_DOUBLE_EQ(twobit, dense * 2.0 / 32.0);
+  EXPECT_DOUBLE_EQ(live, dense * 0.25);
+  // Compression shrinks time as well as bytes (latency term survives).
+  EXPECT_LT(cm.cost(query(1e6, 0, CommCodec::kTwoBit)).ring_time,
+            cm.cost(query(1e6)).ring_time);
 }
 
 TEST(DeviceSpecs, PresetsAreOrdered) {

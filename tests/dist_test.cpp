@@ -18,6 +18,7 @@
 #include "core/trainer.h"
 #include "dist/allreduce.h"
 #include "dist/cluster.h"
+#include "dist/codec_zoo.h"
 #include "dist/elastic.h"
 #include "dist/membership.h"
 #include "models/builders.h"
@@ -129,7 +130,7 @@ TEST(Cluster, AllreduceAveragesGradients) {
   auto p1 = cluster.replica(1).params();
   p0[0]->grad.fill(1.f);
   p1[0]->grad.fill(3.f);
-  cluster.allreduce_gradients({1.0, 1.0});
+  cluster.exchange_gradients({1.0, 1.0});
   EXPECT_FLOAT_EQ(p0[0]->grad.data()[0], 2.f);
   EXPECT_FLOAT_EQ(p1[0]->grad.data()[0], 2.f);
 }
@@ -140,7 +141,7 @@ TEST(Cluster, AllreduceWeightsByShardSize) {
   auto p1 = cluster.replica(1).params();
   p0[0]->grad.fill(1.f);
   p1[0]->grad.fill(4.f);
-  cluster.allreduce_gradients({3.0, 1.0});  // (3*1 + 1*4) / 4 = 1.75
+  cluster.exchange_gradients({3.0, 1.0});  // (3*1 + 1*4) / 4 = 1.75
   EXPECT_FLOAT_EQ(p0[0]->grad.data()[0], 1.75f);
 }
 
@@ -876,8 +877,10 @@ TEST(AllreduceDivergence, NamesTheOffendingReplica) {
     b.set_output(b.add_layer(fc, n1));
   }
   std::vector<graph::Network*> nets{&a, &b};
+  DenseCodec codec;
+  codec.bind(a, 2);
   try {
-    allreduce_gradients(nets, {1.0, 1.0});
+    exchange_gradients(codec, nets, {1.0, 1.0}, exec::ExecContext::serial());
     FAIL() << "expected ReplicaDivergence";
   } catch (const ReplicaDivergence& e) {
     EXPECT_EQ(e.replica(), 1);
@@ -892,7 +895,8 @@ TEST(AllreduceDivergence, NamesTheOffendingReplica) {
   // With an explicit rank map the true cluster rank is reported, not the
   // dense index into the participant list.
   try {
-    allreduce_gradients(nets, {1.0, 1.0}, {0, 3});
+    exchange_gradients(codec, nets, {1.0, 1.0}, exec::ExecContext::serial(),
+                       {0, 3});
     FAIL() << "expected ReplicaDivergence";
   } catch (const ReplicaDivergence& e) {
     EXPECT_EQ(e.replica(), 3);
