@@ -1,0 +1,342 @@
+// Serving resilience under injected faults (ISSUE 10): one trace crosses a
+// canary-rejected poisoned generation *and* a runtime-flaky generation that
+// triggers an automatic rollback. Measured: throughput/p99 before the first
+// fault, during the flaky generation's brief reign, and after the rollback,
+// plus the pre-publish canary gate's wall-clock cost per evaluation and
+// three sanity flags the suite gates on:
+//
+//   zero_dropped_under_faults     — every admitted request completed even
+//                                   while generations were being rejected,
+//                                   indicted and rolled back (ISSUE 8's
+//                                   structural invariant must survive the
+//                                   fault path).
+//   poisoned_generation_never_served — the NaN-headed generation (valid CRC,
+//                                   garbage numbers) is observable in no
+//                                   response: the canary caught it at the
+//                                   gate.
+//   rollback_bitwise              — every response formed after the rollback
+//                                   tick is bitwise identical to a reference
+//                                   run that only ever had generation 1; the
+//                                   restored lease serves the same weights
+//                                   object, so the bad generation leaves no
+//                                   numeric residue.
+//
+//   $ ./serve_resilience [--qps N] [--deadline-ms N] [--duration-ms N]
+//                        [--workers N] [--canary-probes N] [--out BENCH.json]
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "ckpt/checkpoint.h"
+#include "models/builders.h"
+#include "robust/fault.h"
+#include "serve/canary.h"
+#include "serve/server.h"
+#include "telemetry/bench_export.h"
+#include "telemetry/metrics.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Window {
+  std::int64_t served = 0;
+  double p99 = 0;
+  double qps = 0;
+};
+
+Window window_stats(const std::vector<pt::serve::Response>& responses,
+                    pt::serve::Tick from, pt::serve::Tick to) {
+  Window w;
+  std::vector<pt::serve::Tick> lat;
+  for (const auto& r : responses) {
+    if (r.shed || r.completion < from || r.completion >= to) continue;
+    lat.push_back(r.completion - r.arrival);
+  }
+  w.served = static_cast<std::int64_t>(lat.size());
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    w.p99 = static_cast<double>(
+        lat[std::min(lat.size() - 1,
+                     static_cast<std::size_t>(0.99 * double(lat.size())))]);
+    w.qps = 1000.0 * double(w.served) /
+            double(std::max<pt::serve::Tick>(1, to - from));
+  }
+  return w;
+}
+
+const pt::Shape kInput{3, 8, 8};
+
+pt::graph::Network tiny_net(float width, std::uint64_t seed) {
+  pt::models::ModelConfig cfg;
+  cfg.image_h = 8;
+  cfg.image_w = 8;
+  cfg.classes = 8;
+  cfg.width_mult = width;
+  cfg.seed = seed;
+  return pt::models::build_resnet_basic(8, cfg);
+}
+
+void write_generation(const fs::path& dir, std::int64_t epoch,
+                      pt::graph::Network& net) {
+  pt::ckpt::Checkpoint::capture(net).save(
+      (dir / ("ckpt-epoch-" + std::to_string(epoch) + ".bin")).string());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pt::CliFlags flags;
+  flags.define("qps", "300", "offered load, requests per modeled second");
+  flags.define("deadline-ms", "60", "per-request relative deadline");
+  flags.define("duration-ms", "4000", "trace length in modeled ms");
+  flags.define("workers", "2", "modeled lease-holding workers");
+  flags.define("canary-probes", "8", "probe samples per gate evaluation");
+  flags.define("quick", "false", "halve the trace length");
+  flags.define("out", "BENCH_serve_resilience.json",
+               "output artifact path (BENCH_*.json format)");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage("serve_resilience");
+    return 0;
+  }
+  const double qps = std::max(1.0, flags.get_double("qps"));
+  const pt::serve::Tick deadline =
+      std::max<long>(1, flags.get_int("deadline-ms"));
+  pt::serve::Tick duration = std::max<long>(1000, flags.get_int("duration-ms"));
+  if (flags.get_bool("quick")) duration = std::max<long>(1000, duration / 2);
+  const int workers = std::max(1, static_cast<int>(flags.get_int("workers")));
+  const pt::serve::Tick poison_at = duration / 4;
+  const pt::serve::Tick flaky_at = duration / 2;
+
+  // 1. Three generations of the same tenant. Generation 2's head is
+  // poisoned after capture — the file's CRC is valid, its numbers are not,
+  // which only the canary's shadow execution can see. Generation 3 is the
+  // same width as generation 1 (pricing, admission and batch composition
+  // stay identical) but its first served batch emits one NaN logit.
+  auto gen1 = tiny_net(0.5f, 21);
+  const fs::path dir = fs::temp_directory_path() / "pt_serve_resilience";
+  const fs::path ref_dir = fs::temp_directory_path() / "pt_serve_resilience_ref";
+  for (const auto& d : {dir, ref_dir}) {
+    fs::remove_all(d);
+    fs::create_directories(d);
+  }
+  write_generation(dir, 1, gen1);
+  write_generation(ref_dir, 1, gen1);
+
+  pt::serve::TraceSpec spec;
+  spec.model = "m";
+  spec.mean_interarrival = 1000.0 / qps;
+  spec.end = duration;
+  spec.deadline = deadline;
+  spec.input = kInput;
+  spec.seed = 9;
+  const auto trace = pt::serve::synthesize_trace({spec});
+
+  pt::serve::ServeConfig cfg;
+  cfg.workers = workers;
+  cfg.max_batch = 4;
+  cfg.max_queue = 256;
+  cfg.flops_per_tick = 2e6;
+  cfg.poll_interval = 5;
+  cfg.canary.probes = std::max<long>(1, flags.get_int("canary-probes"));
+  cfg.fault_spec = "flaky-output:epoch=3,count=1";
+
+  pt::telemetry::set_enabled(true);
+  pt::telemetry::MetricsRegistry::global().reset();
+
+  // 2. The faulty run: poisoned generation 2 lands at duration/4, flaky
+  // generation 3 at duration/2.
+  pt::exec::ExecContext ctx(1);
+  pt::serve::ServeRuntime rt(cfg, ctx);
+  rt.add_model("m", dir.string(), kInput);
+  rt.schedule(poison_at, [&] {
+    auto bad = tiny_net(0.5f, 22);
+    auto inj = pt::robust::FaultInjector::from_string("poison-ckpt:epoch=2", 7);
+    inj.poison_network(bad, 2);
+    write_generation(dir, 2, bad);
+  });
+  rt.schedule(flaky_at, [&] {
+    auto gen3 = tiny_net(0.5f, 23);
+    write_generation(dir, 3, gen3);
+  });
+  const auto faulty = rt.run(trace);
+  auto& reg = pt::telemetry::MetricsRegistry::global();
+  const double ctr_quarantined = reg.counter("serve/quarantined_generations");
+  const double ctr_rollbacks = reg.counter("serve/rollbacks");
+  const double ctr_shed_circuit = reg.counter("serve/shed_circuit_open");
+  const double gauge_breaker = reg.gauge("serve/m/breaker_state");
+  const double gauge_rollbacks = reg.gauge("serve/m/rollbacks");
+
+  // 3. The reference run: same trace, generation 1 only, no faults.
+  pt::serve::ServeConfig ref_cfg = cfg;
+  ref_cfg.fault_spec.clear();
+  pt::exec::ExecContext ref_ctx(1);
+  pt::serve::ServeRuntime ref_rt(ref_cfg, ref_ctx);
+  ref_rt.add_model("m", ref_dir.string(), kInput);
+  const auto clean = ref_rt.run(trace);
+
+  // 4. Flags.
+  const bool zero_dropped_under_faults =
+      faulty.dropped == 0 && faulty.responses.size() == trace.size() &&
+      faulty.admitted == faulty.completed;
+  bool poisoned_generation_never_served = true;
+  for (const auto& r : faulty.responses) {
+    poisoned_generation_never_served &= r.generation != 2;
+  }
+  bool rollback_bitwise = faulty.rollbacks.size() == 1 &&
+                          clean.responses.size() == faulty.responses.size();
+  pt::serve::Tick rollback_tick = 0;
+  std::string rollback_reason = "none";
+  std::int64_t compared = 0;
+  if (rollback_bitwise) {
+    const auto& rb = faulty.rollbacks[0];
+    rollback_tick = rb.tick;
+    rollback_reason = rb.reason;
+    rollback_bitwise = rb.from_generation == 3 && rb.to_generation == 1;
+    for (std::size_t i = 0; i < trace.size() && rollback_bitwise; ++i) {
+      const auto& f = faulty.responses[i];
+      const auto& c = clean.responses[i];
+      // Batches formed at the rollback tick itself still pinned the bad
+      // lease (formation runs before the breach verdict that tick).
+      if (f.shed || f.formed <= rb.tick) continue;
+      ++compared;
+      rollback_bitwise =
+          f.generation == 1 && f.argmax == c.argmax &&
+          f.logits.shape() == c.logits.shape() &&
+          std::memcmp(f.logits.data(), c.logits.data(),
+                      sizeof(float) *
+                          static_cast<std::size_t>(f.logits.numel())) == 0;
+    }
+    rollback_bitwise = rollback_bitwise && compared > 0;
+  }
+
+  // 5. Windows around the turbulence, plus the canary's wall-clock cost —
+  // the gate shadow-executes `probes` samples per candidate, so its price
+  // is what a producer pays per publish attempt.
+  const Window before = window_stats(faulty.responses, 0, poison_at);
+  // The flaky generation's reign is only a few ticks (the health guard
+  // indicts its first NaN batch), but its in-flight batches complete after
+  // the rollback tick — so this window selects by served generation, not
+  // by completion range.
+  Window during_flaky;
+  {
+    std::vector<pt::serve::Tick> lat;
+    pt::serve::Tick last = flaky_at;
+    for (const auto& r : faulty.responses) {
+      if (r.shed || r.generation != 3) continue;
+      lat.push_back(r.completion - r.arrival);
+      last = std::max(last, r.completion);
+    }
+    during_flaky.served = static_cast<std::int64_t>(lat.size());
+    if (!lat.empty()) {
+      std::sort(lat.begin(), lat.end());
+      during_flaky.p99 = static_cast<double>(
+          lat[std::min(lat.size() - 1,
+                       static_cast<std::size_t>(0.99 * double(lat.size())))]);
+      during_flaky.qps = 1000.0 * double(during_flaky.served) /
+                         double(std::max<pt::serve::Tick>(1, last - flaky_at));
+    }
+  }
+  const Window after = window_stats(faulty.responses, rollback_tick + 1,
+                                    faulty.last_completion + 1);
+  double canary_ms_per_eval = 0;
+  {
+    auto incumbent = std::make_shared<pt::serve::ModelVersion>();
+    incumbent->net = tiny_net(0.5f, 21);
+    incumbent->service_ticks_per_batch = 8;
+    pt::serve::ModelVersion candidate;
+    candidate.net = tiny_net(0.5f, 23);
+    candidate.service_ticks_per_batch = 8;
+    pt::serve::CanaryGate gate(cfg.canary);
+    const int reps = 32;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      gate.evaluate(candidate, incumbent.get(), kInput, ctx);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    canary_ms_per_eval =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / reps;
+  }
+
+  pt::Table t({"window", "served", "qps", "p99 ms"});
+  t.add_row({"before faults (gen 1)", std::to_string(before.served),
+             pt::fmt(before.qps, 0), pt::fmt(before.p99, 0)});
+  t.add_row({"flaky reign (gen 3)", std::to_string(during_flaky.served),
+             pt::fmt(during_flaky.qps, 0), pt::fmt(during_flaky.p99, 0)});
+  t.add_row({"after rollback (gen 1)", std::to_string(after.served),
+             pt::fmt(after.qps, 0), pt::fmt(after.p99, 0)});
+  t.print();
+  std::cout << "  " << faulty.requests << " requests: admitted "
+            << faulty.admitted << ", shed " << faulty.shed << " ("
+            << faulty.shed_circuit_open << " circuit-open), dropped "
+            << faulty.dropped << ", quarantined " << faulty.quarantined
+            << ", rollbacks " << faulty.rollbacks.size() << "\n";
+  if (!faulty.rollbacks.empty()) {
+    const auto& rb = faulty.rollbacks[0];
+    std::cout << "  rollback @ " << rb.tick << " ms: generation "
+              << rb.from_generation << " -> " << rb.to_generation
+              << " (lease epoch " << rb.lease_epoch << ", " << rb.reason
+              << ")\n";
+  }
+  std::cout << "  canary gate: " << pt::fmt(canary_ms_per_eval, 3)
+            << " ms per evaluation (" << cfg.canary.probes << " probes)\n";
+  std::cout << "  zero_dropped_under_faults: "
+            << (zero_dropped_under_faults ? "yes" : "NO — DROPPED")
+            << ", poisoned_generation_never_served: "
+            << (poisoned_generation_never_served ? "yes" : "NO — SERVED")
+            << ", rollback_bitwise: "
+            << (rollback_bitwise ? "yes" : "NO — RESIDUE") << "\n";
+
+  pt::telemetry::Json j = pt::telemetry::Json::object();
+  j["schema"] = pt::telemetry::Json("pt-telemetry-bench");
+  j["name"] = pt::telemetry::Json("serve_resilience");
+  j["offered_qps"] = pt::telemetry::Json(qps);
+  j["deadline_ms"] = pt::telemetry::Json(deadline);
+  j["duration_ms"] = pt::telemetry::Json(duration);
+  j["workers"] = pt::telemetry::Json(static_cast<std::int64_t>(workers));
+  j["canary_probes"] = pt::telemetry::Json(cfg.canary.probes);
+  j["skipped"] = pt::telemetry::Json(false);
+  j["zero_dropped_under_faults"] =
+      pt::telemetry::Json(zero_dropped_under_faults);
+  j["poisoned_generation_never_served"] =
+      pt::telemetry::Json(poisoned_generation_never_served);
+  j["rollback_bitwise"] = pt::telemetry::Json(rollback_bitwise);
+  j["requests"] = pt::telemetry::Json(faulty.requests);
+  j["admitted"] = pt::telemetry::Json(faulty.admitted);
+  j["shed"] = pt::telemetry::Json(faulty.shed);
+  j["shed_circuit_open"] = pt::telemetry::Json(faulty.shed_circuit_open);
+  j["completed"] = pt::telemetry::Json(faulty.completed);
+  j["dropped"] = pt::telemetry::Json(faulty.dropped);
+  j["quarantined"] = pt::telemetry::Json(faulty.quarantined);
+  j["rollbacks"] =
+      pt::telemetry::Json(static_cast<std::int64_t>(faulty.rollbacks.size()));
+  j["rollback_tick"] = pt::telemetry::Json(rollback_tick);
+  j["rollback_reason"] = pt::telemetry::Json(rollback_reason);
+  j["bitwise_compared_responses"] = pt::telemetry::Json(compared);
+  j["canary_ms_per_eval"] = pt::telemetry::Json(canary_ms_per_eval);
+  j["before_faults_qps"] = pt::telemetry::Json(before.qps);
+  j["before_faults_p99_ms"] = pt::telemetry::Json(before.p99);
+  j["flaky_reign_qps"] = pt::telemetry::Json(during_flaky.qps);
+  j["flaky_reign_p99_ms"] = pt::telemetry::Json(during_flaky.p99);
+  j["after_rollback_qps"] = pt::telemetry::Json(after.qps);
+  j["after_rollback_p99_ms"] = pt::telemetry::Json(after.p99);
+  j["counter_quarantined_generations"] = pt::telemetry::Json(ctr_quarantined);
+  j["counter_rollbacks"] = pt::telemetry::Json(ctr_rollbacks);
+  j["counter_shed_circuit_open"] = pt::telemetry::Json(ctr_shed_circuit);
+  j["gauge_breaker_state"] = pt::telemetry::Json(gauge_breaker);
+  j["gauge_rollbacks"] = pt::telemetry::Json(gauge_rollbacks);
+  pt::telemetry::bench_export(j, flags.get("out"));
+  std::cout << "  wrote " << flags.get("out") << "\n";
+
+  fs::remove_all(dir);
+  fs::remove_all(ref_dir);
+  return (zero_dropped_under_faults && poisoned_generation_never_served &&
+          rollback_bitwise)
+             ? 0
+             : 1;
+}

@@ -10,7 +10,19 @@
 //
 //   $ ./inference_deploy [--epochs 8] [--qps 150] [--max-batch 8]
 //                        [--deadline-ms 60] [--workers 2]
-//                        [--duration-ms 4000]
+//                        [--duration-ms 4000] [--fault-spec <spec>]
+//                        [--canary-probes 8] [--no-canary]
+//
+// Besides the hot swap, the run demonstrates the serving-resilience layer
+// (ISSUE 10): a quarter of the way in, a *poisoned* generation — valid
+// CRC, NaN classifier head — lands in the live directory. With the canary
+// gate on (default) it is rejected at the publish boundary and traffic
+// never leaves the incumbent; with --no-canary it swaps in, the post-swap
+// GenerationHealth guard catches the first NaN batch, and the runtime
+// rolls back automatically. Either way the poisoned weights are
+// quarantined and zero requests are dropped. --fault-spec feeds the
+// robust::FaultInjector grammar into the runtime itself (slow-model,
+// flaky-output; pass "help" for the table).
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
@@ -21,6 +33,7 @@
 #include "data/synthetic.h"
 #include "models/builders.h"
 #include "prune/materialize.h"
+#include "robust/fault.h"
 #include "serve/server.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -66,9 +79,18 @@ int main(int argc, char** argv) {
   flags.define("deadline-ms", "60", "per-request relative deadline");
   flags.define("workers", "2", "modeled serving workers");
   flags.define("duration-ms", "4000", "trace length in modeled ms");
+  flags.define("fault-spec", "",
+               "serve-side fault injection spec (\"help\" prints the grammar)");
+  flags.define("canary-probes", "8", "canary probe samples per publish");
+  flags.define("no-canary", "false",
+               "disable the canary gate (post-swap guards still roll back)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage("inference_deploy");
+    return 0;
+  }
+  if (flags.get("fault-spec") == "help") {
+    std::cout << pt::robust::fault_spec_help();
     return 0;
   }
   const std::int64_t epochs = std::max<long>(3, flags.get_int("epochs"));
@@ -147,8 +169,26 @@ int main(int argc, char** argv) {
     cfg.flops_per_tick =
         fm.inference_flops() * double(max_batch) / 8.0;
   }
+  cfg.fault_spec = flags.get("fault-spec");
+  cfg.canary.enabled = !flags.get_bool("no-canary");
+  cfg.canary.probes = std::max<long>(1, flags.get_int("canary-probes"));
   pt::serve::ServeRuntime runtime(cfg, ctx);
   runtime.add_model("resnet", live.string(), input);
+
+  // A poisoned generation lands a quarter of the way in: restored from the
+  // first checkpoint, classifier head overwritten with NaN, re-saved with a
+  // perfectly valid CRC. The canary gate (or, with --no-canary, the
+  // post-swap health guard + rollback) must keep it out of every response.
+  const std::int64_t poison_epoch = last_gen.epoch + 1;
+  runtime.schedule(duration / 4, [&] {
+    auto poisoned =
+        pt::ckpt::Checkpoint::load(first_gen.path).restore_network();
+    auto inj = pt::robust::FaultInjector::from_string("poison-ckpt", 0xbad);
+    inj.poison_network(poisoned, poison_epoch);
+    pt::ckpt::Checkpoint::capture(poisoned).save(
+        (live / ("ckpt-epoch-" + std::to_string(poison_epoch) + ".bin"))
+            .string());
+  });
 
   const pt::serve::Tick swap_at = duration / 2;
   runtime.schedule(swap_at, [&] {
@@ -183,6 +223,19 @@ int main(int argc, char** argv) {
               << " MFLOPs/sample)\n";
   }
 
+  for (const auto& q : runtime.registry().quarantined()) {
+    std::cout << "quarantined generation " << q.generation << " ("
+              << q.reason
+              << (q.canary.detail.empty() ? "" : ": " + q.canary.detail)
+              << ")\n";
+  }
+  for (const auto& rb : report.rollbacks) {
+    std::cout << "rollback @ " << rb.tick << " ms: generation "
+              << rb.from_generation << " -> " << rb.to_generation
+              << " (lease epoch " << rb.lease_epoch << ", " << rb.reason
+              << ")\n";
+  }
+
   const pt::serve::Tick split =
       report.swaps.size() > 1 ? report.swaps.back().tick : swap_at;
   const Window before = window_stats(report.responses, 0, split);
@@ -202,8 +255,37 @@ int main(int argc, char** argv) {
             << "), batches " << report.batches << " (mean size "
             << pt::fmt(report.mean_batch_size, 2) << "), leases retired "
             << report.leases_retired << "\n";
+  std::cout << "resilience: quarantined " << report.quarantined
+            << ", rollbacks " << report.rollbacks.size()
+            << ", circuit-open sheds " << report.shed_circuit_open << "\n";
   if (report.dropped != 0) {
     std::cerr << "hot swap dropped requests — zero-drop invariant violated\n";
+    return 1;
+  }
+  // The layered invariant: with the canary on, the poisoned generation is
+  // never observable at all; with --no-canary it may serve briefly, but a
+  // rollback must fire and nothing formed after it may still be poisoned.
+  const pt::serve::Tick rollback_tick =
+      report.rollbacks.empty() ? 0 : report.rollbacks.back().tick;
+  for (const auto& r : report.responses) {
+    if (r.shed || r.generation != poison_epoch) continue;
+    if (cfg.canary.enabled) {
+      std::cerr << "poisoned generation " << poison_epoch
+                << " served a response past the canary gate\n";
+      return 1;
+    }
+    if (r.formed > rollback_tick) {
+      std::cerr << "poisoned generation " << poison_epoch
+                << " still serving after the rollback\n";
+      return 1;
+    }
+  }
+  if (!cfg.canary.enabled && report.rollbacks.empty()) {
+    std::cerr << "canary disabled but no rollback fired\n";
+    return 1;
+  }
+  if (report.quarantined < 1) {
+    std::cerr << "poisoned generation was never quarantined\n";
     return 1;
   }
   return 0;

@@ -48,6 +48,13 @@ echo "===== bench: serve_load ====="
 # the zero_dropped and swap_speedup sanity flags.
 timeout 900 ./serve_load --quick --out /root/repo/BENCH_serve_load.json 2>&1
 echo
+echo "===== bench: serve_resilience ====="
+# Serving resilience under injected faults: canary-rejected poisoned
+# generation, runtime-flaky generation, automatic rollback; windows around
+# the turbulence plus the zero_dropped_under_faults /
+# poisoned_generation_never_served / rollback_bitwise flags.
+timeout 900 ./serve_resilience --quick --out /root/repo/BENCH_serve_resilience.json 2>&1
+echo
 echo "===== bench: telemetry_smoke ====="
 # Instrumented quickstart: records a short run, then folds the JSONL
 # trajectory into BENCH_telemetry_smoke.json (monotone FLOPs/memory flags).
@@ -71,7 +78,8 @@ for artifact in /root/repo/BENCH_*.json; do
               flops_monotone_nonincreasing memory_monotone_nonincreasing \
               strategy_resume_bitwise heal_bitwise zero_dropped \
               swap_speedup convergence_within_tol dense_bitwise_reference \
-              wire_reduction_4x; do
+              wire_reduction_4x zero_dropped_under_faults \
+              poisoned_generation_never_served rollback_bitwise; do
     if grep -q "\"$flag\"[[:space:]]*:[[:space:]]*false" "$artifact"; then
       echo "SANITY FLAG FAILED: $flag in $artifact" | tee -a /root/repo/bench_output.txt
       FAILED_FLAGS=$((FAILED_FLAGS + 1))

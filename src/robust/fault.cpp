@@ -25,6 +25,9 @@ std::string to_string(FaultSpec::Kind kind) {
     case FaultSpec::Kind::kSdcParam: return "sdc-param";
     case FaultSpec::Kind::kSdcMomentum: return "sdc-momentum";
     case FaultSpec::Kind::kTornCkpt: return "torn-ckpt";
+    case FaultSpec::Kind::kPoisonCkpt: return "poison-ckpt";
+    case FaultSpec::Kind::kSlowModel: return "slow-model";
+    case FaultSpec::Kind::kFlakyOutput: return "flaky-output";
   }
   return "?";
 }
@@ -51,13 +54,22 @@ std::string fault_spec_help() {
       "                  parameter element post-step, kept finite\n"
       "  sdc-momentum    silent corruption: flip one bit of one    step,replica,count\n"
       "                  momentum element post-step, kept finite\n"
+      "  poison-ckpt     CRC-valid checkpoint, corrupt tensors:    epoch,count,scale\n"
+      "                  classifier head goes NaN (or seeded\n"
+      "                  garbage when scale= is given) pre-save\n"
+      "  slow-model      inflate a generation's modeled service    epoch,step,count,scale\n"
+      "                  ticks (epoch=generation, step=batch id)\n"
+      "  flaky-output    inject one quiet-NaN logit into a served  epoch,step,count\n"
+      "                  batch (epoch=generation, step=batch id)\n"
       "\n"
       "  keys (wildcards when omitted):\n"
-      "    epoch=<N>    fire only at global epoch N\n"
-      "    step=<N>     fire only at step/iteration N\n"
+      "    epoch=<N>    fire only at global epoch N (serve kinds: generation)\n"
+      "    step=<N>     fire only at step/iteration N (serve kinds: batch id)\n"
       "    replica=<N>  fire only for replica N\n"
       "    count=<N>    max firings; 0 = unlimited        (default 1)\n"
       "    scale=<X>    scale-grad multiplier             (default 1e4)\n"
+      "                 poison-ckpt garbage magnitude     (default: NaN mode)\n"
+      "                 slow-model inflation factor       (default 8)\n"
       "    delay=<X>    delay-replica modeled seconds     (default 5)\n"
       "    prob=<X>     flaky-replica death probability   (default 0.05)\n"
       "\n"
@@ -68,6 +80,9 @@ std::string fault_spec_help() {
       "    kill-replica:replica=1,step=10;rejoin-replica:replica=1,step=40\n"
       "    sdc-param:replica=1,step=3\n"
       "    torn-ckpt:epoch=4\n"
+      "    poison-ckpt:epoch=5\n"
+      "    slow-model:epoch=2,scale=16,count=0\n"
+      "    flaky-output:epoch=3,count=2\n"
       "\n"
       "  Determinism: matching is pure arithmetic on (epoch, step, replica,\n"
       "  firings so far); random choices draw from a pt::Rng seeded at\n"
@@ -82,7 +97,8 @@ FaultSpec::Kind parse_kind(const std::string& token) {
                  Kind::kDropReplica, Kind::kDelayReplica, Kind::kTruncateCkpt,
                  Kind::kCorruptCkpt, Kind::kKillReplica, Kind::kFlakyReplica,
                  Kind::kRejoinReplica, Kind::kSdcParam, Kind::kSdcMomentum,
-                 Kind::kTornCkpt}) {
+                 Kind::kTornCkpt, Kind::kPoisonCkpt, Kind::kSlowModel,
+                 Kind::kFlakyOutput}) {
     if (token == to_string(k)) return k;
   }
   throw std::invalid_argument("fault spec: unknown kind '" + token + "'");
@@ -138,6 +154,7 @@ std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
           spec.count = std::stoll(value);
         } else if (key == "scale") {
           spec.scale = std::stod(value);
+          spec.scale_set = true;
         } else if (key == "delay") {
           spec.delay_seconds = std::stod(value);
         } else if (key == "prob") {
@@ -158,6 +175,11 @@ std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
         !(spec.prob >= 0.0 && spec.prob <= 1.0)) {
       throw std::invalid_argument(
           "fault spec: flaky-replica prob must lie in [0, 1]");
+    }
+    if (spec.kind == FaultSpec::Kind::kSlowModel && spec.scale_set &&
+        !(spec.scale >= 1.0)) {
+      throw std::invalid_argument(
+          "fault spec: slow-model scale must be >= 1 (an inflation factor)");
     }
     specs.push_back(spec);
   }
@@ -372,6 +394,60 @@ bool FaultInjector::corrupt_checkpoint_files(
     return true;
   }
   return false;
+}
+
+bool FaultInjector::poison_network(graph::Network& net,
+                                   std::int64_t generation) {
+  bool fired = false;
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kPoisonCkpt) continue;
+    if (!matches(a, generation, -1, -1)) continue;
+    std::vector<nn::Param*> params = net.params();
+    if (params.empty()) continue;
+    ++a.fires;
+    fired = true;
+    // Poison the classifier head only: the convolutional body stays
+    // intact, so channel analysis, materialization, and the CRC-32 footer
+    // all pass — the corruption is visible only in the logits themselves.
+    const std::size_t first = params.size() > 2 ? params.size() - 2 : 0;
+    for (std::size_t p = first; p < params.size(); ++p) {
+      Tensor& t = params[p]->value;
+      float* x = t.data();
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        x[i] = a.spec.scale_set
+                   ? static_cast<float>(rng_.normal() * a.spec.scale)
+                   : std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+  }
+  return fired;
+}
+
+double FaultInjector::slow_model_factor(std::int64_t generation,
+                                        std::int64_t batch) {
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kSlowModel) continue;
+    if (!matches(a, generation, batch, -1)) continue;
+    ++a.fires;
+    return a.spec.scale_set ? a.spec.scale : 8.0;
+  }
+  return 1.0;
+}
+
+bool FaultInjector::corrupt_output(Tensor& logits, std::int64_t generation,
+                                   std::int64_t batch) {
+  bool fired = false;
+  for (Armed& a : specs_) {
+    if (a.spec.kind != FaultSpec::Kind::kFlakyOutput) continue;
+    if (!matches(a, generation, batch, -1)) continue;
+    if (logits.numel() <= 0) continue;
+    ++a.fires;
+    fired = true;
+    const std::int64_t at = static_cast<std::int64_t>(
+        rng_.uniform_int(static_cast<std::uint64_t>(logits.numel())));
+    logits.data()[at] = std::numeric_limits<float>::quiet_NaN();
+  }
+  return fired;
 }
 
 std::int64_t FaultInjector::total_fires() const {

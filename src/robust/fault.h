@@ -15,6 +15,7 @@
 //          kill-replica | flaky-replica | rejoin-replica
 //          truncate-ckpt | corrupt-ckpt | torn-ckpt
 //          sdc-param | sdc-momentum
+//          poison-ckpt | slow-model | flaky-output
 //   keys:  epoch=<N>    fire only at global epoch N         (-1 = any)
 //          step=<N>     fire only at step/iteration N       (-1 = any)
 //          replica=<N>  fire only for replica N             (-1 = any)
@@ -48,6 +49,17 @@
 // vote catches it. torn-ckpt truncates checkpoint files a few bytes short
 // of the end, cutting through the CRC-32 footer: the partial write of a
 // process that died mid-save, the case the checkpoint scrubber exists for.
+//
+// The serving-resilience kinds (ISSUE 10) model checkpoint and runtime
+// failures the CRC scrub *cannot* see: poison-ckpt overwrites a network's
+// classifier head with NaN (or, with scale=, finite seeded garbage) before
+// the checkpoint is saved, so the file's CRC-32 footer is perfectly valid
+// yet every logit it produces is corrupt — only the serve::CanaryGate's
+// shadow execution catches it. slow-model inflates a generation's modeled
+// batch service ticks (a latency regression on the modeled clock, keyed
+// epoch=generation / step=batch id), and flaky-output injects a quiet NaN
+// into one logit of a served batch — the post-swap GenerationHealth breach
+// that triggers automatic rollback.
 #pragma once
 
 #include <cstdint>
@@ -74,6 +86,9 @@ struct FaultSpec {
     kSdcParam = 10,    ///< finite in-place bitflip of one parameter element
     kSdcMomentum = 11, ///< finite in-place bitflip of one momentum element
     kTornCkpt = 12,    ///< truncate checkpoint files through the CRC footer
+    kPoisonCkpt = 13,  ///< CRC-valid checkpoint with NaN/garbage tensors
+    kSlowModel = 14,   ///< inflate a generation's modeled service ticks
+    kFlakyOutput = 15, ///< inject a non-finite logit into a served batch
   };
 
   Kind kind = Kind::kNanGrad;
@@ -84,6 +99,10 @@ struct FaultSpec {
   double scale = 1e4;           ///< kScaleGrad multiplier
   double delay_seconds = 5.0;   ///< kDelayReplica modeled stall
   double prob = 0.05;           ///< kFlakyReplica per-step death probability
+  /// True when the spec text set scale= explicitly. poison-ckpt uses it to
+  /// pick NaN (unset) vs finite-garbage (set) tensors; slow-model uses it
+  /// to override its default inflation factor.
+  bool scale_set = false;
 };
 
 std::string to_string(FaultSpec::Kind kind);
@@ -164,6 +183,28 @@ class FaultInjector {
   /// Consumes at most one firing per call. Returns true if a fault fired.
   bool corrupt_checkpoint_files(const std::vector<std::string>& paths,
                                 std::int64_t epoch);
+
+  /// Applies a matching poison-ckpt fault to `net` *before* it is saved:
+  /// the classifier head (last parameter tensors) is overwritten with quiet
+  /// NaN — no ReLU is left downstream to squash it, so every logit goes
+  /// non-finite — or, when the spec set scale=, with finite seeded garbage
+  /// at that magnitude (wrong argmaxes only reference-disagreement can
+  /// catch). The convolutional body is untouched, so materialization and
+  /// the CRC-32 footer both stay healthy: this is the silent-failure class
+  /// the serve::CanaryGate exists for. `generation` matches the spec's
+  /// epoch key. Returns true if a fault fired.
+  bool poison_network(graph::Network& net, std::int64_t generation);
+
+  /// Modeled service-tick multiplier for a batch served by `generation`
+  /// (spec epoch key) as global batch `batch` (spec step key); 1.0 when no
+  /// slow-model fault fires. Consumes one firing per inflated batch.
+  double slow_model_factor(std::int64_t generation, std::int64_t batch);
+
+  /// Applies a matching flaky-output fault to `logits`: one random element
+  /// goes quiet-NaN. Keyed like slow-model (epoch=generation, step=batch).
+  /// Returns true if a fault fired.
+  bool corrupt_output(Tensor& logits, std::int64_t generation,
+                      std::int64_t batch);
 
   /// Total firings across all specs so far.
   std::int64_t total_fires() const;

@@ -37,6 +37,9 @@ std::string to_string(EventType type) {
     case EventType::kSdcDetected: return "sdc-detected";
     case EventType::kSdcNoQuorum: return "sdc-no-quorum";
     case EventType::kCheckpointCascade: return "checkpoint-cascade";
+    case EventType::kCanaryRejected: return "canary-rejected";
+    case EventType::kGenerationRollback: return "generation-rollback";
+    case EventType::kBreakerStateChange: return "breaker-state-change";
   }
   return "?";
 }

@@ -39,6 +39,11 @@ enum class EventType : std::uint8_t {
   kSdcDetected = 8,      ///< digest vote caught silent corruption (healed)
   kSdcNoQuorum = 9,      ///< digest vote split with no strict majority
   kCheckpointCascade = 10,///< rollback skipped corrupt generations
+  // Serving-resilience events (ISSUE 10): `epoch` carries the checkpoint
+  // *generation* in question, not a training epoch.
+  kCanaryRejected = 11,  ///< candidate generation failed canary validation
+  kGenerationRollback = 12,///< serving rolled back to the previous generation
+  kBreakerStateChange = 13,///< a serving circuit breaker changed state
 };
 
 enum class Severity : std::uint8_t { kWarning = 0, kFatal = 1 };

@@ -37,6 +37,33 @@ std::int64_t LeaseTable::publish(const std::string& model,
   return next_epoch;
 }
 
+std::int64_t LeaseTable::rollback(const std::string& model,
+                                  std::shared_ptr<ModelVersion> version) {
+  if (!version) {
+    throw std::invalid_argument("LeaseTable::rollback: null version");
+  }
+  auto it = current_.find(model);
+  if (it == current_.end()) {
+    throw std::logic_error("LeaseTable::rollback: unknown model '" + model +
+                           "'");
+  }
+  if (it->second == version) {
+    throw std::logic_error("LeaseTable::rollback: '" + model +
+                           "' already serves that version");
+  }
+  const std::int64_t next_epoch = it->second->lease_epoch + 1;
+  // The restored version is current again: off the retirement watch list.
+  watch_.erase(std::remove(watch_.begin(), watch_.end(), version),
+               watch_.end());
+  version->model = model;
+  version->lease_epoch = next_epoch;
+  watch_.push_back(std::move(it->second));
+  it->second = std::move(version);
+  ++rollbacks_;
+  telemetry::count("serve/rollbacks");
+  return next_epoch;
+}
+
 std::shared_ptr<ModelVersion> LeaseTable::acquire(
     const std::string& model) const {
   auto it = current_.find(model);

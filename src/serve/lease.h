@@ -54,6 +54,18 @@ class LeaseTable {
   /// because Network::forward caches activations in the network object.
   std::shared_ptr<ModelVersion> acquire(const std::string& model) const;
 
+  /// Rolls `model` back to `version` — a previously superseded
+  /// ModelVersion (typically the runtime's probation pin) — under a fresh
+  /// lease epoch, and returns that epoch. The version leaves the
+  /// retirement watch list (it is current again, not retiring) and the
+  /// displaced bad version takes its place there. Zero-drop by
+  /// construction, exactly like publish(): only the epoch boundary moves,
+  /// in-flight pins are untouched, and the restored weights are the same
+  /// object the old epoch served — so post-rollback responses are bitwise
+  /// what a run that never published the bad generation produces.
+  std::int64_t rollback(const std::string& model,
+                        std::shared_ptr<ModelVersion> version);
+
   /// Current lease epoch of `model` (-1 before the first publish).
   std::int64_t epoch(const std::string& model) const;
 
@@ -66,6 +78,7 @@ class LeaseTable {
   std::int64_t sweep_retired();
 
   std::int64_t publishes() const { return publishes_; }
+  std::int64_t rollbacks() const { return rollbacks_; }
   std::int64_t retired() const { return retired_; }
   /// Superseded versions still pinned by in-flight batches.
   std::int64_t pending_retirement() const {
@@ -77,6 +90,7 @@ class LeaseTable {
   std::vector<std::string> order_;                 ///< registration order
   std::vector<std::shared_ptr<ModelVersion>> watch_;  ///< superseded versions
   std::int64_t publishes_ = 0;
+  std::int64_t rollbacks_ = 0;
   std::int64_t retired_ = 0;
 };
 

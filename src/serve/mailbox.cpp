@@ -44,7 +44,7 @@ ShedReason Mailbox::offer(const Request& r, Tick now) {
     telemetry::count("serve/shed_queue_full");
     return ShedReason::kQueueFull;
   }
-  if (policy_.shed_infeasible && now + modeled_wait() > r.deadline) {
+  if (policy_.shed_on_infeasible && now + modeled_wait() > r.deadline) {
     ++shed_infeasible_;
     telemetry::count("serve/shed_infeasible");
     return ShedReason::kInfeasibleDeadline;

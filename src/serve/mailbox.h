@@ -37,7 +37,8 @@ struct MailboxPolicy {
   Tick batch_service_ticks = 1;
   /// Reject requests whose modeled completion estimate exceeds their
   /// deadline. Off = deadline misses are served late instead of shed.
-  bool shed_infeasible = true;
+  /// (Named distinctly from the Mailbox::shed_infeasible_count() stat.)
+  bool shed_on_infeasible = true;
 };
 
 class Mailbox {
@@ -75,7 +76,7 @@ class Mailbox {
   // Cumulative statistics.
   std::int64_t admitted() const { return admitted_; }
   std::int64_t shed_queue_full() const { return shed_queue_full_; }
-  std::int64_t shed_infeasible() const { return shed_infeasible_; }
+  std::int64_t shed_infeasible_count() const { return shed_infeasible_; }
   std::int64_t popped() const { return popped_; }
 
  private:

@@ -12,8 +12,14 @@
 //     served (ckpt::Checkpoint::load + restore_network),
 //  4. materializes the configured inference form
 //     (prune::materialize_inference — channel union by default),
-//  5. prices it (cost::FlopsModel -> modeled batch service ticks), and
-//  6. publishes it into the LeaseTable, bumping the lease epoch — the
+//  5. prices it (cost::FlopsModel -> modeled batch service ticks),
+//  6. canary-validates it against the incumbent (serve::CanaryGate,
+//     ISSUE 10): shadow-executed probe logits must be finite, agree with
+//     the incumbent's reference argmaxes within budget, and stay inside
+//     the modeled-latency budget — a rejected generation is *quarantined*
+//     (telemetry + serve/quarantined_generations counter + a structured
+//     kCanaryRejected health event) and never retried, and
+//  7. publishes it into the LeaseTable, bumping the lease epoch — the
 //     hot swap. In-flight batches keep their pinned old version.
 //
 // poll() is driven by the runtime's modeled clock, so given the same
@@ -30,7 +36,9 @@
 #include "exec/context.h"
 #include "graph/network.h"
 #include "prune/materialize.h"
+#include "robust/health.h"
 #include "robust/integrity.h"
+#include "serve/canary.h"
 #include "serve/lease.h"
 
 namespace pt::serve {
@@ -44,6 +52,10 @@ struct RegistryConfig {
   /// measures.
   double flops_per_tick = 2e6;
   std::int64_t max_batch = 8;  ///< batch size the service estimate prices
+  /// Canary gate every poll() publish passes through (ISSUE 10). Direct
+  /// publish_network() calls bypass it: that is the cold-start/test path,
+  /// where the caller *is* the provenance.
+  CanaryConfig canary;
 
   void validate() const;
 };
@@ -57,6 +69,16 @@ struct SwapRecord {
   std::string path;                   ///< checkpoint file served from
   double inference_flops = 0;         ///< per sample, post-materialization
   Tick service_ticks_per_batch = 1;
+  CanaryReport canary;  ///< kSkipped outcome for direct publishes
+};
+
+/// One generation the registry refused to serve and will never retry.
+struct QuarantineRecord {
+  std::string model;
+  std::int64_t generation = -1;
+  std::string path;     ///< "" for rollback quarantines
+  std::string reason;   ///< "scrub-invalid" | "canary:<outcome>" | "rollback:<breach>"
+  CanaryReport canary;  ///< populated for canary rejections
 };
 
 class ModelRegistry {
@@ -86,6 +108,25 @@ class ModelRegistry {
   /// Generation currently served for `name` (-1 before the first publish).
   std::int64_t served_generation(const std::string& name) const;
 
+  /// Records an automatic rollback performed by the runtime: the indicted
+  /// generation is quarantined (poll() will never republish it even though
+  /// it is the newest file on disk) and `restored_generation` becomes the
+  /// served generation again. Emits the quarantine telemetry and a
+  /// kGenerationRollback health event. `why` names the breach.
+  void note_rollback(const std::string& name, std::int64_t bad_generation,
+                     std::int64_t restored_generation, const std::string& why);
+
+  /// Every generation refused so far (scrub-invalid, canary-rejected, or
+  /// rollback-indicted), in refusal order.
+  const std::vector<QuarantineRecord>& quarantined() const {
+    return quarantine_;
+  }
+
+  /// Structured serve-side health events (canary rejections, rollbacks).
+  const std::vector<robust::HealthEvent>& health_log() const {
+    return health_log_;
+  }
+
   /// The scrubber's validity ledger for a watched tenant (nullptr when the
   /// tenant is unknown or publishes directly).
   const robust::CheckpointScrubber* scrubber(const std::string& name) const;
@@ -99,15 +140,29 @@ class ModelRegistry {
     std::int64_t served_generation = -1;
     std::unique_ptr<robust::CheckpointScrubber> scrubber;
     std::vector<std::string> noted;  ///< paths already note_saved
+    std::vector<std::int64_t> quarantined_epochs;  ///< never (re)published
+    std::vector<std::string> flagged_invalid;  ///< scrub failures announced
   };
 
-  SwapRecord price_and_publish(const std::string& name, graph::Network net,
-                               std::int64_t generation, const Shape& input,
-                               const std::string& path, LeaseTable& leases);
+  /// Materializes + prices `net` into an unpublished ModelVersion.
+  std::shared_ptr<ModelVersion> make_version(graph::Network net,
+                                             std::int64_t generation,
+                                             const Shape& input) const;
+
+  SwapRecord publish_version(const std::string& name,
+                             std::shared_ptr<ModelVersion> version,
+                             const std::string& path, LeaseTable& leases);
+
+  /// Appends the record, bumps serve/quarantined_generations, emits the
+  /// telemetry event, and marks the epoch untouchable for `name`.
+  void quarantine(const std::string& name, QuarantineRecord rec);
 
   RegistryConfig cfg_;
+  CanaryGate gate_;
   std::map<std::string, Tenant> tenants_;
   std::vector<std::string> order_;
+  std::vector<QuarantineRecord> quarantine_;
+  std::vector<robust::HealthEvent> health_log_;
 };
 
 }  // namespace pt::serve

@@ -18,6 +18,8 @@ const char* to_string(ShedReason reason) {
       return "queue-full";
     case ShedReason::kInfeasibleDeadline:
       return "infeasible-deadline";
+    case ShedReason::kCircuitOpen:
+      return "circuit-open";
   }
   return "?";
 }

@@ -40,6 +40,7 @@ enum class ShedReason {
   kUnknownModel,        ///< no such tenant registered
   kQueueFull,           ///< mailbox at its depth bound
   kInfeasibleDeadline,  ///< modeled completion estimate exceeds the deadline
+  kCircuitOpen,         ///< the tenant's circuit breaker is open (known-bad)
 };
 
 const char* to_string(ShedReason reason);

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -41,6 +42,9 @@ void ServeConfig::validate() const {
   if (poll_interval < 0) {
     throw std::invalid_argument("ServeConfig: poll_interval must be >= 0");
   }
+  canary.validate();
+  health.validate();
+  breaker.validate();
 }
 
 ServeRuntime::ServeRuntime(ServeConfig cfg, exec::ExecContext& ctx)
@@ -52,37 +56,41 @@ ServeRuntime::ServeRuntime(ServeConfig cfg, exec::ExecContext& ctx)
         rc.gating_threshold = cfg.gating_threshold;
         rc.flops_per_tick = cfg.flops_per_tick;
         rc.max_batch = cfg.max_batch;
+        rc.canary = cfg.canary;
         return rc;
       }()),
       scheduler_(SchedulerConfig{cfg.dispatch_margin}) {
   cfg_.validate();
+  injector_ = robust::FaultInjector::from_string(cfg_.fault_spec,
+                                                 cfg_.fault_seed);
+}
+
+void ServeRuntime::ensure_tenant(const std::string& name) {
+  if (mailboxes_.count(name) > 0) return;
+  MailboxPolicy policy;
+  policy.max_queue = cfg_.max_queue;
+  policy.max_batch = cfg_.max_batch;
+  policy.shed_on_infeasible = cfg_.shed_on_infeasible;
+  mailboxes_.emplace(name, std::make_unique<Mailbox>(name, policy));
+  guards_.emplace(name, std::make_unique<Guard>(cfg_.health, cfg_.breaker));
+  mailbox_order_.push_back(name);
 }
 
 void ServeRuntime::add_model(const std::string& name,
                              const std::string& checkpoint_dir, Shape input) {
   registry_.add_model(name, checkpoint_dir, std::move(input));
-  MailboxPolicy policy;
-  policy.max_queue = cfg_.max_queue;
-  policy.max_batch = cfg_.max_batch;
-  policy.shed_infeasible = cfg_.shed_infeasible;
-  mailboxes_.emplace(name, std::make_unique<Mailbox>(name, policy));
-  mailbox_order_.push_back(name);
+  ensure_tenant(name);
 }
 
 SwapRecord ServeRuntime::publish_network(const std::string& name,
                                          graph::Network net,
                                          std::int64_t generation, Shape input) {
-  if (mailboxes_.count(name) == 0) {
-    MailboxPolicy policy;
-    policy.max_queue = cfg_.max_queue;
-    policy.max_batch = cfg_.max_batch;
-    policy.shed_infeasible = cfg_.shed_infeasible;
-    mailboxes_.emplace(name, std::make_unique<Mailbox>(name, policy));
-    mailbox_order_.push_back(name);
-  }
+  ensure_tenant(name);
+  std::shared_ptr<ModelVersion> previous = leases_.acquire(name);
   SwapRecord rec = registry_.publish_network(name, std::move(net), generation,
                                              std::move(input), leases_);
   mailboxes_.at(name)->set_batch_service_ticks(rec.service_ticks_per_batch);
+  begin_probation(name, std::move(previous), now_);
   return rec;
 }
 
@@ -100,7 +108,64 @@ std::int64_t ServeRuntime::inflight_for(const std::string& model) const {
   return n;
 }
 
-void ServeRuntime::execute_batch(BatchPlan& plan, std::vector<Response>& out) {
+void ServeRuntime::begin_probation(const std::string& model,
+                                   std::shared_ptr<ModelVersion> previous,
+                                   Tick now) {
+  auto git = guards_.find(model);
+  if (git != guards_.end()) {
+    git->second->health.reset();
+    git->second->breaker.reset(now, "new generation published");
+  }
+  if (previous && cfg_.health.auto_rollback && cfg_.health.probation_ticks > 0) {
+    probation_[model] =
+        Probation{std::move(previous), now + cfg_.health.probation_ticks};
+  } else {
+    probation_.erase(model);
+  }
+}
+
+void ServeRuntime::maybe_rollback(const std::string& model, Tick now,
+                                  std::vector<RollbackEvent>& out) {
+  if (!cfg_.health.auto_rollback) return;
+  auto pit = probation_.find(model);
+  if (pit == probation_.end() || !pit->second.previous) return;
+  auto git = guards_.find(model);
+  if (git == guards_.end()) return;
+  const char* breach = git->second->health.breach(now);
+  if (breach == nullptr) return;
+  std::shared_ptr<ModelVersion> current = leases_.acquire(model);
+  if (!current || current == pit->second.previous) return;
+
+  const std::int64_t bad_generation = current->generation;
+  std::shared_ptr<ModelVersion> restored = std::move(pit->second.previous);
+  probation_.erase(pit);
+  const std::int64_t restored_generation = restored->generation;
+  const Tick restored_ticks = restored->service_ticks_per_batch;
+  const std::int64_t epoch = leases_.rollback(model, std::move(restored));
+  registry_.note_rollback(model, bad_generation, restored_generation, breach);
+  auto mb = mailboxes_.find(model);
+  if (mb != mailboxes_.end()) {
+    mb->second->set_batch_service_ticks(restored_ticks);
+  }
+  git->second->health.reset();
+  git->second->breaker.reset(now, "rollback");
+
+  RollbackEvent ev;
+  ev.model = model;
+  ev.tick = now;
+  ev.from_generation = bad_generation;
+  ev.to_generation = restored_generation;
+  ev.lease_epoch = epoch;
+  ev.reason = breach;
+  telemetry::event("serve/rollback",
+                   model + " generation " + std::to_string(bad_generation) +
+                       " -> " + std::to_string(restored_generation) +
+                       " @ tick " + std::to_string(now) + " (" + ev.reason +
+                       ")");
+  out.push_back(std::move(ev));
+}
+
+bool ServeRuntime::execute_batch(BatchPlan& plan, std::vector<Response>& out) {
   const std::int64_t n = static_cast<std::int64_t>(plan.requests.size());
   const Shape& sample = plan.requests.front().input.shape();
   std::vector<std::int64_t> dims;
@@ -112,12 +177,24 @@ void ServeRuntime::execute_batch(BatchPlan& plan, std::vector<Response>& out) {
     std::memcpy(batch.data() + i * stride, plan.requests[i].input.data(),
                 sizeof(float) * static_cast<std::size_t>(stride));
   }
-  const Tensor logits = plan.version->net.forward(*ctx_, batch, false);
+  Tensor logits = plan.version->net.forward(*ctx_, batch, false);
   if (logits.shape().rank() != 2 || logits.shape()[0] != n) {
     throw std::runtime_error("serve: unexpected output shape " +
                              logits.shape().to_string() + " for model '" +
                              plan.model + "'");
   }
+  // flaky-output fires here, before the health scan: an injected NaN is
+  // indistinguishable from a genuinely corrupt generation downstream.
+  injector_.corrupt_output(logits, plan.version->generation, plan.batch_id);
+  bool healthy = true;
+  const std::int64_t total = logits.numel();
+  for (std::int64_t i = 0; i < total; ++i) {
+    if (!std::isfinite(logits.data()[i])) {
+      healthy = false;
+      break;
+    }
+  }
+  if (!healthy) telemetry::count("serve/nan_output_batches");
   const std::int64_t classes = logits.shape()[1];
   out.clear();
   out.reserve(static_cast<std::size_t>(n));
@@ -143,6 +220,7 @@ void ServeRuntime::execute_batch(BatchPlan& plan, std::vector<Response>& out) {
     resp.logits = Tensor::from_values({classes}, std::move(row));
     out.push_back(std::move(resp));
   }
+  return healthy;
 }
 
 ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
@@ -162,7 +240,9 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
   std::vector<Worker> workers(static_cast<std::size_t>(cfg_.workers));
   std::map<std::int64_t, Response> responses;  // request id -> response
   std::vector<SwapEvent> swap_events;
+  std::vector<RollbackEvent> rollback_events;
   std::int64_t shed_count = 0;
+  std::int64_t shed_circuit_open = 0;
   std::int64_t batches_done = 0;
   std::int64_t batched_requests = 0;
   Tick last_completion = 0;
@@ -192,6 +272,7 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
     if (++iterations > kMaxLoopIterations) {
       throw std::runtime_error("serve: event loop failed to drain");
     }
+    now_ = now;
 
     // 1. Scheduled actions (tests/benches drop checkpoint files here).
     while (next_action < actions_.size() &&
@@ -201,17 +282,30 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
     }
 
     // 2. Release lease pins of batches whose modeled completion passed;
-    // superseded versions retire when their last pin drops.
+    // expired probation pins release too (the superseded version kept as a
+    // rollback target finally retires); superseded versions retire when
+    // their last pin drops.
     {
       auto it = inflight_.begin();
       while (it != inflight_.end()) {
         it = it->completion <= now ? inflight_.erase(it) : std::next(it);
       }
+      auto pit = probation_.begin();
+      while (pit != probation_.end()) {
+        pit = pit->second.until <= now ? probation_.erase(pit)
+                                       : std::next(pit);
+      }
       leases_.sweep_retired();
     }
 
-    // 3. Registry poll: discover + validate + hot-swap new generations.
+    // 3. Registry poll: discover + validate + canary-gate + hot-swap new
+    // generations. The displaced incumbent becomes the rollback target for
+    // the probation window.
     if (cfg_.poll_interval > 0 && now >= 0 && now % cfg_.poll_interval == 0) {
+      std::map<std::string, std::shared_ptr<ModelVersion>> incumbents;
+      for (const std::string& name : mailbox_order_) {
+        incumbents[name] = leases_.acquire(name);
+      }
       const auto swaps = registry_.poll(*ctx_, leases_);
       for (const SwapRecord& rec : swaps) {
         SwapEvent ev;
@@ -223,6 +317,9 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
         if (mb != mailboxes_.end()) {
           mb->second->set_batch_service_ticks(rec.service_ticks_per_batch);
         }
+        auto inc = incumbents.find(rec.model);
+        begin_probation(rec.model,
+                        inc == incumbents.end() ? nullptr : inc->second, now);
         telemetry::event(
             "serve/swap",
             rec.model + " generation " + std::to_string(rec.from_generation) +
@@ -233,7 +330,9 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
       }
     }
 
-    // 4. Admission of this tick's arrivals.
+    // 4. Admission of this tick's arrivals. The circuit breaker sees every
+    // arrival first: open means shed kCircuitOpen before the mailbox is
+    // even offered; half-open admits a bounded number of probes.
     while (next_arrival < trace.size() &&
            trace[next_arrival].arrival <= now) {
       const Request& r = trace[next_arrival];
@@ -241,7 +340,17 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
       auto mb = mailboxes_.find(r.model);
       ShedReason reason = ShedReason::kUnknownModel;
       if (mb != mailboxes_.end()) {
-        reason = mb->second->offer(r, now);
+        auto& guard = *guards_.at(r.model);
+        CircuitBreaker::Admission adm = CircuitBreaker::Admission::kAdmit;
+        if (cfg_.breaker.enabled) adm = guard.breaker.admit(now);
+        if (adm == CircuitBreaker::Admission::kShed) {
+          reason = ShedReason::kCircuitOpen;
+          ++shed_circuit_open;
+          telemetry::count("serve/shed_circuit_open");
+        } else {
+          reason = mb->second->offer(r, now);
+        }
+        guard.health.record_arrival(now, reason != ShedReason::kNone);
       } else {
         telemetry::count("serve/shed_unknown_model");
       }
@@ -255,6 +364,9 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
         responses.emplace(r.id, std::move(resp));
         ++shed_count;
       }
+      if (mb != mailboxes_.end()) {
+        maybe_rollback(r.model, now, rollback_events);
+      }
     }
 
     // 5. Batch formation (worker-independent) + immediate execution in
@@ -264,14 +376,33 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
     // 6. Modeled worker assignment: lowest (free_at, id) worker first.
     for (BatchPlan& plan : plans) {
       std::vector<Response> batch_responses;
-      execute_batch(plan, batch_responses);
+      const bool healthy = execute_batch(plan, batch_responses);
+      const std::int64_t n = static_cast<std::int64_t>(plan.requests.size());
+      Tick service = plan.version->service_ticks(n, cfg_.max_batch);
+      // slow-model inflates the modeled service time of this generation's
+      // batches — before BOTH the serial deadline-miss estimate below and
+      // the actual worker assignment, so the guard's verdict and the
+      // clock agree.
+      const double factor = injector_.slow_model_factor(
+          plan.version->generation, plan.batch_id);
+      if (factor > 1.0) {
+        service = std::max<Tick>(
+            1, static_cast<Tick>(std::llround(
+                   static_cast<double>(service) * factor)));
+        telemetry::count("serve/slow_model_faults");
+      }
+      // Worker-count-invariant deadline-miss estimate: formation tick plus
+      // modeled service, as if served serially — NOT the worker-assigned
+      // completion, which depends on how many modeled workers exist.
+      std::int64_t modeled_misses = 0;
+      for (const Request& req : plan.requests) {
+        modeled_misses += (plan.formed + service > req.deadline) ? 1 : 0;
+      }
       std::size_t w = 0;
       for (std::size_t i = 1; i < workers.size(); ++i) {
         if (workers[i].free_at < workers[w].free_at) w = i;
       }
       const Tick start = std::max(now, workers[w].free_at);
-      const Tick service = plan.version->service_ticks(
-          static_cast<std::int64_t>(plan.requests.size()), cfg_.max_batch);
       const Tick completion = start + service;
       workers[w].free_at = completion;
       last_completion = std::max(last_completion, completion);
@@ -292,6 +423,12 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
       f.model = plan.model;
       f.pin = plan.version;
       inflight_.push_back(std::move(f));
+      auto git = guards_.find(plan.model);
+      if (git != guards_.end()) {
+        git->second->health.record_batch(now, !healthy, modeled_misses);
+        if (cfg_.breaker.enabled) git->second->breaker.on_batch(now, healthy);
+      }
+      maybe_rollback(plan.model, now, rollback_events);
     }
 
     // Fast-forward the modeled clock to the next interesting tick.
@@ -318,6 +455,10 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
     if (next == std::numeric_limits<Tick>::max()) break;  // drained
     now = std::max(next, now + 1);
   }
+  // Release surviving probation pins before the final sweep: the run is
+  // over, nothing can roll back anymore, and tests expect superseded
+  // versions to count as retired even when the run ends mid-probation.
+  probation_.clear();
   leases_.sweep_retired();
 
   ServeReport report;
@@ -332,6 +473,38 @@ ServeReport ServeRuntime::run(const std::vector<Request>& trace) {
   report.last_completion = last_completion;
   report.swaps = std::move(swap_events);
   report.leases_retired = leases_.retired();
+  report.shed_circuit_open = shed_circuit_open;
+  report.rollbacks = std::move(rollback_events);
+  report.quarantined =
+      static_cast<std::int64_t>(registry_.quarantined().size());
+  report.health_events = registry_.health_log();
+
+  std::map<std::string, std::int64_t> rollbacks_by_model;
+  for (const RollbackEvent& ev : report.rollbacks) {
+    ++rollbacks_by_model[ev.model];
+  }
+  for (const std::string& name : mailbox_order_) {
+    auto git = guards_.find(name);
+    if (git == guards_.end()) continue;
+    const auto& transitions = git->second->breaker.transitions();
+    if (!transitions.empty()) {
+      report.breaker_transitions.emplace(name, transitions);
+    }
+    for (const BreakerTransition& t : transitions) {
+      robust::HealthEvent ev;
+      ev.type = robust::EventType::kBreakerStateChange;
+      ev.severity = robust::Severity::kWarning;
+      ev.detail = name + ": " + std::string(to_string(t.from)) + " -> " +
+                  to_string(t.to) + " @ tick " + std::to_string(t.tick) +
+                  " (" + t.why + ")";
+      report.health_events.push_back(std::move(ev));
+    }
+    telemetry::gauge(
+        "serve/" + name + "/breaker_state",
+        static_cast<double>(static_cast<int>(git->second->breaker.state())));
+    telemetry::gauge("serve/" + name + "/rollbacks",
+                     static_cast<double>(rollbacks_by_model[name]));
+  }
 
   std::vector<Tick> latencies;
   for (auto& [id, resp] : responses) {

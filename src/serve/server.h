@@ -15,6 +15,17 @@
 //   6. formed batches are assigned to modeled workers (lowest free worker
 //      first), which only decides start/completion *ticks*.
 //
+// Serving resilience (ISSUE 10) rides the same loop: the registry's
+// CanaryGate screens every poll() publish; after an accepted swap the
+// superseded version is held as a probation pin, and a per-model
+// GenerationHealth breach (NaN outputs / modeled deadline misses /
+// shed rate, all worker-count-invariant) triggers automatic rollback —
+// a LeaseTable epoch bump back to the pinned version, zero-drop by
+// construction, with the indicted generation quarantined so the next
+// poll cannot republish it. A per-model CircuitBreaker additionally
+// sheds arrivals (ShedReason::kCircuitOpen) while the tenant is
+// known-bad, with deterministic half-open probe admission.
+//
 // Determinism contract (DESIGN.md §13): admission, batch composition,
 // batch order, pinned lease epochs, swap boundaries, and every response
 // payload are a pure function of (trace, config, checkpoint-file
@@ -33,6 +44,8 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "robust/fault.h"
+#include "serve/breaker.h"
 #include "serve/mailbox.h"
 #include "serve/registry.h"
 #include "serve/scheduler.h"
@@ -44,11 +57,21 @@ struct ServeConfig {
   std::int64_t max_batch = 8;  ///< dynamic-batching cap
   std::int64_t max_queue = 64; ///< per-tenant mailbox depth bound (<=0: inf)
   Tick dispatch_margin = 0;    ///< extra deadline headroom at formation
-  bool shed_infeasible = true; ///< admission deadline-feasibility check
+  bool shed_on_infeasible = true;  ///< admission deadline-feasibility check
   double flops_per_tick = 2e6; ///< modeled worker rate (FLOPs per tick)
   Tick poll_interval = 0;      ///< registry poll cadence; 0 = never poll
   prune::InferenceForm form = prune::InferenceForm::kChannelUnion;
   float gating_threshold = 1e-4f;
+
+  // Serving resilience (ISSUE 10).
+  CanaryConfig canary;            ///< pre-publish gate on the poll() path
+  GenerationHealthConfig health;  ///< post-swap guard + rollback policy
+  BreakerConfig breaker;          ///< per-model circuit breaker
+  /// Serve-side fault injection (robust::FaultInjector grammar): the
+  /// slow-model and flaky-output kinds fire inside the runtime, keyed on
+  /// (generation, batch id). Parsed at construction; "" disarms.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0x5e12;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
@@ -60,6 +83,16 @@ struct SwapEvent {
   Tick tick = 0;
   std::int64_t queued = 0;    ///< tenant requests queued at the boundary
   std::int64_t inflight = 0;  ///< tenant batches still on the old lease
+};
+
+/// One automatic rollback as it happened under load.
+struct RollbackEvent {
+  std::string model;
+  Tick tick = 0;
+  std::int64_t from_generation = -1;  ///< the indicted generation
+  std::int64_t to_generation = -1;    ///< generation restored from probation
+  std::int64_t lease_epoch = -1;      ///< epoch of the restored lease
+  std::string reason;                 ///< breach counter that tripped
 };
 
 struct ServeReport {
@@ -78,6 +111,15 @@ struct ServeReport {
   double p99_latency_ticks = 0;
   std::vector<SwapEvent> swaps;
   std::int64_t leases_retired = 0;
+
+  // Serving resilience (ISSUE 10).
+  std::int64_t shed_circuit_open = 0;  ///< sheds with ShedReason::kCircuitOpen
+  std::int64_t quarantined = 0;        ///< generations the registry refused
+  std::vector<RollbackEvent> rollbacks;
+  std::map<std::string, std::vector<BreakerTransition>> breaker_transitions;
+  /// Registry health log (canary rejections, rollbacks) followed by one
+  /// kBreakerStateChange event per breaker transition.
+  std::vector<robust::HealthEvent> health_events;
 };
 
 class ServeRuntime {
@@ -112,19 +154,44 @@ class ServeRuntime {
     std::string model;
     std::shared_ptr<ModelVersion> pin;
   };
+  /// Post-swap guard state of one tenant.
+  struct Guard {
+    GenerationHealth health;
+    CircuitBreaker breaker;
+    Guard(const GenerationHealthConfig& h, const BreakerConfig& b)
+        : health(h), breaker(b) {}
+  };
+  /// Rollback target held resident through the post-swap probation window.
+  struct Probation {
+    std::shared_ptr<ModelVersion> previous;
+    Tick until = 0;
+  };
 
-  void execute_batch(BatchPlan& plan, std::vector<Response>& out);
+  void ensure_tenant(const std::string& name);
+  /// Returns true when every logit of the batch is finite (the flaky-output
+  /// fault is injected before the scan, so an injected NaN reads unhealthy).
+  bool execute_batch(BatchPlan& plan, std::vector<Response>& out);
   std::int64_t inflight_for(const std::string& model) const;
+  void begin_probation(const std::string& model,
+                       std::shared_ptr<ModelVersion> previous, Tick now);
+  /// Rolls `model` back to its probation pin if the guard reports a breach
+  /// and the current lease is still the indicted one.
+  void maybe_rollback(const std::string& model, Tick now,
+                      std::vector<RollbackEvent>& out);
 
   ServeConfig cfg_;
   exec::ExecContext* ctx_;
   ModelRegistry registry_;
   LeaseTable leases_;
   Scheduler scheduler_;
+  robust::FaultInjector injector_;
   std::map<std::string, std::unique_ptr<Mailbox>> mailboxes_;
+  std::map<std::string, std::unique_ptr<Guard>> guards_;
+  std::map<std::string, Probation> probation_;
   std::vector<std::string> mailbox_order_;
   std::vector<std::pair<Tick, std::function<void()>>> actions_;
   std::vector<InFlight> inflight_;
+  Tick now_ = 0;  ///< modeled clock; lets mid-run publishes date probation
   bool ran_ = false;
 };
 

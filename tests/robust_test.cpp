@@ -146,6 +146,29 @@ TEST(FaultSpec, ParsesElasticMembershipKinds) {
                std::invalid_argument);
 }
 
+TEST(FaultSpec, ParsesServingResilienceKinds) {
+  const auto specs = robust::parse_fault_specs(
+      "poison-ckpt:epoch=2;poison-ckpt:epoch=3,scale=100;"
+      "slow-model:epoch=2,scale=16,count=0;flaky-output:epoch=3,count=2");
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].kind, robust::FaultSpec::Kind::kPoisonCkpt);
+  EXPECT_EQ(specs[0].epoch, 2);
+  EXPECT_FALSE(specs[0].scale_set);  // NaN mode
+  EXPECT_EQ(specs[1].kind, robust::FaultSpec::Kind::kPoisonCkpt);
+  EXPECT_TRUE(specs[1].scale_set);   // finite-garbage mode
+  EXPECT_DOUBLE_EQ(specs[1].scale, 100.0);
+  EXPECT_EQ(specs[2].kind, robust::FaultSpec::Kind::kSlowModel);
+  EXPECT_DOUBLE_EQ(specs[2].scale, 16.0);
+  EXPECT_EQ(specs[2].count, 0);
+  EXPECT_EQ(specs[3].kind, robust::FaultSpec::Kind::kFlakyOutput);
+  EXPECT_EQ(specs[3].epoch, 3);
+  EXPECT_EQ(specs[3].count, 2);
+
+  // slow-model's scale is an inflation factor; shrinking is not a fault.
+  EXPECT_THROW(robust::parse_fault_specs("slow-model:scale=0.5"),
+               std::invalid_argument);
+}
+
 TEST(FaultSpec, KillAndFlakyQueriesAreDeterministic) {
   // Kill fires exactly at its (replica, step) coordinate.
   auto kill = robust::FaultInjector::from_string(

@@ -18,6 +18,9 @@
 #include "cost/flops.h"
 #include "models/builders.h"
 #include "prune/materialize.h"
+#include "robust/fault.h"
+#include "serve/breaker.h"
+#include "serve/canary.h"
 #include "serve/mailbox.h"
 #include "serve/registry.h"
 #include "serve/scheduler.h"
@@ -93,7 +96,7 @@ TEST(Mailbox, AdmissionShedsWithStructuredReasons) {
   EXPECT_EQ(m.size(), 2);
   EXPECT_EQ(m.admitted(), 2);
   EXPECT_EQ(m.shed_queue_full(), 1);
-  EXPECT_EQ(m.shed_infeasible(), 1);
+  EXPECT_EQ(m.shed_infeasible_count(), 1);
 
   // The modeled clock is monotone; a regressed arrival is a driver bug.
   EXPECT_THROW(m.offer(make_request(4, "m", 1, 50), 1), std::invalid_argument);
@@ -106,7 +109,7 @@ TEST(Mailbox, PopBatchIsDeadlineOrderedAndShapeGrouped) {
   policy.max_queue = 0;  // unbounded
   policy.max_batch = 3;
   policy.batch_service_ticks = 1;
-  policy.shed_infeasible = false;
+  policy.shed_on_infeasible = false;
   serve::Mailbox m("m", policy);
 
   // Deadlines out of arrival order; request 2 has a different shape.
@@ -585,6 +588,541 @@ TEST(ServeRuntime, ConfigValidationFailsFast) {
   rt.publish_network("m", tiny_net(), 1, kInput);
   rt.run({});
   EXPECT_THROW(rt.run({}), std::logic_error);  // one-shot
+}
+
+// --- Serving resilience (ISSUE 10) ---------------------------------------
+
+std::shared_ptr<serve::ModelVersion> bare_version(graph::Network net,
+                                                  serve::Tick ticks = 8) {
+  auto v = std::make_shared<serve::ModelVersion>();
+  v->net = std::move(net);
+  v->service_ticks_per_batch = ticks;
+  return v;
+}
+
+TEST(CanaryGate, FiniteLogitCheckCatchesPoisonedHead) {
+  exec::ExecContext ctx(1);
+  serve::CanaryGate gate(serve::CanaryConfig{});
+  auto incumbent = bare_version(tiny_net(0.5f, 21));
+
+  // A healthy candidate with totally different weights passes the default
+  // gate: only the finite-logit check is always on.
+  auto healthy = bare_version(tiny_net(0.25f, 22));
+  auto rep = gate.evaluate(*healthy, incumbent.get(), kInput, ctx);
+  EXPECT_EQ(rep.outcome, serve::CanaryOutcome::kAccepted);
+  EXPECT_TRUE(rep.accepted());
+
+  // A poisoned head carries a valid CRC but NaN logits: rejected.
+  auto poisoned = bare_version(tiny_net(0.5f, 22));
+  auto inj = robust::FaultInjector::from_string("poison-ckpt", 7);
+  ASSERT_TRUE(inj.poison_network(poisoned->net, 0));
+  rep = gate.evaluate(*poisoned, incumbent.get(), kInput, ctx);
+  EXPECT_EQ(rep.outcome, serve::CanaryOutcome::kNonFiniteOutput);
+  EXPECT_FALSE(rep.accepted());
+
+  // A disabled gate waves anything through, reported as kSkipped.
+  serve::CanaryConfig off;
+  off.enabled = false;
+  rep = serve::CanaryGate(off).evaluate(*poisoned, incumbent.get(), kInput,
+                                        ctx);
+  EXPECT_EQ(rep.outcome, serve::CanaryOutcome::kSkipped);
+  EXPECT_TRUE(rep.accepted());
+}
+
+TEST(CanaryGate, DisagreementAndLatencyBudgetsReject) {
+  exec::ExecContext ctx(1);
+  auto incumbent = bare_version(tiny_net(0.5f, 21), 8);
+
+  // Finite garbage head (poison-ckpt with scale=): every logit is finite,
+  // so only the reference-disagreement check can see the corruption.
+  auto garbage = bare_version(tiny_net(0.5f, 21), 8);
+  auto inj = robust::FaultInjector::from_string("poison-ckpt:scale=100", 7);
+  ASSERT_TRUE(inj.poison_network(garbage->net, 0));
+  serve::CanaryConfig strict;
+  strict.max_disagreement = 0.0;
+  auto rep = serve::CanaryGate(strict).evaluate(*garbage, incumbent.get(),
+                                                kInput, ctx);
+  EXPECT_EQ(rep.outcome, serve::CanaryOutcome::kDisagreement);
+  EXPECT_GT(rep.disagreements, 0);
+  // The default budget (1.0) never rejects on disagreement.
+  rep = serve::CanaryGate(serve::CanaryConfig{})
+            .evaluate(*garbage, incumbent.get(), kInput, ctx);
+  EXPECT_EQ(rep.outcome, serve::CanaryOutcome::kAccepted);
+
+  // Modeled-latency regression beyond the opt-in budget.
+  serve::CanaryConfig lat;
+  lat.max_latency_ratio = 2.0;
+  auto slow = bare_version(tiny_net(0.5f, 21), 100);
+  rep = serve::CanaryGate(lat).evaluate(*slow, incumbent.get(), kInput, ctx);
+  EXPECT_EQ(rep.outcome, serve::CanaryOutcome::kLatencyRegression);
+  EXPECT_GT(rep.latency_ratio, 2.0);
+}
+
+TEST(GenerationHealth, WindowedCountersClearAndReset) {
+  serve::GenerationHealthConfig cfg;
+  cfg.window = 10;
+  cfg.max_nan_batches = 0;
+  cfg.max_deadline_misses = 1;
+  serve::GenerationHealth h(cfg);
+  EXPECT_EQ(h.breach(0), nullptr);
+
+  h.record_batch(5, true, 0);
+  EXPECT_STREQ(h.breach(5), "nan-output");
+  // The verdict expires with the window (tick 5 <= 50 - 10).
+  EXPECT_EQ(h.breach(50), nullptr);
+
+  h.record_batch(51, false, 1);
+  EXPECT_EQ(h.breach(51), nullptr);  // 1 miss <= budget 1
+  h.record_batch(52, false, 3);
+  EXPECT_STREQ(h.breach(52), "deadline-miss");
+  h.reset();
+  EXPECT_EQ(h.breach(52), nullptr);
+  EXPECT_EQ(h.nan_batches(), 1);     // lifetime totals survive resets
+  EXPECT_EQ(h.modeled_misses(), 4);
+}
+
+TEST(CircuitBreaker, ClosedOpenHalfOpenCycleIsDeterministic) {
+  serve::BreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_ticks = 10;
+  cfg.half_open_probes = 1;
+  cfg.close_after = 1;
+  serve::CircuitBreaker b(cfg);
+
+  EXPECT_EQ(b.state(), serve::BreakerState::kClosed);
+  EXPECT_EQ(b.admit(0), serve::CircuitBreaker::Admission::kAdmit);
+  b.on_batch(0, false);
+  EXPECT_EQ(b.state(), serve::BreakerState::kClosed);  // 1 failure < 2
+  b.on_batch(1, true);  // a healthy batch clears the consecutive count
+  b.on_batch(2, false);
+  b.on_batch(3, false);
+  ASSERT_EQ(b.state(), serve::BreakerState::kOpen);
+  EXPECT_EQ(b.admit(4), serve::CircuitBreaker::Admission::kShed);
+  // Cooldown elapsed at 3 + 10: the next arrival is a half-open probe,
+  // and the probe budget (1) sheds the arrival after it.
+  EXPECT_EQ(b.admit(13), serve::CircuitBreaker::Admission::kProbe);
+  EXPECT_EQ(b.state(), serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(b.admit(13), serve::CircuitBreaker::Admission::kShed);
+  // Unhealthy probe batch reopens; a later healthy probe round closes.
+  b.on_batch(14, false);
+  ASSERT_EQ(b.state(), serve::BreakerState::kOpen);
+  EXPECT_EQ(b.admit(24), serve::CircuitBreaker::Admission::kProbe);
+  b.on_batch(25, true);
+  EXPECT_EQ(b.state(), serve::BreakerState::kClosed);
+
+  const auto& t = b.transitions();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].to, serve::BreakerState::kOpen);
+  EXPECT_EQ(t[1].to, serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(t[2].to, serve::BreakerState::kOpen);
+  EXPECT_EQ(t[3].to, serve::BreakerState::kHalfOpen);
+  EXPECT_EQ(t[4].to, serve::BreakerState::kClosed);
+}
+
+TEST(Registry, TornGenerationIsQuarantinedLoudlyOnce) {
+  const fs::path dir = scratch_dir("torn");
+  auto v1 = tiny_net(0.5f, 21);
+  write_generation(dir, 1, v1);
+  auto v2 = tiny_net(0.5f, 22);
+  write_generation(dir, 2, v2);
+  // Tear generation 2 through its CRC footer — the producer-side fault a
+  // process dying mid-save leaves behind.
+  auto inj = robust::FaultInjector::from_string("torn-ckpt:epoch=2", 5);
+  ASSERT_TRUE(inj.corrupt_checkpoint_files(
+      {(dir / "ckpt-epoch-2.bin").string()}, 2));
+
+  serve::ModelRegistry reg(serve::RegistryConfig{});
+  reg.add_model("m", dir.string(), kInput);
+  serve::LeaseTable leases;
+  exec::ExecContext ctx(1);
+  auto swaps = reg.poll(ctx, leases);
+  ASSERT_EQ(swaps.size(), 1u);
+  EXPECT_EQ(swaps[0].to_generation, 1);
+
+  ASSERT_EQ(reg.quarantined().size(), 1u);
+  EXPECT_EQ(reg.quarantined()[0].generation, 2);
+  EXPECT_EQ(reg.quarantined()[0].reason, "scrub-invalid");
+  // A second poll does not re-announce the same corpse.
+  write_generation(dir, 3, v2);  // force a rescan with a new valid file
+  swaps = reg.poll(ctx, leases);
+  ASSERT_EQ(swaps.size(), 1u);
+  EXPECT_EQ(swaps[0].to_generation, 3);
+  EXPECT_EQ(reg.quarantined().size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ServeRuntime, PoisonedGenerationIsCanaryRejectedNeverServed) {
+  const fs::path dir = scratch_dir("poison");
+  auto gen1 = tiny_net(0.5f, 21);
+  write_generation(dir, 1, gen1);
+
+  serve::TraceSpec spec;
+  spec.model = "m";
+  spec.mean_interarrival = 3.0;
+  spec.end = 300;
+  spec.deadline = 60;
+  spec.input = kInput;
+  spec.seed = 9;
+  const auto trace = serve::synthesize_trace({spec});
+
+  auto cfg = runtime_config(2);
+  cfg.poll_interval = 5;
+  exec::ExecContext ctx(1);
+  serve::ServeRuntime rt(cfg, ctx);
+  rt.add_model("m", dir.string(), kInput);
+  rt.schedule(100, [&] {
+    // The trainer saves a generation whose head was silently corrupted:
+    // the file's CRC is valid, the numbers are not.
+    auto net = tiny_net(0.5f, 22);
+    auto inj = robust::FaultInjector::from_string("poison-ckpt:epoch=2", 7);
+    ASSERT_TRUE(inj.poison_network(net, 2));
+    write_generation(dir, 2, net);
+  });
+  const auto report = rt.run(trace);
+
+  // The scrub passed it (bytes fine), the canary refused it (numbers not):
+  // generation 2 is never observable in any response.
+  ASSERT_EQ(report.swaps.size(), 1u);  // cold start only
+  EXPECT_EQ(report.swaps[0].record.to_generation, 1);
+  for (const auto& r : report.responses) {
+    if (!r.shed) {
+      EXPECT_EQ(r.generation, 1);
+    }
+  }
+  EXPECT_EQ(report.dropped, 0);
+  EXPECT_GT(report.completed, 0);
+  ASSERT_GE(report.quarantined, 1);
+  ASSERT_EQ(rt.registry().quarantined().size(), 1u);
+  const auto& q = rt.registry().quarantined()[0];
+  EXPECT_EQ(q.generation, 2);
+  EXPECT_EQ(q.reason, "canary:non-finite-output");
+  EXPECT_EQ(q.canary.outcome, serve::CanaryOutcome::kNonFiniteOutput);
+  // The file itself scrubbed valid — this was not a CRC catch.
+  const auto* scrubber = rt.registry().scrubber("m");
+  ASSERT_NE(scrubber, nullptr);
+  for (const auto& g : scrubber->generations()) {
+    if (g.epoch == 2) {
+      EXPECT_TRUE(g.valid);
+    }
+  }
+  ASSERT_EQ(report.health_events.size(), 1u);
+  EXPECT_EQ(report.health_events[0].type,
+            robust::EventType::kCanaryRejected);
+  fs::remove_all(dir);
+}
+
+TEST(ServeRuntime, FlakyOutputRollsBackBitwiseEqualToCleanRun) {
+  const fs::path dir = scratch_dir("rollback");
+  const fs::path ref_dir = scratch_dir("rollback_ref");
+  auto gen1 = tiny_net(0.5f, 21);
+  write_generation(dir, 1, gen1);
+  write_generation(ref_dir, 1, gen1);
+
+  serve::TraceSpec spec;
+  spec.model = "m";
+  spec.mean_interarrival = 3.0;
+  spec.end = 600;
+  spec.deadline = 60;
+  spec.input = kInput;
+  spec.seed = 9;
+  const auto trace = serve::synthesize_trace({spec});
+
+  auto make_cfg = [&](int workers) {
+    auto cfg = runtime_config(workers);
+    cfg.poll_interval = 5;
+    // Generation 3's very first served batch emits one NaN logit.
+    cfg.fault_spec = "flaky-output:epoch=3,count=1";
+    return cfg;
+  };
+  // Generation 2 is poisoned (canary rejects it at the gate); generation 3
+  // is healthy at rest — same width as generation 1, so pricing, admission
+  // and batch composition are identical — but flaky at runtime.
+  exec::ExecContext ctx(1);
+  serve::ServeRuntime rt(make_cfg(2), ctx);
+  rt.add_model("m", dir.string(), kInput);
+  rt.schedule(150, [&] {
+    auto bad = tiny_net(0.5f, 22);
+    auto inj = robust::FaultInjector::from_string("poison-ckpt:epoch=2", 7);
+    ASSERT_TRUE(inj.poison_network(bad, 2));
+    write_generation(dir, 2, bad);
+  });
+  rt.schedule(200, [&] {
+    auto gen3 = tiny_net(0.5f, 23);
+    write_generation(dir, 3, gen3);
+  });
+  const auto faulty = rt.run(trace);
+
+  // One rollback: generation 3 indicted by its NaN batch, generation 1
+  // restored; the poisoned generation 2 never served at all.
+  ASSERT_EQ(faulty.rollbacks.size(), 1u);
+  const auto& rb = faulty.rollbacks[0];
+  EXPECT_EQ(rb.from_generation, 3);
+  EXPECT_EQ(rb.to_generation, 1);
+  EXPECT_EQ(rb.reason, "nan-output");
+  EXPECT_EQ(faulty.dropped, 0);
+  EXPECT_GE(faulty.quarantined, 2);  // canary reject + rollback indictment
+  std::int64_t on_gen3 = 0;
+  for (const auto& r : faulty.responses) {
+    EXPECT_NE(r.generation, 2);
+    on_gen3 += (!r.shed && r.generation == 3) ? 1 : 0;
+  }
+  EXPECT_GT(on_gen3, 0);  // the bad generation really did serve briefly
+  bool saw_rollback_event = false;
+  for (const auto& ev : faulty.health_events) {
+    saw_rollback_event |= ev.type == robust::EventType::kGenerationRollback;
+  }
+  EXPECT_TRUE(saw_rollback_event);
+
+  // Reference: the same trace against a runtime that only ever had
+  // generation 1. Every response formed at/after the rollback tick must be
+  // bitwise identical — the rollback restored the *same weights object*
+  // the old epoch served, so the bad generation leaves no numeric residue.
+  exec::ExecContext ref_ctx(1);
+  auto ref_cfg = runtime_config(2);
+  ref_cfg.poll_interval = 5;
+  serve::ServeRuntime ref_rt(ref_cfg, ref_ctx);
+  ref_rt.add_model("m", ref_dir.string(), kInput);
+  const auto clean = ref_rt.run(trace);
+  ASSERT_EQ(clean.responses.size(), faulty.responses.size());
+  std::int64_t compared = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& f = faulty.responses[i];
+    const auto& c = clean.responses[i];
+    ASSERT_EQ(f.request_id, c.request_id);
+    // Batches formed at the rollback tick itself still pinned the bad
+    // lease (formation runs before the breach verdict that tick).
+    if (f.shed || f.formed <= rb.tick) continue;
+    ++compared;
+    EXPECT_EQ(f.generation, 1);
+    EXPECT_EQ(f.argmax, c.argmax);
+    ASSERT_EQ(f.logits.shape(), c.logits.shape());
+    EXPECT_EQ(std::memcmp(f.logits.data(), c.logits.data(),
+                          sizeof(float) *
+                              static_cast<std::size_t>(f.logits.numel())),
+              0)
+        << "post-rollback logits differ from the clean run for request "
+        << f.request_id;
+  }
+  EXPECT_GT(compared, 0);
+
+  // Worker count cannot move the breach, the rollback tick, or a payload.
+  const fs::path wide_dir = scratch_dir("rollback_wide");
+  write_generation(wide_dir, 1, gen1);
+  exec::ExecContext wide_ctx(1);
+  serve::ServeRuntime wide_rt(make_cfg(4), wide_ctx);
+  wide_rt.add_model("m", wide_dir.string(), kInput);
+  wide_rt.schedule(150, [&] {
+    auto bad = tiny_net(0.5f, 22);
+    auto inj = robust::FaultInjector::from_string("poison-ckpt:epoch=2", 7);
+    ASSERT_TRUE(inj.poison_network(bad, 2));
+    write_generation(wide_dir, 2, bad);
+  });
+  wide_rt.schedule(200, [&] {
+    auto gen3 = tiny_net(0.5f, 23);
+    write_generation(wide_dir, 3, gen3);
+  });
+  const auto wide = wide_rt.run(trace);
+  ASSERT_EQ(wide.rollbacks.size(), 1u);
+  EXPECT_EQ(wide.rollbacks[0].tick, rb.tick);
+  EXPECT_EQ(wide.rollbacks[0].from_generation, rb.from_generation);
+  EXPECT_EQ(wide.rollbacks[0].to_generation, rb.to_generation);
+  ASSERT_EQ(wide.responses.size(), faulty.responses.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& a = faulty.responses[i];
+    const auto& b = wide.responses[i];
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.generation, b.generation);
+    EXPECT_EQ(a.argmax, b.argmax);
+    if (!a.shed) {
+      EXPECT_EQ(std::memcmp(a.logits.data(), b.logits.data(),
+                            sizeof(float) *
+                                static_cast<std::size_t>(a.logits.numel())),
+                0);
+    }
+  }
+
+  fs::remove_all(dir);
+  fs::remove_all(ref_dir);
+  fs::remove_all(wide_dir);
+}
+
+TEST(ServeRuntime, SlowModelDeadlineBreachTriggersRollback) {
+  const fs::path dir = scratch_dir("slow");
+  auto gen1 = tiny_net(0.5f, 21);
+  write_generation(dir, 1, gen1);
+
+  serve::TraceSpec spec;
+  spec.model = "m";
+  spec.mean_interarrival = 3.0;
+  spec.end = 500;
+  spec.deadline = 60;
+  spec.input = kInput;
+  spec.seed = 9;
+  const auto trace = serve::synthesize_trace({spec});
+
+  auto cfg = runtime_config(2);
+  cfg.poll_interval = 5;
+  // Opt in to the deadline-miss breach: generation 2 is the suspect.
+  cfg.health.max_deadline_misses = 0;
+  // Every generation-2 batch is inflated 50x on the modeled clock.
+  cfg.fault_spec = "slow-model:epoch=2,scale=50,count=0";
+  exec::ExecContext ctx(1);
+  serve::ServeRuntime rt(cfg, ctx);
+  rt.add_model("m", dir.string(), kInput);
+  rt.schedule(150, [&] {
+    auto gen2 = tiny_net(0.5f, 22);
+    write_generation(dir, 2, gen2);
+  });
+  const auto report = rt.run(trace);
+
+  ASSERT_EQ(report.rollbacks.size(), 1u);
+  EXPECT_EQ(report.rollbacks[0].from_generation, 2);
+  EXPECT_EQ(report.rollbacks[0].to_generation, 1);
+  EXPECT_EQ(report.rollbacks[0].reason, "deadline-miss");
+  EXPECT_EQ(report.dropped, 0);
+  // Every response formed after the rollback is back on generation 1.
+  for (const auto& r : report.responses) {
+    if (!r.shed && r.formed > report.rollbacks[0].tick) {
+      EXPECT_EQ(r.generation, 1);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServeRuntime, BreakerOpensShedsAndRecloses) {
+  serve::TraceSpec spec;
+  spec.model = "m";
+  spec.mean_interarrival = 2.0;
+  spec.end = 400;
+  spec.deadline = 60;
+  spec.input = kInput;
+  spec.seed = 13;
+  const auto trace = serve::synthesize_trace({spec});
+
+  auto run_at = [&](int workers) {
+    auto cfg = runtime_config(workers);
+    // The first three served batches emit NaN logits; threshold 2 opens
+    // the breaker, and the exhausted fault lets the half-open probe close
+    // it again.
+    cfg.fault_spec = "flaky-output:count=3";
+    cfg.breaker.failure_threshold = 2;
+    cfg.breaker.open_ticks = 40;
+    cfg.breaker.half_open_probes = 1;
+    cfg.breaker.close_after = 1;
+    exec::ExecContext ctx(1);
+    serve::ServeRuntime rt(cfg, ctx);
+    rt.publish_network("m", tiny_net(0.5f, 21), 1, kInput);
+    return rt.run(trace);
+  };
+  const auto report = run_at(1);
+
+  ASSERT_TRUE(report.breaker_transitions.count("m"));
+  const auto& transitions = report.breaker_transitions.at("m");
+  ASSERT_GE(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].from, serve::BreakerState::kClosed);
+  EXPECT_EQ(transitions[0].to, serve::BreakerState::kOpen);
+  EXPECT_EQ(transitions.back().to, serve::BreakerState::kClosed);
+  EXPECT_GT(report.shed_circuit_open, 0);
+  EXPECT_EQ(report.dropped, 0);
+  std::int64_t circuit_sheds = 0;
+  for (const auto& r : report.responses) {
+    circuit_sheds += (r.shed && r.reason == serve::ShedReason::kCircuitOpen)
+                         ? 1
+                         : 0;
+  }
+  EXPECT_EQ(circuit_sheds, report.shed_circuit_open);
+  bool saw_breaker_event = false;
+  for (const auto& ev : report.health_events) {
+    saw_breaker_event |= ev.type == robust::EventType::kBreakerStateChange;
+  }
+  EXPECT_TRUE(saw_breaker_event);
+
+  // Breaker transitions ride the modeled clock: identical under 4 workers.
+  const auto wide = run_at(4);
+  ASSERT_TRUE(wide.breaker_transitions.count("m"));
+  const auto& wt = wide.breaker_transitions.at("m");
+  ASSERT_EQ(wt.size(), transitions.size());
+  for (std::size_t i = 0; i < wt.size(); ++i) {
+    EXPECT_EQ(wt[i].tick, transitions[i].tick);
+    EXPECT_EQ(wt[i].from, transitions[i].from);
+    EXPECT_EQ(wt[i].to, transitions[i].to);
+  }
+  EXPECT_EQ(wide.shed_circuit_open, report.shed_circuit_open);
+}
+
+TEST(ServeRuntime, ChaosMatrixZeroDropUnderEveryFaultKind) {
+  struct Scenario {
+    const char* tag;
+    const char* producer_fault;  ///< applied when generation 2 is written
+    const char* serve_fault;     ///< the runtime's own fault_spec
+    std::int64_t expect_misses_opt_in;
+  };
+  const Scenario scenarios[] = {
+      {"poison", "poison-ckpt:epoch=2", "", -1},
+      {"torn", "torn-ckpt:epoch=2", "", -1},
+      {"slow", "", "slow-model:epoch=2,scale=50,count=0", 0},
+      {"flaky", "", "flaky-output:epoch=2,count=2", -1},
+  };
+  serve::TraceSpec spec;
+  spec.model = "m";
+  spec.mean_interarrival = 3.0;
+  spec.end = 400;
+  spec.deadline = 60;
+  spec.input = kInput;
+  spec.seed = 17;
+  const auto trace = serve::synthesize_trace({spec});
+
+  for (const Scenario& s : scenarios) {
+    SCOPED_TRACE(s.tag);
+    const fs::path dir = scratch_dir(std::string("chaos_") + s.tag);
+    auto gen1 = tiny_net(0.5f, 21);
+    write_generation(dir, 1, gen1);
+
+    auto cfg = runtime_config(2);
+    cfg.poll_interval = 5;
+    cfg.fault_spec = s.serve_fault;
+    cfg.health.max_deadline_misses = s.expect_misses_opt_in;
+    exec::ExecContext ctx(1);
+    serve::ServeRuntime rt(cfg, ctx);
+    rt.add_model("m", dir.string(), kInput);
+    rt.schedule(150, [&] {
+      auto gen2 = tiny_net(0.5f, 22);
+      const std::string producer = s.producer_fault;
+      if (producer.find("poison") != std::string::npos) {
+        auto inj = robust::FaultInjector::from_string(producer, 7);
+        ASSERT_TRUE(inj.poison_network(gen2, 2));
+        write_generation(dir, 2, gen2);
+      } else if (!producer.empty()) {
+        write_generation(dir, 2, gen2);
+        auto inj = robust::FaultInjector::from_string(producer, 7);
+        ASSERT_TRUE(inj.corrupt_checkpoint_files(
+            {(dir / "ckpt-epoch-2.bin").string()}, 2));
+      } else {
+        write_generation(dir, 2, gen2);
+      }
+    });
+    const auto report = rt.run(trace);
+
+    // The invariants every fault kind must leave standing.
+    EXPECT_EQ(report.dropped, 0);
+    EXPECT_EQ(report.admitted, report.completed);
+    ASSERT_EQ(report.responses.size(), trace.size());
+    if (s.producer_fault[0] != '\0') {
+      // Producer-side corruption: generation 2 never serves a byte.
+      for (const auto& r : report.responses) {
+        if (!r.shed) {
+      EXPECT_EQ(r.generation, 1);
+    }
+      }
+      EXPECT_GE(report.quarantined, 1);
+    } else {
+      // Runtime faults: generation 2 served, breached, and rolled back.
+      ASSERT_EQ(report.rollbacks.size(), 1u);
+      EXPECT_EQ(report.rollbacks[0].from_generation, 2);
+      EXPECT_EQ(report.rollbacks[0].to_generation, 1);
+    }
+    fs::remove_all(dir);
+  }
 }
 
 }  // namespace
